@@ -1,0 +1,127 @@
+"""Ablation — where the ADC's five-decade dynamic range breaks.
+
+Sweeps the three design parameters of the Fig. 3 converter and reports
+the usable decades (5% proportionality error) for each: integration
+capacitor, dead time (comparator delay + reset pulse), and node
+leakage.  Also reproduces the frame-length trade-off the paper's
+counter scheme implies (long frames for small currents).
+"""
+
+import pytest
+
+from repro.analysis import characterize_adc
+from repro.core import render_kv, render_table, units
+from repro.core.units import fF, ns
+from repro.devices.capacitor import Capacitor
+from repro.devices.comparator import Comparator
+from repro.pixel import SawtoothAdc
+
+
+def make_adc(cint=100 * fF, delay=100 * ns, leakage=0.0):
+    return SawtoothAdc(
+        cint=Capacitor(cint),
+        comparator=Comparator(threshold_v=1.0, delay_s=50 * ns),
+        tau_delay_s=delay,
+        leakage_a=leakage,
+    )
+
+
+def bench_ablation_dead_time(benchmark):
+    """Longer reset pulses compress the top of the range."""
+
+    def run():
+        rows = []
+        for delay in (25 * ns, 100 * ns, 400 * ns, 1600 * ns):
+            analysis = characterize_adc(make_adc(delay=delay), frame_s=4.0, rng=51)
+            rows.append((delay, analysis.usable_decades,
+                         analysis.rows[-1].relative_error))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["tau_delay", "usable decades (5%)", "error at 100 nA"],
+        [(units.si_format(d, "s"), f"{dec:.2f}", f"{err * 100:+.1f}%")
+         for d, dec, err in rows],
+        title="Dead-time ablation"))
+    decades = [dec for _, dec, _ in rows]
+    assert decades[-1] < decades[0]
+
+
+def bench_ablation_leakage(benchmark):
+    """Leakage eats the bottom of the range (the 1 pA floor)."""
+
+    def run():
+        rows = []
+        for leak in (0.0, 0.2e-12, 0.5e-12, 2e-12):
+            adc = make_adc(leakage=leak)
+            f_1pa = adc.frequency(1e-12)
+            analysis = characterize_adc(adc, frame_s=4.0, rng=52)
+            rows.append((leak, f_1pa, analysis.usable_low_a))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["node leakage", "f at 1 pA", "usable range bottom"],
+        [(units.si_format(l, "A"), units.si_format(f, "Hz"),
+          units.si_format(lo, "A")) for l, f, lo in rows],
+        title="Leakage ablation"))
+    # 2 pA leakage kills the 1 pA point entirely.
+    assert rows[-1][1] == 0.0
+    assert rows[0][1] == pytest.approx(10.0, rel=0.01)
+
+
+def bench_ablation_cint(benchmark):
+    """Cint trades conversion gain against top-end compression."""
+
+    def run():
+        rows = []
+        for cint in (25 * fF, 100 * fF, 400 * fF):
+            adc = make_adc(cint=cint)
+            analysis = characterize_adc(adc, frame_s=4.0, rng=53)
+            rows.append((cint, adc.ideal_frequency(1e-12),
+                         analysis.rows[-1].relative_error, analysis.usable_decades))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Cint", "f at 1 pA", "error at 100 nA", "usable decades"],
+        [(units.si_format(c, "F"), units.si_format(f, "Hz"), f"{e * 100:+.1f}%",
+          f"{d:.2f}") for c, f, e, d in rows],
+        title="Integration-capacitor ablation"))
+    # Smaller Cint -> higher frequency at the top -> more dead-time loss.
+    errors = [abs(e) for _, _, e, _ in rows]
+    assert errors[0] > errors[-1]
+
+
+def bench_ablation_frame_length(benchmark):
+    """Counting quantisation at the pA floor vs frame length — why the
+    chip counts 'within a given time frame' that the host can extend."""
+
+    def run():
+        # 1.7 pA: a non-integer count per frame, so the random sawtooth
+        # phase exposes the +/-1-count quantisation.
+        adc = make_adc()
+        i_test = 1.7e-12
+        rows = []
+        for frame in (0.1, 1.0, 4.0, 16.0):
+            counts = [adc.count_in_frame(i_test, frame, rng=seed) for seed in range(24)]
+            mean = sum(counts) / len(counts)
+            spread = (max(counts) - min(counts)) / max(mean, 1e-9)
+            rows.append((frame, mean, spread))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["frame", "mean count at 1.7 pA", "count spread / mean"],
+        [(f"{f:g} s", f"{m:.1f}", f"{s * 100:.0f}%") for f, m, s in rows],
+        title="Frame-length ablation at the pA floor"))
+    spreads = [s for *_, s in rows]
+    assert spreads[-1] < spreads[0]

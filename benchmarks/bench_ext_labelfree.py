@@ -1,0 +1,78 @@
+"""Extension — label-free principles vs the labelled redox chain.
+
+The paper: "Alternative label-free principles are under development.
+They focus on the effect of impedance or mass changes at the sensors'
+surfaces after hybridization" (refs [7-11]).  This bench implements the
+comparison the sentence implies: occupancy detection limits of the
+impedance sensor and the FBAR mass resonator against the redox-cycling
+enzyme-label chain the chips actually use.
+"""
+
+import pytest
+
+from repro.core import render_kv, render_table, units
+from repro.electrochem.labelfree import (
+    ImpedanceSensor,
+    MassResonator,
+    compare_detection_limits,
+)
+
+
+def bench_ext_detection_limits(benchmark):
+    limits = benchmark.pedantic(compare_detection_limits, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["detection principle", "occupancy detection limit"],
+        [(name, f"{value:.2e}") for name, value in limits.items()],
+        title="Label-free vs labelled detection (lower is better)"))
+    print()
+    print(render_kv("Interpretation", [
+        ("paper's choice", "labelled redox cycling (Section 2 chips)"),
+        ("paper on label-free", "'under development' (refs [7-11])"),
+        ("measured ordering", "redox <= mass resonator < impedance"),
+    ]))
+    redox = limits["redox cycling (enzyme label)"]
+    assert redox <= min(v for k, v in limits.items() if k != "redox cycling (enzyme label)")
+
+
+def bench_ext_impedance_dose_curve(benchmark):
+    """Relative capacitance change vs duplex coverage."""
+    sensor = ImpedanceSensor()
+
+    def run():
+        return [(theta, sensor.signal(theta))
+                for theta in (0.0, 1e-3, 1e-2, 0.1, 0.3, 1.0)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["duplex coverage", "|dC/C0|"],
+        [(f"{theta:g}", f"{signal * 100:.3f}%") for theta, signal in rows],
+        title="Impedance sensor dose curve"))
+    signals = [s for _, s in rows]
+    assert all(b > a for a, b in zip(signals, signals[1:]))
+
+
+def bench_ext_resonator_dose_curve(benchmark):
+    """FBAR frequency shift vs coverage and target length."""
+    def run():
+        rows = []
+        for length in (20, 200, 2000):
+            resonator = MassResonator(target_length_bases=length)
+            rows.append((length, resonator.frequency_shift(0.1),
+                         resonator.detection_limit_occupancy()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["target length (bases)", "df at 10% coverage", "LoD (occupancy)"],
+        [(n, units.si_format(df, "Hz"), f"{lod:.1e}") for n, df, lod in rows],
+        title="Mass-resonator dose curve (2 GHz FBAR)"))
+    # Longer targets (the paper: 2-3 decades longer than probes) are the
+    # regime where gravimetric sensing becomes competitive.
+    lods = [lod for *_, lod in rows]
+    assert lods[-1] < lods[0]

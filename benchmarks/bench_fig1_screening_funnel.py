@@ -1,0 +1,74 @@
+"""Fig. 1 — the drug-screening funnel.
+
+Regenerates the figure's two monotone series (datapoints/day falling,
+costs/datapoint rising) over the four stages, the attrition from a
+10^5-compound library toward single candidates, and the CMOS-array
+economics the paper's introduction motivates.
+"""
+
+import pytest
+
+from repro.core import render_kv, render_table
+from repro.screening import (
+    CompoundLibrary,
+    ScreeningFunnel,
+    compare_cmos_vs_conventional,
+)
+
+
+def bench_fig1_funnel(benchmark):
+    library = CompoundLibrary.generate(size=100_000, viable_rate=1e-4, rng=31)
+
+    result = benchmark.pedantic(
+        lambda: ScreeningFunnel().run(library, rng=32), rounds=1, iterations=1
+    )
+
+    print()
+    print(render_table(
+        ["stage", "in", "out", "datapoints/day", "cost/datapoint", "stage cost", "days"],
+        [(o.stage_name, o.candidates_in, o.candidates_out,
+          f"{o.datapoints_per_day:g}", f"{o.cost_per_datapoint:g}",
+          f"{o.cost:,.0f}", f"{o.days:.1f}") for o in result.outcomes],
+        title="Fig. 1: screening funnel over 100k compounds"))
+    print()
+    print(render_kv("Reproduction vs paper", [
+        ("paper: costs/datapoint arrow", "increasing down the funnel"),
+        ("measured: monotone cost increase", result.monotone_cost_increase()),
+        ("paper: datapoints/day arrow", "decreasing down the funnel"),
+        ("measured: monotone throughput decrease", result.monotone_throughput_decrease()),
+        ("paper: 'one compound out of millions'", "funnel attrition"),
+        ("measured: attrition", f"{library.size} -> {result.survivors} "
+                                f"({result.surviving_viable} truly viable)"),
+        ("total cost", f"{result.total_cost:,.0f}"),
+        ("total days", f"{result.total_days:.1f}"),
+    ]))
+    assert result.monotone_cost_increase()
+    assert result.monotone_throughput_decrease()
+    assert result.survivors < 0.01 * library.size
+
+
+def bench_fig1_cmos_vs_conventional(benchmark):
+    """The paper's pitch: CMOS arrays accelerate the high-volume stages."""
+    library = CompoundLibrary.generate(size=100_000, viable_rate=1e-4, rng=33)
+
+    results = benchmark.pedantic(
+        lambda: compare_cmos_vs_conventional(library, rng=34), rounds=1, iterations=1
+    )
+
+    cmos, conv = results["cmos"], results["conventional"]
+    early_cost = (sum(o.cost for o in conv.outcomes[:2]), sum(o.cost for o in cmos.outcomes[:2]))
+    early_days = (sum(o.days for o in conv.outcomes[:2]), sum(o.days for o in cmos.outcomes[:2]))
+    print()
+    print(render_table(
+        ["metric", "conventional", "CMOS arrays", "factor"],
+        [
+            ("early-stage cost", f"{early_cost[0]:,.0f}", f"{early_cost[1]:,.0f}",
+             f"{early_cost[0] / early_cost[1]:.1f}x"),
+            ("early-stage days", f"{early_days[0]:.1f}", f"{early_days[1]:.1f}",
+             f"{early_days[0] / early_days[1]:.1f}x"),
+            ("survivors (viable)", f"{conv.survivors} ({conv.surviving_viable})",
+             f"{cmos.survivors} ({cmos.surviving_viable})", "-"),
+        ],
+        title="CMOS-array platforms vs conventional workflows"))
+    assert early_cost[1] < early_cost[0]
+    assert early_days[1] < early_days[0]

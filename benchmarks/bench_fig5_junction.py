@@ -1,0 +1,96 @@
+"""Fig. 5 — the cell-chip junction: HH neuron -> cleft -> electrode.
+
+Regenerates the sensing physics of the cross-section figure: an action
+potential's membrane currents drop across the cleft's seal resistance
+and produce the 100 uV - 5 mV electrode transients the pixel senses.
+
+Sweeps: cell diameter (the paper's 10-100 um) and cleft height (the
+paper's ~60 nm).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import render_kv, render_table, units
+from repro.neuro import CellChipJunction, HodgkinHuxleyNeuron
+
+
+def simulate_neuron():
+    return HodgkinHuxleyNeuron().simulate(0.02, dt_s=20e-6)
+
+
+def bench_fig5_hh_to_junction(benchmark):
+    """Full biophysics path: HH integration + junction transform."""
+
+    def run():
+        hh = simulate_neuron()
+        junction = CellChipJunction(cell_diameter=20e-6)
+        return hh, junction.junction_voltage(hh)
+
+    hh, vj = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_kv("Action potential (HH)", [
+        ("membrane swing", units.si_format(hh.membrane_voltage.peak_to_peak(), "V")),
+        ("spikes", len(hh.spike_times)),
+        ("junction peak (20 um cell)", units.si_format(vj.peak_abs(), "V")),
+    ]))
+    assert len(hh.spike_times) == 1
+    assert 50e-6 < vj.peak_abs() < 1e-3
+
+
+def bench_fig5_amplitude_vs_cell_size(benchmark):
+    """The paper's amplitude window across its stated neuron sizes."""
+    hh = simulate_neuron()
+
+    def sweep():
+        rows = []
+        for diameter in (10e-6, 20e-6, 35e-6, 50e-6, 75e-6, 100e-6):
+            junction = CellChipJunction(cell_diameter=diameter)
+            vj = junction.junction_voltage(hh)
+            rows.append((diameter, junction.seal_resistance, vj.peak_abs()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["cell diameter", "R_seal", "V_J peak"],
+        [(f"{d * 1e6:.0f} um", units.si_format(r, "Ohm"), units.si_format(v, "V"))
+         for d, r, v in rows],
+        title="Fig. 5: junction amplitude vs neuron size (60 nm cleft)"))
+    peaks = [v for _, _, v in rows]
+    print()
+    print(render_kv("Reproduction vs paper", [
+        ("paper: signal amplitudes", "100 uV ... 5 mV"),
+        ("measured: amplitude span (10-100 um cells)",
+         f"{units.si_format(min(peaks), 'V')} ... {units.si_format(max(peaks), 'V')}"),
+        ("measured: monotone in cell size", all(b > a for a, b in zip(peaks, peaks[1:]))),
+    ]))
+    assert max(peaks) < 5.5e-3
+    assert any(100e-6 <= p <= 5e-3 for p in peaks)
+
+
+def bench_fig5_cleft_sweep(benchmark):
+    """Seal resistance scales inversely with cleft height — the reason
+    the ~60 nm cleft yields measurable signals."""
+    hh = simulate_neuron()
+
+    def sweep():
+        rows = []
+        for cleft in (20e-9, 60e-9, 120e-9, 240e-9):
+            junction = CellChipJunction(cell_diameter=30e-6).with_cleft(cleft)
+            rows.append((cleft, junction.seal_resistance,
+                         junction.junction_voltage(hh).peak_abs()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["cleft height", "R_seal", "V_J peak"],
+        [(units.si_format(c, "m"), units.si_format(r, "Ohm"), units.si_format(v, "V"))
+         for c, r, v in rows],
+        title="Cleft-height sweep (30 um cell)"))
+    resistances = [r for _, r, _ in rows]
+    assert all(b < a for a, b in zip(resistances, resistances[1:]))

@@ -1,0 +1,159 @@
+"""Fig. 6 — the complete neural signal path.
+
+Three reproductions from the figure and its surrounding text:
+
+  (a) pixel calibration: offset spread before vs after (the reason the
+      M1/M2/S1 scheme exists),
+  (b) the gain/bandwidth budget: x100 * x7 (4 MHz) * x4 * x2 = 5600
+      with the 32 MHz output driver behind the 8:1 multiplexer,
+  (c) scan timing: 128x128 at 2 kframe/s <=> 2.048 MHz per channel,
+      32.77 Mpixel/s aggregate — and an end-to-end recording with
+      spike detection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import calibration_report
+from repro.chip import NeuralRecordingChip
+from repro.chip.sequencer import NEURO_SCAN
+from repro.core import render_kv, render_table, units
+from repro.neuro import (
+    ArrayGeometry,
+    Culture,
+    NeuralArrayModel,
+    build_readout_chain,
+    detect_spikes,
+    score_detection,
+)
+
+
+def bench_fig6_pixel_calibration(benchmark):
+    """(a): Monte-Carlo offset spread of a 64x64 sub-array."""
+
+    def run():
+        array = NeuralArrayModel(ArrayGeometry(64, 64, 7.8e-6), rng=21)
+        return calibration_report(array)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["metric", "uncalibrated", "calibrated"],
+        [(name, units.si_format(unc, "") if "fraction" in name else f"{unc:.3e}",
+          units.si_format(cal, "") if "fraction" in name else f"{cal:.3e}")
+         for name, unc, cal in report.as_rows()],
+        title="Fig. 6(a): pixel offset spread, 4096 pixels"))
+    print()
+    print(render_kv("Reproduction vs paper", [
+        ("paper: signals 100 uV-5 mV << device mismatch", "calibration required"),
+        ("measured: uncalibrated input-referred sigma",
+         units.si_format(report.uncalibrated_sigma_v, "V")),
+        ("measured: calibrated input-referred sigma",
+         units.si_format(report.calibrated_sigma_v, "V")),
+        ("measured: improvement", f"{report.improvement:.0f}x"),
+        ("measured: chain-saturated pixels, uncalibrated",
+         f"{report.saturated_fraction_uncalibrated * 100:.0f}%"),
+        ("measured: chain-saturated pixels, calibrated",
+         f"{report.saturated_fraction_calibrated * 100:.0f}%"),
+    ]))
+    assert report.improvement > 10
+    assert report.saturated_fraction_calibrated < 0.1
+
+
+def bench_fig6_gain_budget(benchmark):
+    """(b): the x5600 cascade and its bandwidth shrinkage."""
+
+    def run():
+        return [build_readout_chain(rng=seed) for seed in range(32)]
+
+    chains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    gains = np.array([chain.actual_gain for chain in chains])
+    nominal = chains[0].nominal_gain
+    print()
+    print(render_table(
+        ["stage", "gain", "bandwidth"],
+        [(s.label, f"x{s.nominal_gain:g}", units.si_format(s.bandwidth_hz, "Hz"))
+         for s in chains[0].stages],
+        title="Fig. 6(b): stage budget"))
+    print()
+    print(render_kv("Chain statistics over 32 instances", [
+        ("nominal total gain", f"x{nominal:g}"),
+        ("realised gain mean/sigma", f"x{gains.mean():.0f} +/- {gains.std():.0f}"),
+        ("cascade bandwidth", units.si_format(chains[0].bandwidth_hz(), "Hz")),
+        ("input-referred noise", units.si_format(chains[0].input_referred_noise_rms(), "V")),
+    ]))
+    assert nominal == pytest.approx(5600.0)
+    assert chains[0].bandwidth_hz() <= 4e6
+
+
+def bench_fig6_scan_timing(benchmark):
+    """(c1): the locked timing arithmetic of the 128x128 scan."""
+
+    def run():
+        return {
+            "row_time": NEURO_SCAN.row_time_s,
+            "slot": NEURO_SCAN.slot_time_s,
+            "channel_rate": NEURO_SCAN.channel_pixel_rate_hz,
+            "aggregate": NEURO_SCAN.aggregate_pixel_rate_hz,
+            "amp_ok": NEURO_SCAN.settling_ok(4e6),
+            "driver_ok": NEURO_SCAN.settling_ok(32e6),
+            "max_rate": NEURO_SCAN.max_frame_rate_hz(4e6),
+        }
+
+    timing = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_kv("Fig. 6(c): scan timing at 2 kframe/s", [
+        ("paper: 128 rows, 16 channels, 8-to-1 mux", "yes"),
+        ("row time", units.si_format(timing["row_time"], "s")),
+        ("mux slot", units.si_format(timing["slot"], "s")),
+        ("per-channel pixel rate", units.si_format(timing["channel_rate"], "Hz")),
+        ("aggregate pixel rate", units.si_format(timing["aggregate"], "Hz")),
+        ("4 MHz readout amp settles", timing["amp_ok"]),
+        ("32 MHz driver settles", timing["driver_ok"]),
+        ("frame-rate headroom", f"{timing['max_rate']:.0f} frames/s max"),
+    ]))
+    assert timing["channel_rate"] == pytest.approx(2.048e6)
+    assert timing["aggregate"] == pytest.approx(32.768e6)
+    assert timing["amp_ok"] and timing["driver_ok"]
+
+
+def bench_fig6_end_to_end_recording(benchmark):
+    """(c2): record a culture through the full path and detect spikes."""
+
+    def run():
+        chip = NeuralRecordingChip(geometry=ArrayGeometry(32, 32, 7.8e-6), rng=22)
+        chip.calibrate()
+        culture = Culture.random(3, chip.geometry, diameter_range=(40e-6, 70e-6), rng=23)
+        recording = chip.record_culture(culture, duration_s=0.25,
+                                        firing_rate_hz=25.0, rng=24)
+        return chip, culture, recording
+
+    chip, culture, recording = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    scores = []
+    for neuron in culture.neurons:
+        truth = recording.ground_truth[neuron.index]
+        row, col = recording.best_pixel_for(neuron.index)
+        trace = recording.electrode_movie.pixel_trace(row, col)
+        detected = detect_spikes(trace, threshold_sigma=4.5)
+        score = score_detection(detected, truth, tolerance_s=3e-3)
+        scores.append(score)
+        rows.append((f"{neuron.diameter * 1e6:.0f} um",
+                     units.si_format(trace.peak_abs(), "V"),
+                     len(truth), len(detected),
+                     f"{score.precision:.2f}", f"{score.recall:.2f}"))
+    print()
+    print(render_table(
+        ["neuron", "peak signal", "true spikes", "detected", "precision", "recall"],
+        rows, title="End-to-end recording at 2 kframe/s (best pixel per cell)"))
+    print()
+    print(render_kv("Noise", [
+        ("input-referred per sample", units.si_format(chip.input_referred_noise_v(), "V")),
+    ]))
+    total_truth = sum(len(recording.ground_truth[n.index]) for n in culture.neurons)
+    assert total_truth > 0
+    assert np.mean([s.precision for s in scores if s.true_positives + s.false_positives]) > 0.4

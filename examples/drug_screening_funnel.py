@@ -1,0 +1,55 @@
+"""The drug-screening funnel (Fig. 1), with and without CMOS arrays.
+
+Simulates a 200k-compound library flowing through the four stages —
+molecular assays, cell-based assays, animal tests, clinical trials —
+and prints Fig. 1's two series (datapoints/day falling, cost/datapoint
+rising) plus the economic benefit of replacing the first two stages
+with the paper's CMOS sensor-array platforms.
+
+Run:  python examples/drug_screening_funnel.py
+"""
+
+from repro import CompoundLibrary, compare_cmos_vs_conventional
+from repro.core import render_kv, render_table
+
+
+def main() -> None:
+    library = CompoundLibrary.generate(size=200_000, viable_rate=1e-4, rng=1)
+    print(f"library: {library.size} compounds, {library.viable_count()} truly viable\n")
+
+    results = compare_cmos_vs_conventional(library, rng=2)
+
+    for label, result in results.items():
+        rows = [
+            (o.stage_name, o.candidates_in, o.candidates_out,
+             f"{o.datapoints_per_day:g}", f"{o.cost_per_datapoint:g}",
+             f"{o.cost:,.0f}", f"{o.days:.1f}")
+            for o in result.outcomes
+        ]
+        print(render_table(
+            ["stage", "in", "out", "datapoints/day", "cost/datapoint", "stage cost", "days"],
+            rows, title=f"=== {label} funnel ==="))
+        print(render_kv("", [
+            ("cost/datapoint rises monotonically", result.monotone_cost_increase()),
+            ("datapoints/day falls monotonically", result.monotone_throughput_decrease()),
+            ("survivors (viable)", f"{result.survivors} ({result.surviving_viable})"),
+            ("total cost", f"{result.total_cost:,.0f}"),
+            ("total days", f"{result.total_days:.1f}"),
+        ]))
+        print()
+
+    cmos, conv = results["cmos"], results["conventional"]
+    early_cmos = sum(o.cost for o in cmos.outcomes[:2])
+    early_conv = sum(o.cost for o in conv.outcomes[:2])
+    days_cmos = sum(o.days for o in cmos.outcomes[:2])
+    days_conv = sum(o.days for o in conv.outcomes[:2])
+    print(render_kv("CMOS-array benefit in the early (high-volume) stages", [
+        ("early-stage cost", f"{early_conv:,.0f} -> {early_cmos:,.0f} "
+                             f"({early_conv / early_cmos:.0f}x cheaper)"),
+        ("early-stage days", f"{days_conv:.1f} -> {days_cmos:.1f} "
+                             f"({days_conv / days_cmos:.0f}x faster)"),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

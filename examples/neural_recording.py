@@ -1,0 +1,73 @@
+"""Neural recording on the 128x128 sensor array (Section 3, Figs. 5-6).
+
+Places a small culture of neurons on the chip, lets them fire
+spontaneously, records at the full 2 kframe/s rate through the
+calibrated pixel array and the x5600 signal path, then runs spike
+detection against the simulation's ground truth.
+
+Run:  python examples/neural_recording.py
+"""
+
+import numpy as np
+
+from repro import Culture, NeuralRecordingChip
+from repro.core import render_kv, render_table, units
+from repro.neuro import ArrayGeometry, detect_spikes, score_detection, spike_snr
+
+
+def main() -> None:
+    # A 64x64 sub-array keeps the example quick; geometry and timing
+    # scale exactly as the full 128x128 device (same pitch and design).
+    chip = NeuralRecordingChip(geometry=ArrayGeometry(64, 64, 7.8e-6), rng=1)
+
+    print(render_kv("Scan timing (locked to the paper's numbers)", [
+        ("frame rate", f"{chip.scan.frame_rate_hz:.0f} frames/s"),
+        ("row time", units.si_format(chip.scan.row_time_s, "s")),
+        ("mux slot", units.si_format(chip.scan.slot_time_s, "s")),
+        ("channel pixel rate", units.si_format(chip.scan.channel_pixel_rate_hz, "Hz")),
+        ("aggregate pixel rate", units.si_format(chip.scan.aggregate_pixel_rate_hz, "Hz")),
+        ("4 MHz readout amp settles", chip.scan.settling_ok(4e6)),
+        ("32 MHz output driver settles", chip.scan.settling_ok(32e6)),
+    ]))
+
+    # Calibration first — without it the pixel offsets saturate the chain.
+    chip.calibrate()
+    print(f"\ninput-referred noise floor: "
+          f"{units.si_format(chip.input_referred_noise_v(), 'V')} rms per sample")
+
+    culture = Culture.random(5, chip.geometry, diameter_range=(25e-6, 80e-6), rng=2)
+    print(f"culture: {len(culture.neurons)} neurons, "
+          f"coverage = {culture.coverage_fraction() * 100:.0f}% "
+          f"(pitch 7.8 um vs 25-80 um somata)")
+
+    recording = chip.record_culture(culture, duration_s=0.25, firing_rate_hz=25.0, rng=3)
+
+    rows = []
+    for neuron in culture.neurons:
+        truth = recording.ground_truth[neuron.index]
+        row, col = recording.best_pixel_for(neuron.index)
+        trace = recording.electrode_movie.pixel_trace(row, col)
+        detected = detect_spikes(trace, threshold_sigma=4.5)
+        score = score_detection(detected, truth, tolerance_s=3e-3)
+        snr = spike_snr(trace, truth) if len(truth) else float("nan")
+        rows.append((
+            f"neuron {neuron.index}",
+            f"{neuron.diameter * 1e6:.0f} um",
+            f"({row},{col})",
+            units.si_format(trace.peak_abs(), "V"),
+            len(truth),
+            len(detected),
+            f"{score.precision:.2f}/{score.recall:.2f}",
+            f"{snr:.1f}",
+        ))
+    print()
+    print(render_table(
+        ["cell", "diameter", "best pixel", "peak signal", "true", "detected",
+         "precision/recall", "SNR"],
+        rows, title="Spike detection per neuron (electrode-referred traces)"))
+    print("\nPeak signals fall inside the paper's 100 uV ... 5 mV window; the\n"
+          "x5600 chain brings them to ADC-friendly levels off chip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this environment is offline).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

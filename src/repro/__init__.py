@@ -1,0 +1,112 @@
+"""repro — behavioural reproduction of "CMOS-Based Biosensor Arrays"
+(R. Thewes et al., DATE 2005).
+
+The library models both platforms the paper presents:
+
+* **DNA microarray chips** (Section 2): electrochemical redox-cycling
+  sensors whose 1 pA - 100 nA currents are digitised in-pixel by a
+  current-to-frequency sawtooth ADC (Fig. 3), integrated as a 16x8-site
+  chip with bandgap/DAC periphery and a 6-pin serial interface (Fig. 4).
+* **Neural-recording arrays** (Section 3): 128x128 pixels at 7.8 um
+  pitch sampling cleft voltages of 100 uV - 5 mV at 2 kframe/s, with
+  per-pixel current calibration and a x5600 readout chain (Figs. 5-6).
+* **Drug-screening funnel** (Fig. 1): the staged-economics simulation
+  motivating highly parallel CMOS biosensing.
+
+Quick start::
+
+    from repro import DnaMicroarrayChip, MicroarrayAssay, ProbeLayout, Sample
+
+    chip = DnaMicroarrayChip(rng=1)
+    chip.configure_bias(0.45, -0.25)
+    chip.auto_calibrate(rng=2)
+    layout = ProbeLayout.random_panel(16, rng=3)
+    sample = Sample.for_probes(layout.probes(), 1e-6, subset=[0, 1])
+    counts = chip.measure_assay(MicroarrayAssay(layout).run(sample), rng=4)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from . import analysis, chip, core, devices, dna, electrochem, neuro, pixel, screening
+from .chip import (
+    ChipSpecs,
+    DnaMicroarrayChip,
+    NEURO_SCAN,
+    NeuralRecordingChip,
+    RecordingResult,
+    ScanTiming,
+)
+from .core import Trace, units
+from .dna import (
+    AssayProtocol,
+    AssayResult,
+    DnaSequence,
+    HybridizationKinetics,
+    MicroarrayAssay,
+    Probe,
+    ProbeLayout,
+    Sample,
+    Target,
+    perfect_target_for,
+)
+from .electrochem import InterdigitatedElectrode, RedoxCyclingSensor
+from .neuro import (
+    CellChipJunction,
+    Culture,
+    HodgkinHuxleyNeuron,
+    NeuralArrayModel,
+    NeuralSensorPixel,
+    StimulusProtocol,
+    detect_spikes,
+    score_detection,
+)
+from .pixel import DnaSensorPixel, SawtoothAdc
+from .screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_conventional
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssayProtocol",
+    "AssayResult",
+    "CellChipJunction",
+    "ChipSpecs",
+    "CompoundLibrary",
+    "Culture",
+    "DnaMicroarrayChip",
+    "DnaSensorPixel",
+    "DnaSequence",
+    "HodgkinHuxleyNeuron",
+    "HybridizationKinetics",
+    "InterdigitatedElectrode",
+    "MicroarrayAssay",
+    "NEURO_SCAN",
+    "NeuralArrayModel",
+    "NeuralRecordingChip",
+    "NeuralSensorPixel",
+    "Probe",
+    "ProbeLayout",
+    "RecordingResult",
+    "RedoxCyclingSensor",
+    "Sample",
+    "SawtoothAdc",
+    "ScanTiming",
+    "ScreeningFunnel",
+    "StimulusProtocol",
+    "Target",
+    "Trace",
+    "analysis",
+    "chip",
+    "compare_cmos_vs_conventional",
+    "core",
+    "detect_spikes",
+    "devices",
+    "dna",
+    "electrochem",
+    "neuro",
+    "perfect_target_for",
+    "pixel",
+    "score_detection",
+    "screening",
+    "units",
+]

@@ -1,0 +1,14 @@
+"""Experiment analysis: ADC transfer, calibration statistics, histograms."""
+
+from .calibration_stats import CalibrationReport, calibration_report
+from .histograms import ascii_histogram
+from .transfer import TransferAnalysis, TransferRow, characterize_adc
+
+__all__ = [
+    "CalibrationReport",
+    "TransferAnalysis",
+    "TransferRow",
+    "ascii_histogram",
+    "calibration_report",
+    "characterize_adc",
+]

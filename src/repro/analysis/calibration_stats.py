@@ -1,0 +1,78 @@
+"""Calibration-effect statistics (the Fig. 6 / T3 claims).
+
+Quantifies "all sensor transistors M1 within a row provide the same
+current when selected independent of their individual device
+parameters": spread before vs after calibration, improvement factor,
+and chain-headroom consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..neuro.array import NeuralArrayModel
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Before/after spread of the pixel offsets."""
+
+    uncalibrated_sigma_a: float
+    calibrated_sigma_a: float
+    uncalibrated_sigma_v: float  # input-referred (sensor volts)
+    calibrated_sigma_v: float
+    improvement: float
+    saturated_fraction_uncalibrated: float
+    saturated_fraction_calibrated: float
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        return [
+            ("offset sigma (A)", self.uncalibrated_sigma_a, self.calibrated_sigma_a),
+            ("input-referred sigma (V)", self.uncalibrated_sigma_v, self.calibrated_sigma_v),
+            (
+                "chain-saturated fraction",
+                self.saturated_fraction_uncalibrated,
+                self.saturated_fraction_calibrated,
+            ),
+        ]
+
+
+def calibration_report(
+    array: NeuralArrayModel,
+    chain_gain: float = 5600.0,
+    rail_v: float = 2.5,
+    include_imperfections: bool = True,
+) -> CalibrationReport:
+    """Measure the calibration effect on an array instance.
+
+    ``saturated_fraction``: pixels whose DC offset alone, amplified by
+    the full chain, exceeds the output rail — unusable without
+    calibration.
+    """
+    if chain_gain <= 0 or rail_v <= 0:
+        raise ValueError("chain gain and rail must be positive")
+    uncal = array.uncalibrated_offset_currents()
+    array.calibrate(include_imperfections=include_imperfections)
+    cal = array.offset_currents()
+    gm = array.transconductance_plane()
+    uncal_v = uncal / gm
+    cal_v = cal / gm
+    # The common (array-wide) offset component is removed by the gain-
+    # stage offset calibration that follows pixel calibration ("the
+    # subsequent current gain stages also undergo a calibration
+    # procedure"); only the pixel-to-pixel spread hits the rails.
+    sat_unc = float(np.mean(np.abs(uncal_v - np.median(uncal_v)) * chain_gain > rail_v))
+    sat_cal = float(np.mean(np.abs(cal_v - np.median(cal_v)) * chain_gain > rail_v))
+    sigma_unc_v = float(np.std(uncal_v))
+    sigma_cal_v = float(np.std(cal_v))
+    return CalibrationReport(
+        uncalibrated_sigma_a=float(np.std(uncal)),
+        calibrated_sigma_a=float(np.std(cal)),
+        uncalibrated_sigma_v=sigma_unc_v,
+        calibrated_sigma_v=sigma_cal_v,
+        improvement=sigma_unc_v / sigma_cal_v if sigma_cal_v > 0 else float("inf"),
+        saturated_fraction_uncalibrated=sat_unc,
+        saturated_fraction_calibrated=sat_cal,
+    )

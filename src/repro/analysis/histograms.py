@@ -1,0 +1,45 @@
+"""ASCII histograms for benchmark reports (no plotting dependency)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 12,
+    width: int = 40,
+    unit: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render a horizontal-bar histogram of ``values``.
+
+    ``log_x`` buckets on a log axis — used for the sensor-current maps
+    that span five decades.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty array")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    if log_x:
+        positive = values[values > 0]
+        if positive.size == 0:
+            raise ValueError("log histogram needs positive values")
+        data = np.log10(positive)
+    else:
+        data = values
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    from ..core.units import si_format
+
+    for i, count in enumerate(counts):
+        lo, hi = edges[i], edges[i + 1]
+        if log_x:
+            label = f"{si_format(10**lo, unit)} .. {si_format(10**hi, unit)}"
+        else:
+            label = f"{si_format(lo, unit)} .. {si_format(hi, unit)}"
+        bar = "#" * max(0, int(round(width * count / peak)))
+        lines.append(f"{label:>24} | {bar} {count}")
+    return "\n".join(lines)

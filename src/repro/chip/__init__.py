@@ -1,0 +1,49 @@
+"""Full-chip integration: DNA microarray chip, neurochip, serial interface."""
+
+from .dna_chip import ChipSpecs, DnaMicroarrayChip
+from .neuro_chip import NeuralRecordingChip, RecordingResult
+from .registers import (
+    RegisterFile,
+    RegisterSpec,
+    dna_chip_registers,
+    neuro_chip_registers,
+)
+from .sequencer import NEURO_SCAN, ScanTiming, SiteSequence
+from .serial_interface import (
+    Command,
+    Frame,
+    FrameError,
+    SerialLink,
+    bits_to_bytes,
+    bytes_to_bits,
+    checksum,
+    decode_frame,
+    encode_frame,
+    pack_counters,
+    unpack_counters,
+)
+
+__all__ = [
+    "ChipSpecs",
+    "Command",
+    "DnaMicroarrayChip",
+    "Frame",
+    "FrameError",
+    "NEURO_SCAN",
+    "NeuralRecordingChip",
+    "RecordingResult",
+    "RegisterFile",
+    "RegisterSpec",
+    "ScanTiming",
+    "SerialLink",
+    "SiteSequence",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "checksum",
+    "decode_frame",
+    "dna_chip_registers",
+    "encode_frame",
+    "neuro_chip_registers",
+    "pack_counters",
+    "unpack_counters",
+]

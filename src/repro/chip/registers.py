@@ -1,0 +1,106 @@
+"""Configuration register file of the sensor chips.
+
+The 6-pin interface leaves no room for parallel configuration: every
+operating parameter (electrode DAC codes, frame length, calibration
+mode) lives in an on-chip register file written over the serial link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """One register's address, width and reset value."""
+
+    name: str
+    address: int
+    bits: int
+    reset_value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 0xFF:
+            raise ValueError("address must fit in one byte")
+        if not 1 <= self.bits <= 16:
+            raise ValueError("register width must lie in [1, 16]")
+        if not 0 <= self.reset_value < (1 << self.bits):
+            raise ValueError("reset value does not fit the register")
+
+
+class RegisterFile:
+    """Addressable register bank with range checking."""
+
+    def __init__(self, specs: list[RegisterSpec]) -> None:
+        if not specs:
+            raise ValueError("register file needs at least one register")
+        addresses = [spec.address for spec in specs]
+        if len(set(addresses)) != len(addresses):
+            raise ValueError("duplicate register addresses")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate register names")
+        self._by_name = {spec.name: spec for spec in specs}
+        self._by_address = {spec.address: spec for spec in specs}
+        self._values = {spec.name: spec.reset_value for spec in specs}
+
+    def reset(self) -> None:
+        for name, spec in self._by_name.items():
+            self._values[name] = spec.reset_value
+
+    # ------------------------------------------------------------------
+    def write(self, name_or_address: str | int, value: int) -> None:
+        spec = self._lookup(name_or_address)
+        if not 0 <= value < (1 << spec.bits):
+            raise ValueError(
+                f"value {value} does not fit register {spec.name!r} ({spec.bits} bits)"
+            )
+        self._values[spec.name] = value
+
+    def read(self, name_or_address: str | int) -> int:
+        return self._values[self._lookup(name_or_address).name]
+
+    def _lookup(self, key: str | int) -> RegisterSpec:
+        if isinstance(key, str):
+            if key not in self._by_name:
+                raise KeyError(f"unknown register {key!r}")
+            return self._by_name[key]
+        if key not in self._by_address:
+            raise KeyError(f"no register at address {key:#04x}")
+        return self._by_address[key]
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def dump(self) -> dict[str, int]:
+        return dict(self._values)
+
+
+def dna_chip_registers() -> RegisterFile:
+    """Register map of the DNA microarray chip (Section 2 periphery)."""
+    return RegisterFile(
+        [
+            RegisterSpec("generator_dac", 0x00, 8, 0),
+            RegisterSpec("collector_dac", 0x01, 8, 0),
+            RegisterSpec("frame_exponent", 0x02, 4, 8),  # frame = 2^n ms
+            RegisterSpec("calibration_enable", 0x03, 1, 0),
+            RegisterSpec("reference_current_sel", 0x04, 3, 2),
+            RegisterSpec("status", 0x05, 8, 0),
+            RegisterSpec("chip_id", 0x06, 8, 0x2D),
+        ]
+    )
+
+
+def neuro_chip_registers() -> RegisterFile:
+    """Register map of the 128x128 neural-recording chip (Section 3)."""
+    return RegisterFile(
+        [
+            RegisterSpec("calibration_current", 0x00, 8, 128),
+            RegisterSpec("frame_rate_div", 0x01, 8, 1),
+            RegisterSpec("row_start", 0x02, 8, 0),
+            RegisterSpec("row_stop", 0x03, 8, 127),
+            RegisterSpec("gain_trim", 0x04, 4, 8),
+            RegisterSpec("status", 0x05, 8, 0),
+            RegisterSpec("chip_id", 0x06, 8, 0x4E),
+        ]
+    )

@@ -1,0 +1,155 @@
+"""Scan sequencing and timing arithmetic.
+
+The neurochip numbers in the paper lock together:
+
+    128 x 128 pixels at 2 kframe/s
+    -> row time = 1/(2000 * 128)            = 3.906 us
+    -> 16 channels, 8-to-1 multiplexer      => 128 columns
+    -> mux slot = row_time / 8              = 488 ns
+    -> per-channel pixel rate               = 2.048 MHz  (< 4 MHz amp BW)
+    -> aggregate pixel rate = 16 channels   = 32.77 Mpixel/s (32 MHz driver)
+
+:class:`ScanTiming` derives all of these from (rows, cols, channels,
+frame rate) and validates them against the amplifier bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScanTiming:
+    """Timing solution of a row-parallel, column-multiplexed scanner.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions.
+    channels:
+        Parallel readout channels (the paper: 16).
+    frame_rate_hz:
+        Full-frame rate (the paper: 2000).
+    """
+
+    rows: int
+    cols: int
+    channels: int
+    frame_rate_hz: float
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.channels) < 1:
+            raise ValueError("dimensions and channels must be positive")
+        if self.frame_rate_hz <= 0:
+            raise ValueError("frame rate must be positive")
+        if self.cols % self.channels:
+            raise ValueError(
+                f"{self.cols} columns do not divide evenly over {self.channels} channels"
+            )
+
+    @property
+    def mux_depth(self) -> int:
+        """Columns per channel (the paper's 8-to-1 multiplexer)."""
+        return self.cols // self.channels
+
+    @property
+    def frame_time_s(self) -> float:
+        return 1.0 / self.frame_rate_hz
+
+    @property
+    def row_time_s(self) -> float:
+        """Time budget per row (rows scanned sequentially)."""
+        return self.frame_time_s / self.rows
+
+    @property
+    def slot_time_s(self) -> float:
+        """Time per multiplexer slot within a row."""
+        return self.row_time_s / self.mux_depth
+
+    @property
+    def channel_pixel_rate_hz(self) -> float:
+        """Pixels per second through one readout channel."""
+        return 1.0 / self.slot_time_s
+
+    @property
+    def aggregate_pixel_rate_hz(self) -> float:
+        """Total pixel rate leaving the chip."""
+        return self.channel_pixel_rate_hz * self.channels
+
+    # ------------------------------------------------------------------
+    def settling_ok(self, amplifier_bw_hz: float, settle_taus: float = 3.0) -> bool:
+        """Can a single-pole amplifier settle within one mux slot?
+
+        Requires ``settle_taus`` time constants inside the slot.
+        """
+        if amplifier_bw_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        import math
+
+        tau = 1.0 / (2.0 * math.pi * amplifier_bw_hz)
+        return settle_taus * tau <= self.slot_time_s
+
+    def max_frame_rate_hz(self, amplifier_bw_hz: float, settle_taus: float = 3.0) -> float:
+        """Largest frame rate the amplifier bandwidth supports."""
+        import math
+
+        tau = 1.0 / (2.0 * math.pi * amplifier_bw_hz)
+        min_slot = settle_taus * tau
+        return 1.0 / (min_slot * self.mux_depth * self.rows)
+
+    def pixel_order(self) -> list[tuple[int, int]]:
+        """(row, col) visit order: rows sequential, channels parallel,
+        mux slots sequential.  Within one slot, channel k reads column
+        k * mux_depth + slot."""
+        order = []
+        for row in range(self.rows):
+            for slot in range(self.mux_depth):
+                for channel in range(self.channels):
+                    order.append((row, channel * self.mux_depth + slot))
+        return order
+
+    def sample_time_s(self, row: int, col: int) -> float:
+        """Time offset of a pixel's sample within the frame."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"pixel ({row}, {col}) outside array")
+        slot = col % self.mux_depth
+        return row * self.row_time_s + slot * self.slot_time_s
+
+
+# The paper's neurochip timing, used as the default everywhere.
+NEURO_SCAN = ScanTiming(rows=128, cols=128, channels=16, frame_rate_hz=2000.0)
+
+
+@dataclass(frozen=True)
+class SiteSequence:
+    """Sequential per-site conversion schedule of the DNA chip.
+
+    The 16x8 chip converts all 128 sites in parallel (each has its own
+    ADC) but reads the counters out serially; this class budgets the
+    full measurement: frame time + serial readout.
+    """
+
+    rows: int = 16
+    cols: int = 8
+    counter_bits: int = 24
+    serial_clock_hz: float = 1e6
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols) < 1:
+            raise ValueError("dimensions must be positive")
+        if self.counter_bits < 1 or self.serial_clock_hz <= 0:
+            raise ValueError("invalid serial parameters")
+
+    @property
+    def sites(self) -> int:
+        return self.rows * self.cols
+
+    def readout_time_s(self, overhead_bits: int = 40) -> float:
+        """Serial time to shift out every counter once."""
+        total_bits = self.sites * self.counter_bits + overhead_bits
+        return total_bits / self.serial_clock_hz
+
+    def measurement_time_s(self, frame_s: float) -> float:
+        if frame_s <= 0:
+            raise ValueError("frame must be positive")
+        return frame_s + self.readout_time_s()

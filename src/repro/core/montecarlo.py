@@ -1,0 +1,81 @@
+"""Monte-Carlo experiment runner.
+
+Mismatch-driven claims (pixel calibration, comparator offsets, DAC INL)
+are statistical; this runner executes a trial function over seeded
+repetitions and aggregates named scalar outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng, spawn_children
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-output sample arrays plus summary statistics."""
+
+    trials: int
+    samples: dict[str, np.ndarray]
+
+    def mean(self, name: str) -> float:
+        return float(np.mean(self._get(name)))
+
+    def std(self, name: str) -> float:
+        return float(np.std(self._get(name)))
+
+    def percentile(self, name: str, q: float) -> float:
+        return float(np.percentile(self._get(name), q))
+
+    def worst(self, name: str) -> float:
+        return float(np.max(np.abs(self._get(name))))
+
+    def _get(self, name: str) -> np.ndarray:
+        if name not in self.samples:
+            raise KeyError(f"no output {name!r}; have {sorted(self.samples)}")
+        return self.samples[name]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "mean": float(np.mean(values)),
+                "std": float(np.std(values)),
+                "min": float(np.min(values)),
+                "max": float(np.max(values)),
+            }
+            for name, values in self.samples.items()
+        }
+
+
+def run_monte_carlo(
+    trial: Callable[[np.random.Generator], Mapping[str, float]],
+    trials: int,
+    rng: RngLike = None,
+) -> MonteCarloResult:
+    """Run ``trial`` ``trials`` times with independent child generators.
+
+    Each trial returns a dict of scalar outputs; outputs must keep the
+    same keys across trials.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    children = spawn_children(ensure_rng(rng), trials)
+    collected: dict[str, list[float]] = {}
+    for child in children:
+        outputs = trial(child)
+        if not outputs:
+            raise ValueError("trial returned no outputs")
+        if not collected:
+            collected = {name: [] for name in outputs}
+        if set(outputs) != set(collected):
+            raise ValueError("trial changed its output keys between repetitions")
+        for name, value in outputs.items():
+            collected[name].append(float(value))
+    return MonteCarloResult(
+        trials=trials,
+        samples={name: np.asarray(values) for name, values in collected.items()},
+    )

@@ -1,0 +1,164 @@
+"""Noise synthesis for behavioural circuit models.
+
+The paper's circuits fight three noise mechanisms that set the floor of
+the 1 pA sensor-current measurement and the 100 uV neural signals:
+
+* thermal (white) noise of channels and resistances,
+* flicker (1/f) noise of the MOS sensor transistors,
+* shot noise of the (pA-level) electrochemical sensor currents.
+
+Each generator returns either a scalar RMS value (for budget-style
+calculations) or a sampled waveform aligned with a :class:`~repro.core.signals.Trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng
+from .signals import Trace
+from .units import BOLTZMANN, ELEMENTARY_CHARGE, ROOM_TEMPERATURE
+
+
+def thermal_current_noise_density(conductance_s: float, temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """One-sided current noise PSD 4kTg in A^2/Hz."""
+    if conductance_s < 0:
+        raise ValueError(f"conductance must be non-negative, got {conductance_s}")
+    return 4.0 * BOLTZMANN * temperature_k * conductance_s
+
+def thermal_voltage_noise_density(resistance_ohm: float, temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """One-sided voltage noise PSD 4kTR in V^2/Hz."""
+    if resistance_ohm < 0:
+        raise ValueError(f"resistance must be non-negative, got {resistance_ohm}")
+    return 4.0 * BOLTZMANN * temperature_k * resistance_ohm
+
+
+def shot_noise_density(current_a: float) -> float:
+    """One-sided shot-noise PSD 2qI in A^2/Hz (uses |I|)."""
+    return 2.0 * ELEMENTARY_CHARGE * abs(current_a)
+
+
+def kt_over_c_noise(capacitance_f: float, temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """RMS voltage of kT/C sampling noise, relevant to the stored
+    calibration voltage on the pixel gate capacitance."""
+    if capacitance_f <= 0:
+        raise ValueError(f"capacitance must be positive, got {capacitance_f}")
+    return math.sqrt(BOLTZMANN * temperature_k / capacitance_f)
+
+
+def integrate_white_noise(density: float, bandwidth_hz: float) -> float:
+    """RMS value of a white process of one-sided PSD ``density`` observed
+    through an ideal brick-wall bandwidth."""
+    if density < 0 or bandwidth_hz < 0:
+        raise ValueError("density and bandwidth must be non-negative")
+    return math.sqrt(density * bandwidth_hz)
+
+
+def single_pole_enbw(f3db_hz: float) -> float:
+    """Equivalent noise bandwidth of a single-pole low-pass: (pi/2) f3dB."""
+    if f3db_hz <= 0:
+        raise ValueError(f"f3db must be positive, got {f3db_hz}")
+    return 0.5 * math.pi * f3db_hz
+
+
+def white_noise_trace(
+    density: float,
+    duration: float,
+    dt: float,
+    rng: RngLike = None,
+    label: str = "white noise",
+) -> Trace:
+    """Sample a white process of one-sided PSD ``density`` (units^2/Hz).
+
+    The per-sample variance of a white process sampled at fs is
+    density * fs / 2 (the full Nyquist band).
+    """
+    if density < 0:
+        raise ValueError(f"density must be non-negative, got {density}")
+    generator = ensure_rng(rng)
+    count = int(round(duration / dt))
+    sigma = math.sqrt(density / (2.0 * dt))
+    return Trace(generator.normal(0.0, sigma, size=count) if sigma > 0 else np.zeros(count),
+                 dt=dt, label=label)
+
+
+def flicker_noise_trace(
+    corner_density: float,
+    corner_hz: float,
+    duration: float,
+    dt: float,
+    rng: RngLike = None,
+    label: str = "1/f noise",
+) -> Trace:
+    """Sample 1/f noise with PSD ``corner_density * corner_hz / f``.
+
+    ``corner_density`` is the white-equivalent PSD at ``corner_hz`` (so at
+    the flicker corner the 1/f PSD equals the thermal PSD, the standard
+    way flicker is specified for MOS front ends).  Synthesised by shaping
+    white Gaussian noise in the frequency domain.
+    """
+    if corner_density < 0 or corner_hz <= 0:
+        raise ValueError("corner_density must be >= 0 and corner_hz > 0")
+    generator = ensure_rng(rng)
+    count = int(round(duration / dt))
+    if count < 2:
+        return Trace(np.zeros(max(count, 1)), dt=dt, label=label)
+    white = generator.normal(0.0, 1.0, size=count)
+    spectrum = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(count, d=dt)
+    shaping = np.zeros_like(freqs)
+    nonzero = freqs > 0
+    shaping[nonzero] = np.sqrt(corner_density * corner_hz / freqs[nonzero])
+    shaped = np.fft.irfft(spectrum * shaping, n=count)
+    # Normalise: the shaping already carries PSD units; convert the unit
+    # white input (variance 1 distributed over fs/2) to density 2*dt.
+    shaped /= math.sqrt(2.0 * dt)
+    return Trace(shaped, dt=dt, label=label)
+
+
+def shot_noise_trace(
+    current_a: float,
+    duration: float,
+    dt: float,
+    rng: RngLike = None,
+    label: str = "shot noise",
+) -> Trace:
+    """Sampled shot noise around a DC current (zero-mean fluctuation part)."""
+    return white_noise_trace(shot_noise_density(current_a), duration, dt, rng=rng, label=label)
+
+
+@dataclass
+class NoiseBudget:
+    """Accumulates independent RMS contributions in quadrature.
+
+    Used by benchmark reports to tabulate, e.g., the input-referred noise
+    of the Fig. 6 signal path stage by stage.
+    """
+
+    contributions: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.contributions is None:
+            self.contributions = {}
+
+    def add(self, name: str, rms: float) -> None:
+        if rms < 0:
+            raise ValueError(f"rms must be non-negative, got {rms}")
+        if name in self.contributions:
+            raise KeyError(f"duplicate noise contribution {name!r}")
+        self.contributions[name] = rms
+
+    def total_rms(self) -> float:
+        return math.sqrt(sum(value**2 for value in self.contributions.values()))
+
+    def dominant(self) -> str:
+        if not self.contributions:
+            raise ValueError("empty noise budget")
+        return max(self.contributions, key=lambda name: self.contributions[name])
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """Rows sorted by decreasing contribution, for table rendering."""
+        return sorted(self.contributions.items(), key=lambda item: -item[1])

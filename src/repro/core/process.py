@@ -1,0 +1,108 @@
+"""CMOS process description.
+
+The paper's DNA chip is fabricated in a 0.5 um / 5 V process with a 15 nm
+gate oxide (Fig. 4 caption); the neurochip uses a comparable node.  All
+behavioural device models draw their nominal parameters and matching
+coefficients from a :class:`ProcessSpec`, so experiments can swap process
+corners or scale the technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .units import um, nm
+
+# Vacuum permittivity times relative permittivity of SiO2.
+EPSILON_OX = 8.8541878128e-12 * 3.9  # F/m
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Nominal parameters of a CMOS technology used by the device models.
+
+    Matching parameters follow the Pelgrom model: the standard deviation
+    of a parameter difference between two identically drawn devices of
+    area W*L is ``A / sqrt(W * L)`` with W, L in meters and A in the units
+    quoted below.
+    """
+
+    name: str
+    l_min: float  # minimum channel length, m
+    t_ox: float  # gate oxide thickness, m
+    vdd: float  # nominal supply, V
+    vth_n: float  # NMOS nominal threshold, V
+    vth_p: float  # PMOS nominal threshold (positive magnitude), V
+    mu_n_cox: float  # NMOS process transconductance, A/V^2
+    mu_p_cox: float  # PMOS process transconductance, A/V^2
+    a_vth: float  # Pelgrom area coefficient for Vth, V*m
+    a_beta: float  # Pelgrom area coefficient for relative beta, fraction*m
+    lambda_chl: float  # channel-length modulation at l_min, 1/V
+    subthreshold_slope_n: float  # n-factor (ideality) of weak inversion
+    junction_leak_density: float  # A/m^2 of junction leakage at 300 K
+    flicker_kf: float  # flicker coefficient, V^2*F (Kf/(Cox^2 W L f) form)
+
+    @property
+    def c_ox(self) -> float:
+        """Gate capacitance per unit area, F/m^2."""
+        return EPSILON_OX / self.t_ox
+
+    def sigma_vth(self, width: float, length: float) -> float:
+        """Pelgrom sigma of Vth mismatch for a device of W x L (meters)."""
+        if width <= 0 or length <= 0:
+            raise ValueError("device dimensions must be positive")
+        return self.a_vth / (width * length) ** 0.5
+
+    def sigma_beta(self, width: float, length: float) -> float:
+        """Pelgrom sigma of relative beta (current-factor) mismatch."""
+        if width <= 0 or length <= 0:
+            raise ValueError("device dimensions must be positive")
+        return self.a_beta / (width * length) ** 0.5
+
+    def gate_capacitance(self, width: float, length: float) -> float:
+        """Total gate-oxide capacitance of a W x L device, in farads."""
+        if width <= 0 or length <= 0:
+            raise ValueError("device dimensions must be positive")
+        return self.c_ox * width * length
+
+    def scaled(self, factor: float, name: str | None = None) -> "ProcessSpec":
+        """Crude constant-field scaling helper for exploration benches."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            l_min=self.l_min * factor,
+            t_ox=self.t_ox * factor,
+            vdd=self.vdd * factor,
+        )
+
+
+# The paper's DNA-chip process: Lmin = 0.5 um, tox = 15 nm, VDD = 5 V
+# (Fig. 4 caption).  Matching coefficients are typical published values
+# for that generation (A_vth ~ 10 mV*um at 15 nm tox).
+C5_PROCESS = ProcessSpec(
+    name="C5-0.5um-5V",
+    l_min=0.5 * um,
+    t_ox=15 * nm,
+    vdd=5.0,
+    vth_n=0.75,
+    vth_p=0.85,
+    mu_n_cox=110e-6,
+    mu_p_cox=38e-6,
+    a_vth=10.0e-3 * um,  # 10 mV*um
+    a_beta=0.02 * um,  # 2 %*um
+    lambda_chl=0.06,
+    subthreshold_slope_n=1.45,
+    junction_leak_density=1.0e-7,  # 0.1 fA/um^2 — sets the pixel leakage floor
+    flicker_kf=5.0e-27,  # puts the 1/f corner of a 2 um^2 device in the MHz range
+)
+
+# The neurochip of [19] is also a 0.5 um-class process but with thinner
+# sensing dielectric; the electrical backbone is the same node.
+NEURO_PROCESS = C5_PROCESS
+
+
+def default_process() -> ProcessSpec:
+    """The process every model uses unless told otherwise."""
+    return C5_PROCESS

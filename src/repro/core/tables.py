@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks print the same rows/series the paper's figures show; this
+module keeps that output aligned and consistent without pulling in any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .units import si_format
+
+
+def format_cell(value: Any, unit: str = "", digits: int = 4) -> str:
+    """Render one cell: floats get SI prefixes when a unit is given."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if unit:
+            return si_format(value, unit, digits=digits)
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+    units: Sequence[str] | None = None,
+) -> str:
+    """Monospace table with a title line and column alignment.
+
+    ``units``, if given, must align with ``headers``; numeric cells in a
+    column are SI-formatted with that unit.
+    """
+    headers = list(headers)
+    if units is not None and len(units) != len(headers):
+        raise ValueError("units must align with headers")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        cells = []
+        for i, value in enumerate(row):
+            unit = units[i] if units else ""
+            cells.append(format_cell(value, unit))
+        rendered_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for cells in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)))
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable[tuple[str, Any]], units: dict[str, str] | None = None) -> str:
+    """Key/value block used for scalar experiment summaries."""
+    units = units or {}
+    lines = [title] if title else []
+    items = list(pairs)
+    if not items:
+        return title
+    width = max(len(str(key)) for key, _ in items)
+    for key, value in items:
+        lines.append(f"  {str(key).ljust(width)} : {format_cell(value, units.get(key, ''))}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""SI unit helpers used throughout the library.
+
+All internal quantities are plain floats in base SI units (amperes, volts,
+seconds, farads, meters, moles per cubic meter unless stated otherwise).
+This module provides named constants for the common prefixed magnitudes so
+model code reads like the paper ("currents between 1 pA and 100 nA"), plus
+formatting helpers for benchmark reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Prefix multipliers
+# ---------------------------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Convenience aliases for the magnitudes the paper quotes.
+pA = PICO
+nA = NANO
+uA = MICRO
+mA = MILLI
+mV = MILLI
+uV = MICRO
+fF = FEMTO
+pF = PICO
+nF = NANO
+um = MICRO
+nm = NANO
+mm = MILLI
+us = MICRO
+ns = NANO
+ms = MILLI
+kHz = KILO
+MHz = MEGA
+
+# ---------------------------------------------------------------------------
+# Physical constants (CODATA, truncated to the precision behavioural models
+# need)
+# ---------------------------------------------------------------------------
+BOLTZMANN = 1.380649e-23  # J/K
+ELEMENTARY_CHARGE = 1.602176634e-19  # C
+FARADAY = 96485.33212  # C/mol
+GAS_CONSTANT = 8.314462618  # J/(mol K)
+AVOGADRO = 6.02214076e23  # 1/mol
+ROOM_TEMPERATURE = 300.0  # K, default simulation temperature
+BODY_TEMPERATURE = 310.15  # K, used for cell-based models
+
+_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q in volts (~25.85 mV at 300 K)."""
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``2.35 nA``.
+
+    Zero, NaN and infinities are rendered without a prefix.  Negative
+    values keep their sign.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:.{digits}g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def si_parse(text: str) -> float:
+    """Parse an SI-prefixed string such as ``"100 nA"`` or ``"1.5pF"``.
+
+    The unit letters after the prefix are ignored; only the numeric value
+    and the prefix are interpreted.  Raises ``ValueError`` on malformed
+    input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty SI literal")
+    index = 0
+    while index < len(stripped) and (stripped[index].isdigit() or stripped[index] in "+-.eE"):
+        # Guard against the exponent 'e' swallowing a trailing unit such
+        # as "5e" with no digits after it; float() below re-validates.
+        index += 1
+    number_part = stripped[:index]
+    rest = stripped[index:].strip()
+    try:
+        base = float(number_part)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse SI literal {text!r}") from exc
+    if not rest:
+        return base
+    prefix_map = {
+        "T": 1e12, "G": 1e9, "M": 1e6, "k": 1e3,
+        "m": 1e-3, "u": 1e-6, "µ": 1e-6, "n": 1e-9,
+        "p": 1e-12, "f": 1e-15, "a": 1e-18,
+    }
+    first = rest[0]
+    if first in prefix_map and len(rest) > 1:
+        return base * prefix_map[first]
+    if first in prefix_map and len(rest) == 1 and first not in ("m",):
+        # A bare prefix like "1.5p" (no unit letter).
+        return base * prefix_map[first]
+    if first == "m" and len(rest) == 1:
+        # Ambiguous: "5 m" means metres, not milli.  Treat as unit.
+        return base
+    return base
+
+
+def db(ratio: float) -> float:
+    """Power ratio in decibels."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db20(ratio: float) -> float:
+    """Amplitude ratio in decibels."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Inverse of :func:`db`."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def decades(low: float, high: float) -> float:
+    """Number of decades spanned by the interval [low, high]."""
+    if low <= 0 or high <= 0:
+        raise ValueError("decades() requires positive bounds")
+    return math.log10(high / low)

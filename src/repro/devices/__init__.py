@@ -1,0 +1,28 @@
+"""Behavioural analog device models (0.5 um CMOS per the paper's Fig. 4)."""
+
+from .amplifier import AmplifierChain, GainStage
+from .bandgap import BandgapReference
+from .capacitor import Capacitor
+from .comparator import Comparator
+from .current_mirror import CurrentMirror, ReferenceCurrentFanout
+from .dac import ResistorStringDac
+from .mosfet import Mosfet
+from .opamp import OpAmp
+from .source_follower import SourceFollower, default_follower
+from .switches import MosSwitch
+
+__all__ = [
+    "AmplifierChain",
+    "BandgapReference",
+    "Capacitor",
+    "Comparator",
+    "CurrentMirror",
+    "GainStage",
+    "Mosfet",
+    "MosSwitch",
+    "OpAmp",
+    "ReferenceCurrentFanout",
+    "ResistorStringDac",
+    "SourceFollower",
+    "default_follower",
+]

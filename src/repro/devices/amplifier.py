@@ -1,0 +1,185 @@
+"""Gain stages and amplifier chains — the Fig. 6 signal path building block.
+
+The neural readout multiplies the pixel signal by x100 and x7 on chip
+(readout amplifier, 4 MHz) and x4, x2 off chip (32 MHz output driver in
+between).  Each stage has gain error, offset, bandwidth, saturation and
+input-referred noise; stages can be *calibrated* (offset measured and
+subtracted), mirroring the paper's statement that "the subsequent current
+gain stages also undergo a calibration procedure".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.noise import single_pole_enbw, white_noise_trace
+from ..core.rng import RngLike, ensure_rng
+from ..core.signals import Trace
+
+
+@dataclass
+class GainStage:
+    """One amplifier stage.
+
+    Parameters
+    ----------
+    nominal_gain:
+        Design gain (V/V); may be <1 for attenuators.
+    bandwidth_hz:
+        Single-pole -3 dB bandwidth.
+    gain_error:
+        Relative static gain error of this instance.
+    offset_v:
+        Input-referred offset.
+    input_noise_density:
+        Input-referred white noise PSD, V^2/Hz.
+    rail_low, rail_high:
+        Output clipping limits.
+    label:
+        Stage name for reports ("x100", "mux buffer", ...).
+    """
+
+    nominal_gain: float
+    bandwidth_hz: float
+    gain_error: float = 0.0
+    offset_v: float = 0.0
+    input_noise_density: float = 0.0
+    rail_low: float = -np.inf
+    rail_high: float = np.inf
+    label: str = ""
+    _offset_correction: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nominal_gain == 0:
+            raise ValueError("gain must be non-zero")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rail_high <= self.rail_low:
+            raise ValueError("rail_high must exceed rail_low")
+        if self.input_noise_density < 0:
+            raise ValueError("noise density must be non-negative")
+
+    @property
+    def actual_gain(self) -> float:
+        return self.nominal_gain * (1.0 + self.gain_error)
+
+    @property
+    def residual_offset(self) -> float:
+        """Offset remaining after any calibration."""
+        return self.offset_v - self._offset_correction
+
+    def calibrate_offset(self, residual_v: float = 0.0) -> None:
+        """Measure-and-subtract offset calibration.
+
+        ``residual_v`` models the imperfection of the correction (e.g.
+        charge injection of the zeroing switch).
+        """
+        self._offset_correction = self.offset_v - residual_v
+
+    def reset_calibration(self) -> None:
+        self._offset_correction = 0.0
+
+    def output_noise_rms(self) -> float:
+        """RMS output noise from this stage's own input-referred source."""
+        enbw = single_pole_enbw(self.bandwidth_hz)
+        return abs(self.actual_gain) * float(np.sqrt(self.input_noise_density * enbw))
+
+    def process(self, trace: Trace, rng: RngLike = None, include_noise: bool = True) -> Trace:
+        """Amplify a waveform: add offset+noise at the input, multiply by
+        the actual gain, bandlimit, clip to the rails."""
+        x = trace
+        if self.residual_offset != 0.0:
+            x = x + self.residual_offset
+        if include_noise and self.input_noise_density > 0:
+            noise = white_noise_trace(self.input_noise_density, x.duration, x.dt, rng=rng)
+            if noise.n == x.n:
+                x = x + noise
+        amplified = x * self.actual_gain
+        limited = amplified.lowpass_fast(self.bandwidth_hz)
+        out = limited.clipped(self.rail_low, self.rail_high)
+        out.label = f"{trace.label} -> {self.label or 'stage'}"
+        return out
+
+    def dc_transfer(self, v_in: float) -> float:
+        """Static transfer including offset and clipping."""
+        out = (v_in + self.residual_offset) * self.actual_gain
+        return float(np.clip(out, self.rail_low, self.rail_high))
+
+
+@dataclass
+class AmplifierChain:
+    """A cascade of gain stages with chain-level metrics."""
+
+    stages: list[GainStage]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("chain needs at least one stage")
+
+    @property
+    def nominal_gain(self) -> float:
+        gain = 1.0
+        for stage in self.stages:
+            gain *= stage.nominal_gain
+        return gain
+
+    @property
+    def actual_gain(self) -> float:
+        gain = 1.0
+        for stage in self.stages:
+            gain *= stage.actual_gain
+        return gain
+
+    def bandwidth_hz(self) -> float:
+        """Approximate cascade -3 dB bandwidth of the single-pole stages.
+
+        Uses the standard shrinkage factor sqrt(2^(1/n) - 1) applied to
+        the dominant (lowest) pole when poles are close; exact for one
+        stage.
+        """
+        poles = sorted(stage.bandwidth_hz for stage in self.stages)
+        dominant = poles[0]
+        same = sum(1 for p in poles if p < 3.0 * dominant)
+        if same <= 1:
+            return dominant
+        return dominant * float(np.sqrt(2.0 ** (1.0 / same) - 1.0))
+
+    def input_referred_offset(self) -> float:
+        """Chain offset referred to the input: each stage offset divided
+        by the gain preceding it."""
+        total = 0.0
+        preceding = 1.0
+        for stage in self.stages:
+            total += stage.residual_offset / preceding
+            preceding *= stage.actual_gain
+        return total
+
+    def input_referred_noise_rms(self) -> float:
+        """RMS noise referred to the chain input (quadrature sum)."""
+        total_sq = 0.0
+        preceding = 1.0
+        for stage in self.stages:
+            enbw = single_pole_enbw(min(s.bandwidth_hz for s in self.stages))
+            stage_rms = float(np.sqrt(stage.input_noise_density * enbw))
+            total_sq += (stage_rms / preceding) ** 2
+            preceding *= abs(stage.actual_gain)
+        return float(np.sqrt(total_sq))
+
+    def calibrate_all(self, residual_v: float = 0.0) -> None:
+        for stage in self.stages:
+            stage.calibrate_offset(residual_v)
+
+    def process(self, trace: Trace, rng: RngLike = None, include_noise: bool = True) -> Trace:
+        generator = ensure_rng(rng)
+        out = trace
+        for stage in self.stages:
+            out = stage.process(out, rng=generator, include_noise=include_noise)
+        return out
+
+    def dc_transfer(self, v_in: float) -> float:
+        value = v_in
+        for stage in self.stages:
+            value = stage.dc_transfer(value)
+        return value

@@ -1,0 +1,80 @@
+"""Bandgap voltage reference — DNA-chip periphery (Section 2).
+
+The paper lists "bandgap and current references" among the peripheral
+circuits.  The behavioural model captures the curvature-limited
+temperature dependence and the mismatch-driven untrimmed spread, and
+derives the reference currents the pixel DACs and ADCs consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+
+
+@dataclass
+class BandgapReference:
+    """Curvature-model bandgap.
+
+    V(T) = v_nominal - curvature * (T - t_peak)^2 + sample_offset
+
+    Parameters
+    ----------
+    v_nominal:
+        Output at the curvature peak (~1.2 V plus any internal gain).
+    curvature:
+        Parabolic TC coefficient in V/K^2 (typ. 1e-6 for first-order
+        compensated designs).
+    t_peak_k:
+        Temperature of zero TC.
+    untrimmed_sigma_v:
+        One-sigma part-to-part spread before trimming.
+    """
+
+    v_nominal: float = 1.205
+    curvature: float = 1.2e-6
+    t_peak_k: float = 320.0
+    untrimmed_sigma_v: float = 0.015
+    sample_offset: float = 0.0
+
+    def voltage(self, temperature_k: float = 300.0) -> float:
+        if temperature_k <= 0:
+            raise ValueError("temperature must be positive")
+        return self.v_nominal - self.curvature * (temperature_k - self.t_peak_k) ** 2 + self.sample_offset
+
+    def tempco_ppm_per_k(self, t_low: float = 273.0, t_high: float = 358.0) -> float:
+        """Box-method temperature coefficient over [t_low, t_high]."""
+        if t_high <= t_low:
+            raise ValueError("need t_low < t_high")
+        temps = np.linspace(t_low, t_high, 64)
+        volts = np.array([self.voltage(t) for t in temps])
+        return float((volts.max() - volts.min()) / self.v_nominal / (t_high - t_low) * 1e6)
+
+    @classmethod
+    def sample(cls, rng: RngLike = None, **kwargs) -> "BandgapReference":
+        """Draw one untrimmed part from the population."""
+        generator = ensure_rng(rng)
+        ref = cls(**kwargs)
+        ref.sample_offset = float(generator.normal(0.0, ref.untrimmed_sigma_v))
+        return ref
+
+    def trim(self, target_v: float | None = None, step_v: float = 0.002) -> int:
+        """Digital trim toward ``target_v`` in ``step_v`` increments.
+
+        Returns the signed number of trim steps applied; emulates the
+        chip's production trim DAC.
+        """
+        target = target_v if target_v is not None else self.v_nominal
+        error = self.voltage() - target
+        steps = int(round(-error / step_v))
+        self.sample_offset += steps * step_v
+        return steps
+
+    def reference_current(self, resistor_ohm: float, temperature_k: float = 300.0) -> float:
+        """V_ref / R current reference (R assumed temperature-flat)."""
+        if resistor_ohm <= 0:
+            raise ValueError("resistor must be positive")
+        return self.voltage(temperature_k) / resistor_ohm

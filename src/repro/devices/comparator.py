@@ -1,0 +1,105 @@
+"""Behavioural comparator with offset, hysteresis and delay.
+
+The heart of the Fig. 3 sawtooth generator: when the integrated sensor
+voltage crosses the switching threshold, the comparator (after its
+propagation delay) fires the reset pulse.  Offset shifts the effective
+swing, hysteresis guards against chatter, and the delay adds dead time
+that compresses the transfer characteristic at high currents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+from ..core.signals import Trace
+
+
+@dataclass
+class Comparator:
+    """Threshold comparator.
+
+    Parameters
+    ----------
+    threshold_v:
+        Nominal switching threshold.
+    offset_v:
+        Input-referred offset of this instance (adds to threshold).
+    hysteresis_v:
+        Full hysteresis width; the falling threshold is
+        ``threshold - hysteresis``.
+    delay_s:
+        Propagation delay from crossing to output toggle.
+    noise_rms_v:
+        Input-referred RMS noise, randomising individual trip points.
+    """
+
+    threshold_v: float
+    offset_v: float = 0.0
+    hysteresis_v: float = 0.0
+    delay_s: float = 0.0
+    noise_rms_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_v < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if self.delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if self.noise_rms_v < 0:
+            raise ValueError("noise must be non-negative")
+
+    @property
+    def effective_threshold(self) -> float:
+        """Rising-edge trip level including offset."""
+        return self.threshold_v + self.offset_v
+
+    def trip_level(self, rng: RngLike = None) -> float:
+        """One noisy realisation of the rising trip level."""
+        if self.noise_rms_v == 0:
+            return self.effective_threshold
+        generator = ensure_rng(rng)
+        return self.effective_threshold + float(generator.normal(0.0, self.noise_rms_v))
+
+    def compare_static(self, v_in: float, state: bool = False) -> bool:
+        """Settled output for input ``v_in`` given the previous ``state``
+        (hysteresis memory)."""
+        rising = self.effective_threshold
+        falling = rising - self.hysteresis_v
+        if state:
+            return v_in > falling
+        return v_in > rising
+
+    def process(self, trace: Trace, rng: RngLike = None) -> Trace:
+        """Produce the comparator's 0/1 output waveform for an input trace.
+
+        The propagation delay is applied as a sample shift; per-crossing
+        noise jitters the trip instant.
+        """
+        generator = ensure_rng(rng)
+        rising = self.effective_threshold
+        falling = rising - self.hysteresis_v
+        out = np.zeros(trace.n)
+        state = False
+        noisy_threshold = self.trip_level(generator)
+        for i, v in enumerate(trace.samples):
+            if not state and v > noisy_threshold:
+                state = True
+            elif state and v <= falling:
+                state = False
+                noisy_threshold = self.trip_level(generator)
+            out[i] = 1.0 if state else 0.0
+        result = Trace(out, trace.dt, trace.t0, label="comparator out")
+        if self.delay_s > 0:
+            result = result.delayed(self.delay_s)
+        return result
+
+    def first_crossing_time(self, trace: Trace, rng: RngLike = None) -> float | None:
+        """Time of the first rising crossing (plus delay), or None."""
+        level = self.trip_level(rng)
+        above = trace.samples > level
+        indices = np.nonzero(above)[0]
+        if len(indices) == 0:
+            return None
+        return float(trace.t0 + indices[0] * trace.dt + self.delay_s)

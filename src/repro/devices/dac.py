@@ -1,0 +1,106 @@
+"""Resistor-string D/A converter — DNA-chip periphery.
+
+The paper: "D/A-converters to provide the required voltages for the
+electrochemical operation".  Redox-cycling needs two electrode potentials
+(generator/collector) placed around the redox potential of the label
+product; the DACs set those potentials.  The model includes resistor
+mismatch (INL/DNL) and a buffered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ResistorStringDac:
+    """N-bit single-string DAC.
+
+    Parameters
+    ----------
+    bits:
+        Resolution.
+    v_low, v_high:
+        Reference rails.
+    resistor_sigma:
+        Relative sigma of each unit resistor (sets INL/DNL).
+    rng:
+        Seeded generator for the mismatch draw of this instance.
+    """
+
+    bits: int = 8
+    v_low: float = 0.0
+    v_high: float = 5.0
+    resistor_sigma: float = 0.002
+    _tap_voltages: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("bits must lie in [1, 16]")
+        if self.v_high <= self.v_low:
+            raise ValueError("v_high must exceed v_low")
+        if self.resistor_sigma < 0:
+            raise ValueError("resistor sigma must be non-negative")
+        if self._tap_voltages is None:
+            self._build_string(None)
+
+    def _build_string(self, rng: RngLike) -> None:
+        generator = ensure_rng(rng)
+        count = 2**self.bits
+        resistors = 1.0 + generator.normal(0.0, self.resistor_sigma, size=count)
+        resistors = np.clip(resistors, 0.01, None)
+        cumulative = np.concatenate([[0.0], np.cumsum(resistors)])
+        self._tap_voltages = self.v_low + (self.v_high - self.v_low) * cumulative / cumulative[-1]
+
+    @classmethod
+    def sample(cls, rng: RngLike = None, **kwargs) -> "ResistorStringDac":
+        dac = cls(**kwargs)
+        dac._build_string(rng)
+        return dac
+
+    @property
+    def lsb(self) -> float:
+        return (self.v_high - self.v_low) / (2**self.bits)
+
+    @property
+    def full_scale(self) -> float:
+        return self.v_high - self.v_low
+
+    def output(self, code: int) -> float:
+        """Tap voltage for a digital input code."""
+        if not 0 <= code < 2**self.bits:
+            raise ValueError(f"code {code} out of range for {self.bits} bits")
+        return float(self._tap_voltages[code])
+
+    def code_for_voltage(self, voltage: float) -> int:
+        """Nearest code producing ``voltage`` (controller-side helper)."""
+        if not self.v_low <= voltage <= self.v_high:
+            raise ValueError(f"voltage {voltage} outside [{self.v_low}, {self.v_high}]")
+        codes = np.arange(2**self.bits)
+        ideal = self.v_low + codes * self.lsb
+        return int(np.argmin(np.abs(ideal - voltage)))
+
+    def inl_lsb(self) -> np.ndarray:
+        """Integral nonlinearity per code, in LSB (endpoint-corrected)."""
+        codes = np.arange(2**self.bits)
+        actual = self._tap_voltages[:-1] if len(self._tap_voltages) == 2**self.bits + 1 else self._tap_voltages[codes]
+        actual = np.array([self.output(int(c)) for c in codes])
+        endpoints = np.linspace(actual[0], actual[-1], len(codes))
+        return (actual - endpoints) / self.lsb
+
+    def dnl_lsb(self) -> np.ndarray:
+        """Differential nonlinearity per step, in LSB."""
+        codes = np.arange(2**self.bits)
+        actual = np.array([self.output(int(c)) for c in codes])
+        steps = np.diff(actual)
+        return steps / self.lsb - 1.0
+
+    def worst_inl(self) -> float:
+        return float(np.max(np.abs(self.inl_lsb())))
+
+    def worst_dnl(self) -> float:
+        return float(np.max(np.abs(self.dnl_lsb())))

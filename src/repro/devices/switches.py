@@ -1,0 +1,88 @@
+"""MOS switch with on-resistance, charge injection and off-state leakage.
+
+Switches S1-S3 of the neural pixel (Fig. 6) and the reset transistor of
+the DNA pixel (Fig. 3) are where the calibration concept meets reality:
+opening S1 injects channel charge onto the storage gate, perturbing the
+just-calibrated voltage, and off-state leakage slowly discharges it —
+both set how often the array must be re-calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.process import ProcessSpec, default_process
+
+
+@dataclass
+class MosSwitch:
+    """A single NMOS pass switch.
+
+    Parameters
+    ----------
+    width, length:
+        Device dimensions (meters); set Ron and injected charge.
+    process:
+        Technology parameters.
+    """
+
+    width: float
+    length: float
+    process: ProcessSpec = field(default_factory=default_process)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("switch dimensions must be positive")
+
+    def on_resistance(self, v_signal: float) -> float:
+        """Triode on-resistance at the given signal level (gate at VDD)."""
+        v_ov = self.process.vdd - self.process.vth_n - v_signal
+        if v_ov <= 0.05:
+            v_ov = 0.05  # switch barely on; clamp to avoid divergence
+        beta = self.process.mu_n_cox * self.width / self.length
+        return 1.0 / (beta * v_ov)
+
+    def channel_charge(self, v_signal: float) -> float:
+        """Total channel charge when on, Q = Cox W L (VDD - Vth - Vsig)."""
+        v_ov = max(0.0, self.process.vdd - self.process.vth_n - v_signal)
+        return self.process.c_ox * self.width * self.length * v_ov
+
+    def injection_step(self, v_signal: float, node_capacitance: float, split: float = 0.5) -> float:
+        """Voltage step on the storage node when the switch opens.
+
+        ``split`` is the fraction of the channel charge that lands on the
+        node (0.5 for symmetric fast switching).  Negative step because
+        NMOS channel charge is electrons.
+        """
+        if node_capacitance <= 0:
+            raise ValueError("node capacitance must be positive")
+        if not 0.0 <= split <= 1.0:
+            raise ValueError("split must lie in [0, 1]")
+        return -split * self.channel_charge(v_signal) / node_capacitance
+
+    def clock_feedthrough(self, node_capacitance: float, overlap_cap_per_width: float = 0.3e-9) -> float:
+        """Step from gate-overlap coupling of the falling clock edge.
+
+        ``overlap_cap_per_width`` in F/m (0.3 fF/um default).
+        """
+        if node_capacitance <= 0:
+            raise ValueError("node capacitance must be positive")
+        c_ov = overlap_cap_per_width * self.width
+        return -self.process.vdd * c_ov / (c_ov + node_capacitance)
+
+    def off_leakage(self) -> float:
+        """Off-state leakage current (junction-dominated), amperes."""
+        area = self.width * 3.0 * self.process.l_min
+        return self.process.junction_leak_density * area
+
+    def settling_time_constant(self, v_signal: float, node_capacitance: float) -> float:
+        """Ron*C time constant when the switch is closed."""
+        if node_capacitance <= 0:
+            raise ValueError("node capacitance must be positive")
+        return self.on_resistance(v_signal) * node_capacitance
+
+    def droop_rate(self, node_capacitance: float) -> float:
+        """Storage-node droop in V/s caused by off-state leakage."""
+        if node_capacitance <= 0:
+            raise ValueError("node capacitance must be positive")
+        return self.off_leakage() / node_capacitance

@@ -1,0 +1,38 @@
+"""DNA microarray application layer: sequences, kinetics, layouts, assays."""
+
+from .assay import AssayProtocol, AssayResult, MicroarrayAssay, SiteResult
+from .hybridization import (
+    DEFAULT_KINETICS,
+    HybridizationKinetics,
+    ProbeSiteState,
+)
+from .quantification import (
+    CalibrationCurve,
+    CalibrationPoint,
+    ConcentrationEstimator,
+    QuantificationResult,
+)
+from .sample import Sample
+from .sequences import DnaSequence, Probe, Target, perfect_target_for
+from .spotting import ProbeLayout, SpotAssignment
+
+__all__ = [
+    "AssayProtocol",
+    "AssayResult",
+    "CalibrationCurve",
+    "CalibrationPoint",
+    "ConcentrationEstimator",
+    "DEFAULT_KINETICS",
+    "QuantificationResult",
+    "DnaSequence",
+    "HybridizationKinetics",
+    "MicroarrayAssay",
+    "Probe",
+    "ProbeLayout",
+    "ProbeSiteState",
+    "Sample",
+    "SiteResult",
+    "SpotAssignment",
+    "Target",
+    "perfect_target_for",
+]

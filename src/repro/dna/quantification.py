@@ -1,0 +1,174 @@
+"""Concentration quantification from chip counts.
+
+"The purpose of DNA microarray chips is the parallel investigation
+concerning the amount of specific DNA sequences in a given sample" —
+i.e. the end product is a *concentration estimate*, not a raw count.
+This module closes the loop: it builds a calibration curve from
+standard samples measured on the same chip model, then inverts unknown
+counts into concentrations with uncertainty from replicate spots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+from .assay import AssayProtocol, MicroarrayAssay
+from .sample import Sample
+from .sequences import Probe, perfect_target_for
+from .spotting import ProbeLayout
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One standard: known concentration -> median measured count."""
+
+    concentration: float
+    median_count: float
+
+
+@dataclass
+class CalibrationCurve:
+    """Monotone count-vs-concentration curve with log-log interpolation."""
+
+    points: list[CalibrationPoint]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("calibration needs at least two standards")
+        concs = [p.concentration for p in self.points]
+        if any(b <= a for a, b in zip(concs, concs[1:])):
+            raise ValueError("standards must have strictly increasing concentrations")
+        counts = [p.median_count for p in self.points]
+        if any(b <= a for a, b in zip(counts, counts[1:])):
+            raise ValueError(
+                "counts must increase with concentration (saturated or noisy curve?)"
+            )
+
+    @property
+    def range(self) -> tuple[float, float]:
+        return (self.points[0].concentration, self.points[-1].concentration)
+
+    def concentration_for_count(self, count: float) -> float:
+        """Invert the curve (log-log linear interpolation, clamped)."""
+        if count <= 0:
+            return 0.0
+        log_counts = np.log10([p.median_count for p in self.points])
+        log_concs = np.log10([p.concentration for p in self.points])
+        log_c = np.interp(np.log10(count), log_counts, log_concs)
+        return float(10.0**log_c)
+
+    def in_range(self, count: float) -> bool:
+        return self.points[0].median_count <= count <= self.points[-1].median_count
+
+
+@dataclass(frozen=True)
+class QuantificationResult:
+    """Concentration estimate with replicate statistics."""
+
+    probe_name: str
+    estimated_concentration: float
+    ci_low: float
+    ci_high: float
+    replicate_counts: tuple[int, ...]
+    in_calibrated_range: bool
+
+    @property
+    def relative_uncertainty(self) -> float:
+        if self.estimated_concentration <= 0:
+            return float("inf")
+        return (self.ci_high - self.ci_low) / (2.0 * self.estimated_concentration)
+
+
+class ConcentrationEstimator:
+    """Quantifies target concentrations from chip measurements.
+
+    Parameters
+    ----------
+    chip:
+        A configured, calibrated :class:`~repro.chip.dna_chip.DnaMicroarrayChip`.
+    layout:
+        The probe layout spotted on it.
+    protocol:
+        Assay protocol used for both standards and unknowns.
+    frame_s:
+        Counting frame.
+    """
+
+    def __init__(self, chip, layout: ProbeLayout, protocol: AssayProtocol | None = None,
+                 frame_s: float = 1.0) -> None:
+        self.chip = chip
+        self.layout = layout
+        self.protocol = protocol or AssayProtocol()
+        self.frame_s = frame_s
+        self._assay = MicroarrayAssay(layout)
+        self._curves: dict[str, CalibrationCurve] = {}
+
+    # ------------------------------------------------------------------
+    def _probe_sites(self, probe: Probe) -> list[tuple[int, int]]:
+        return [
+            (spot.row, spot.col)
+            for pos in self.layout.assigned_positions()
+            for spot in [self.layout.spot(*pos)]
+            if spot.probe == probe
+        ]
+
+    def _measure(self, sample: Sample, rng: RngLike) -> np.ndarray:
+        result = self._assay.run(sample, self.protocol)
+        return self.chip.measure_assay(result, frame_s=self.frame_s, rng=rng)
+
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        probe: Probe,
+        standard_concentrations: list[float],
+        target_length: int = 2000,
+        rng: RngLike = None,
+    ) -> CalibrationCurve:
+        """Measure standards of known concentration, fit the curve."""
+        if not standard_concentrations:
+            raise ValueError("need at least one standard concentration")
+        generator = ensure_rng(rng)
+        sites = self._probe_sites(probe)
+        if not sites:
+            raise ValueError(f"probe {probe.name!r} is not on the layout")
+        target = perfect_target_for(probe, total_length=target_length)
+        points = []
+        for concentration in sorted(standard_concentrations):
+            counts = self._measure(Sample({target: concentration}), generator)
+            median = float(np.median([counts[r, c] for r, c in sites]))
+            points.append(CalibrationPoint(concentration, median))
+        curve = CalibrationCurve(points)
+        self._curves[probe.name] = curve
+        return curve
+
+    def quantify(self, probe: Probe, sample: Sample, rng: RngLike = None) -> QuantificationResult:
+        """Estimate the concentration of ``probe``'s target in ``sample``."""
+        if probe.name not in self._curves:
+            raise KeyError(f"probe {probe.name!r} has no calibration curve")
+        generator = ensure_rng(rng)
+        curve = self._curves[probe.name]
+        sites = self._probe_sites(probe)
+        counts = self._measure(sample, generator)
+        replicate_counts = tuple(int(counts[r, c]) for r, c in sites)
+        estimates = [curve.concentration_for_count(c) for c in replicate_counts if c > 0]
+        if not estimates:
+            return QuantificationResult(
+                probe_name=probe.name, estimated_concentration=0.0,
+                ci_low=0.0, ci_high=0.0, replicate_counts=replicate_counts,
+                in_calibrated_range=False,
+            )
+        median = float(np.median(estimates))
+        lo = float(np.percentile(estimates, 16))
+        hi = float(np.percentile(estimates, 84))
+        median_count = float(np.median(replicate_counts))
+        return QuantificationResult(
+            probe_name=probe.name,
+            estimated_concentration=median,
+            ci_low=lo,
+            ci_high=hi,
+            replicate_counts=replicate_counts,
+            in_calibrated_range=curve.in_range(median_count),
+        )

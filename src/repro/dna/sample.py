@@ -1,0 +1,89 @@
+"""Analyte samples: which targets at which concentrations.
+
+Concentrations are in mol/m^3 (1 mol/m^3 = 1 mM); microarray samples are
+typically pM-nM, i.e. 1e-9 ... 1e-6 mol/m^3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.rng import RngLike, ensure_rng
+from .sequences import DnaSequence, Probe, Target, perfect_target_for
+
+
+@dataclass
+class Sample:
+    """A solution applied to the whole chip."""
+
+    contents: dict[Target, float] = field(default_factory=dict)
+
+    def add(self, target: Target, concentration: float) -> None:
+        if concentration < 0:
+            raise ValueError("concentration must be non-negative")
+        if target in self.contents:
+            self.contents[target] = self.contents[target] + concentration
+        else:
+            self.contents[target] = concentration
+
+    def concentration_of(self, target: Target) -> float:
+        return self.contents.get(target, 0.0)
+
+    def total_concentration(self) -> float:
+        return sum(self.contents.values())
+
+    def __len__(self) -> int:
+        return len(self.contents)
+
+    def targets(self) -> list[Target]:
+        return list(self.contents)
+
+    def diluted(self, factor: float) -> "Sample":
+        """Return a new sample diluted by ``factor`` (> 1 dilutes)."""
+        if factor <= 0:
+            raise ValueError("dilution factor must be positive")
+        return Sample({t: c / factor for t, c in self.contents.items()})
+
+    @classmethod
+    def for_probes(
+        cls,
+        probes: list[Probe],
+        concentration: float,
+        target_length: int = 2000,
+        subset: list[int] | None = None,
+    ) -> "Sample":
+        """Build a sample containing perfect targets for (a subset of)
+        the given probes — the standard validation experiment."""
+        if concentration < 0:
+            raise ValueError("concentration must be non-negative")
+        indices = subset if subset is not None else list(range(len(probes)))
+        sample = cls()
+        for i in indices:
+            if not 0 <= i < len(probes):
+                raise IndexError(f"probe index {i} out of range")
+            sample.add(perfect_target_for(probes[i], total_length=target_length), concentration)
+        return sample
+
+    @classmethod
+    def random_background(
+        cls,
+        count: int,
+        concentration: float,
+        length: int = 30,
+        total_length: int = 2000,
+        rng: RngLike = None,
+    ) -> "Sample":
+        """Unrelated sequences at the given concentration — models the
+        non-specific background every real sample carries."""
+        generator = ensure_rng(rng)
+        sample = cls()
+        for i in range(count):
+            seq = DnaSequence.random(length, generator)
+            sample.add(Target(f"background-{i}", seq, total_length), concentration)
+        return sample
+
+    def merged_with(self, other: "Sample") -> "Sample":
+        merged = Sample(dict(self.contents))
+        for target, conc in other.contents.items():
+            merged.add(target, conc)
+        return merged

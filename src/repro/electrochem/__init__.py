@@ -1,0 +1,38 @@
+"""Electrochemical substrate: species, electrodes, diffusion, redox cycling."""
+
+from .diffusion import (
+    DiffusionDomain,
+    ramp_time_constant,
+    surface_concentration_quasi_static,
+)
+from .electrode import DOUBLE_LAYER_F_PER_M2, InterdigitatedElectrode
+from .enzyme import LabelledSurface
+from .labelfree import ImpedanceSensor, MassResonator, compare_detection_limits
+from .potentiostat import Potentiostat
+from .redox_cycling import RedoxCyclingSensor
+from .species import (
+    ALKALINE_PHOSPHATASE,
+    FERROCENE,
+    P_AMINOPHENOL,
+    EnzymeLabel,
+    RedoxSpecies,
+)
+
+__all__ = [
+    "ALKALINE_PHOSPHATASE",
+    "DOUBLE_LAYER_F_PER_M2",
+    "DiffusionDomain",
+    "EnzymeLabel",
+    "FERROCENE",
+    "ImpedanceSensor",
+    "InterdigitatedElectrode",
+    "LabelledSurface",
+    "MassResonator",
+    "compare_detection_limits",
+    "P_AMINOPHENOL",
+    "Potentiostat",
+    "RedoxCyclingSensor",
+    "RedoxSpecies",
+    "ramp_time_constant",
+    "surface_concentration_quasi_static",
+]

@@ -1,0 +1,100 @@
+"""Interdigitated noble-metal sensor electrodes.
+
+Each DNA sensor site carries a gold interdigitated electrode array (IDA):
+alternating generator and collector fingers.  Geometry sets both the
+redox-cycling collection efficiency and the double-layer capacitance that
+the potentiostat must charge at startup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.units import um
+
+# Typical gold/electrolyte double-layer capacitance.
+DOUBLE_LAYER_F_PER_M2 = 0.2  # 20 uF/cm^2
+
+
+@dataclass(frozen=True)
+class InterdigitatedElectrode:
+    """IDA geometry of one sensor site.
+
+    Parameters
+    ----------
+    finger_width:
+        Width of each metal finger, m.
+    gap:
+        Spacing between adjacent fingers, m.
+    finger_length:
+        Length of each finger, m.
+    finger_pairs:
+        Number of generator/collector pairs.
+    """
+
+    finger_width: float = 1.0 * um
+    gap: float = 1.0 * um
+    finger_length: float = 100.0 * um
+    finger_pairs: int = 25
+
+    def __post_init__(self) -> None:
+        if min(self.finger_width, self.gap, self.finger_length) <= 0:
+            raise ValueError("electrode dimensions must be positive")
+        if self.finger_pairs < 1:
+            raise ValueError("need at least one finger pair")
+
+    @property
+    def metal_area(self) -> float:
+        """Total metal area of both electrodes, m^2."""
+        return 2 * self.finger_pairs * self.finger_width * self.finger_length
+
+    @property
+    def footprint_area(self) -> float:
+        """Site area including gaps, m^2."""
+        pitch = 2 * (self.finger_width + self.gap)
+        return self.finger_pairs * pitch * self.finger_length
+
+    @property
+    def gap_count(self) -> int:
+        """Number of generator-collector gaps (2 per pair minus edge)."""
+        return 2 * self.finger_pairs - 1
+
+    @property
+    def double_layer_capacitance(self) -> float:
+        """Double-layer capacitance of one electrode comb, F."""
+        return 0.5 * self.metal_area * DOUBLE_LAYER_F_PER_M2
+
+    def geometry_factor(self) -> float:
+        """Diffusive conductance factor G (meters) for cycling current.
+
+        For closely spaced IDAs the quasi-steady cycling current is
+        I = n F D c * G with G ~ (number of gaps) * finger_length *
+        f(width/gap); f is an order-one conformal-mapping factor,
+        approximated by the Aoki expression ln-form.
+        """
+        ratio = self.finger_width / self.gap
+        shape = 0.637 * math.log(2.55 * (1.0 + ratio))
+        return self.gap_count * self.finger_length * shape
+
+    def collection_efficiency(self) -> float:
+        """Fraction of generator product captured by the collector.
+
+        Tight gaps give >0.9; approximated from the gap/width ratio.
+        """
+        ratio = self.gap / self.finger_width
+        return 1.0 / (1.0 + 0.12 * ratio)
+
+    def cycling_gain(self, boundary_layer: float = 50.0 * um) -> float:
+        """Amplification of cycling vs a single electrode.
+
+        A molecule shuttles between fingers (distance ~ gap) instead of
+        escaping through the boundary layer (distance ~ boundary_layer);
+        the current gain is roughly the ratio, damped by the collection
+        efficiency per crossing.
+        """
+        if boundary_layer <= 0:
+            raise ValueError("boundary layer must be positive")
+        eta = self.collection_efficiency()
+        single_pass = boundary_layer / self.gap
+        return 1.0 + eta * single_pass / (1.0 + (1.0 - eta) * single_pass)

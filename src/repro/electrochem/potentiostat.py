@@ -1,0 +1,79 @@
+"""Electrode-potential regulation (the Fig. 3 loop's electrochemical job).
+
+"The voltage of the sensor electrode is controlled by a regulation loop
+via an operational amplifier and a source follower transistor."  The
+potentiostat must (a) hold the generator/collector potentials provided by
+the periphery DACs and (b) recover quickly after each reset pulse so the
+integration restarts from a clean state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.opamp import OpAmp
+from ..devices.source_follower import SourceFollower, default_follower
+from .electrode import InterdigitatedElectrode
+
+
+@dataclass
+class Potentiostat:
+    """Regulation loop holding one electrode at a DAC-set potential.
+
+    Parameters
+    ----------
+    opamp:
+        The loop amplifier.
+    follower:
+        The source follower between amplifier and electrode.
+    electrode:
+        Supplies the double-layer capacitance the loop must drive.
+    """
+
+    opamp: OpAmp = field(default_factory=lambda: OpAmp(dc_gain=20_000.0, gbw_hz=5e6))
+    follower: SourceFollower = field(default_factory=default_follower)
+    electrode: InterdigitatedElectrode = field(default_factory=InterdigitatedElectrode)
+
+    def static_error(self, v_target: float) -> float:
+        """Residual electrode-voltage error once the loop has settled.
+
+        Loop feedback absorbs the follower level shift; the residue is
+        the finite-gain error plus the amplifier offset.
+        """
+        gain = self.opamp.dc_gain
+        return v_target / (1.0 + gain) + self.opamp.offset_v * gain / (1.0 + gain)
+
+    def electrode_voltage(self, v_target: float) -> float:
+        """The settled electrode potential for a requested target."""
+        return v_target - self.static_error(v_target)
+
+    def recovery_time(self, disturbance_v: float, tolerance_v: float = 1e-4) -> float:
+        """Time to re-pin the electrode after a reset step of
+        ``disturbance_v`` (e.g. the integration swing).
+
+        The loop bandwidth is reduced by the pole at the electrode node
+        (follower output resistance driving the double-layer cap).
+        """
+        if tolerance_v <= 0:
+            raise ValueError("tolerance must be positive")
+        if disturbance_v == 0:
+            return 0.0
+        import math
+
+        loop_bw = self.opamp.closed_loop_bandwidth(1.0)
+        electrode_pole = 1.0 / (
+            2.0
+            * math.pi
+            * self.follower.output_resistance()
+            * self.electrode.double_layer_capacitance
+        )
+        effective_bw = min(loop_bw, electrode_pole)
+        tau = 1.0 / (2.0 * math.pi * effective_bw)
+        ratio = abs(disturbance_v) / tolerance_v
+        return tau * math.log(max(ratio, 1.0 + 1e-12))
+
+    def charging_current_peak(self, step_v: float) -> float:
+        """Peak double-layer charging current after a potential step —
+        must not be confused with sensor signal by the ADC."""
+        r_out = self.follower.output_resistance()
+        return abs(step_v) / r_out

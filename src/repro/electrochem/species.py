@@ -1,0 +1,90 @@
+"""Redox species definitions.
+
+The Infineon redox-cycling chips ([12, 13] in the paper) detect
+p-aminophenol (pAP), generated from p-aminophenyl phosphate (pAPP) by an
+alkaline-phosphatase label bound to hybridized targets.  pAP is oxidised
+to quinone imine (QI) at the generator electrode and re-reduced at the
+collector — each molecule contributes many electrons as it shuttles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RedoxSpecies:
+    """An electrochemically active molecule.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    diffusion_coefficient:
+        D in m^2/s (aqueous, room temperature).
+    electrons_transferred:
+        n, electrons per redox event.
+    standard_potential_v:
+        E0 versus the on-chip reference electrode.
+    """
+
+    name: str
+    diffusion_coefficient: float
+    electrons_transferred: int
+    standard_potential_v: float
+
+    def __post_init__(self) -> None:
+        if self.diffusion_coefficient <= 0:
+            raise ValueError("diffusion coefficient must be positive")
+        if self.electrons_transferred < 1:
+            raise ValueError("need at least one electron per event")
+
+
+# p-aminophenol / quinone-imine couple: D ~ 6e-10 m^2/s, n = 2,
+# E0 ~ +0.1 V vs Ag/AgCl.
+P_AMINOPHENOL = RedoxSpecies(
+    name="p-aminophenol",
+    diffusion_coefficient=6.0e-10,
+    electrons_transferred=2,
+    standard_potential_v=0.10,
+)
+
+# Ferrocene derivatives are a common alternative label chemistry.
+FERROCENE = RedoxSpecies(
+    name="ferrocene-methanol",
+    diffusion_coefficient=7.8e-10,
+    electrons_transferred=1,
+    standard_potential_v=0.22,
+)
+
+
+@dataclass(frozen=True)
+class EnzymeLabel:
+    """An enzyme label attached to each hybridized target molecule.
+
+    Alkaline phosphatase (the chemistry of [6, 13]) converts pAPP into
+    the redox-active pAP with Michaelis-Menten kinetics.
+    """
+
+    name: str
+    k_cat: float  # substrate conversions per second per enzyme
+    k_m: float  # Michaelis constant, mol/m^3
+    product: RedoxSpecies
+
+    def __post_init__(self) -> None:
+        if self.k_cat <= 0 or self.k_m <= 0:
+            raise ValueError("enzyme kinetic constants must be positive")
+
+    def turnover_rate(self, substrate_concentration: float) -> float:
+        """Per-enzyme product generation rate, 1/s."""
+        if substrate_concentration < 0:
+            raise ValueError("substrate concentration must be non-negative")
+        return self.k_cat * substrate_concentration / (self.k_m + substrate_concentration)
+
+
+ALKALINE_PHOSPHATASE = EnzymeLabel(
+    name="alkaline-phosphatase",
+    k_cat=80.0,
+    k_m=0.05,  # 50 uM in mol/m^3 units (1 mM = 1 mol/m^3)
+    product=P_AMINOPHENOL,
+)

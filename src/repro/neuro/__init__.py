@@ -1,0 +1,71 @@
+"""Neural-recording substrate: biophysics, junction, pixels, readout."""
+
+from .action_potential import (
+    HHParameters,
+    HHResult,
+    HodgkinHuxleyNeuron,
+    StimulusProtocol,
+    detect_spike_times,
+    template_action_potential,
+)
+from .array import NeuralArrayModel, RecordedMovie
+from .culture import (
+    ArrayGeometry,
+    Culture,
+    NEURO_GEOMETRY,
+    PlacedNeuron,
+    coverage_vs_pitch,
+)
+from .junction import CellChipJunction, ELECTROLYTE_RESISTIVITY
+from .readout_chain import (
+    ChannelFrontEnd,
+    ReadoutChainBudget,
+    ReadoutChannel,
+    TOTAL_GAIN,
+    build_readout_chain,
+)
+from .sensor_pixel import (
+    NeuralPixelDesign,
+    NeuralSensorPixel,
+    ekv_ids_array,
+    ekv_vgs_for_current_array,
+)
+from .spike_detection import (
+    DetectionScore,
+    detect_spikes,
+    mad_noise_estimate,
+    score_detection,
+    spike_snr,
+)
+
+__all__ = [
+    "ArrayGeometry",
+    "CellChipJunction",
+    "ChannelFrontEnd",
+    "Culture",
+    "DetectionScore",
+    "ELECTROLYTE_RESISTIVITY",
+    "HHParameters",
+    "HHResult",
+    "HodgkinHuxleyNeuron",
+    "NEURO_GEOMETRY",
+    "NeuralArrayModel",
+    "NeuralPixelDesign",
+    "NeuralSensorPixel",
+    "PlacedNeuron",
+    "ReadoutChainBudget",
+    "ReadoutChannel",
+    "RecordedMovie",
+    "StimulusProtocol",
+    "TOTAL_GAIN",
+    "build_readout_chain",
+    "coverage_vs_pitch",
+    "detect_spike_times",
+    "detect_spikes",
+    "ekv_ids_array",
+    "ekv_vgs_for_current_array",
+    "mad_noise_estimate",
+    "score_detection",
+    "spike_snr",
+    "template_action_potential",
+]

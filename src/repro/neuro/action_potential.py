@@ -1,0 +1,248 @@
+"""Action-potential generation (Section 3 biophysics).
+
+"The elementary neural signals of cells, action potentials, are temporal
+peaks of the intracellular voltage, which are associated with ion
+currents through the cell membrane."
+
+Two generators:
+
+* :class:`HodgkinHuxleyNeuron` — the full conductance model, integrated
+  with RK4; provides the membrane voltage *and* the per-area ionic and
+  capacitive current densities that the junction model (Fig. 5) needs.
+* :func:`template_action_potential` — a fast analytic AP for array-scale
+  simulations where 16k pixels would make HH integration wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.rng import RngLike, ensure_rng
+from ..core.signals import Trace
+
+
+@dataclass
+class HHParameters:
+    """Hodgkin-Huxley conductance parameters (squid-axon classics).
+
+    Units follow the HH convention: mV, ms, mS/cm^2, uA/cm^2; the class
+    converts to SI at its interface.
+    """
+
+    c_m: float = 1.0  # uF/cm^2
+    g_na: float = 120.0  # mS/cm^2
+    g_k: float = 36.0
+    g_leak: float = 0.3
+    e_na: float = 50.0  # mV
+    e_k: float = -77.0
+    e_leak: float = -54.387
+    v_rest: float = -65.0
+
+
+def _alpha_n(v: float) -> float:
+    if abs(v + 55.0) < 1e-7:
+        return 0.1
+    return 0.01 * (v + 55.0) / (1.0 - math.exp(-(v + 55.0) / 10.0))
+
+
+def _beta_n(v: float) -> float:
+    return 0.125 * math.exp(-(v + 65.0) / 80.0)
+
+
+def _alpha_m(v: float) -> float:
+    if abs(v + 40.0) < 1e-7:
+        return 1.0
+    return 0.1 * (v + 40.0) / (1.0 - math.exp(-(v + 40.0) / 10.0))
+
+
+def _beta_m(v: float) -> float:
+    return 4.0 * math.exp(-(v + 65.0) / 18.0)
+
+
+def _alpha_h(v: float) -> float:
+    return 0.07 * math.exp(-(v + 65.0) / 20.0)
+
+
+def _beta_h(v: float) -> float:
+    return 1.0 / (1.0 + math.exp(-(v + 35.0) / 10.0))
+
+
+@dataclass
+class HHResult:
+    """Integrated HH trajectory with current decomposition.
+
+    All traces share the same grid.  Voltages in volts; current
+    *densities* in A/m^2 (what the junction model consumes).
+    """
+
+    membrane_voltage: Trace
+    ionic_current_density: Trace
+    capacitive_current_density: Trace
+    sodium_current_density: Trace
+    potassium_current_density: Trace
+    spike_times: np.ndarray
+
+    def total_current_density(self) -> Trace:
+        return self.ionic_current_density + self.capacitive_current_density
+
+
+class HodgkinHuxleyNeuron:
+    """RK4-integrated HH point neuron."""
+
+    def __init__(self, params: HHParameters | None = None) -> None:
+        self.params = params or HHParameters()
+
+    # ------------------------------------------------------------------
+    def steady_state(self, v_mv: float) -> tuple[float, float, float]:
+        """Gating steady state (n, m, h) at a holding voltage."""
+        n = _alpha_n(v_mv) / (_alpha_n(v_mv) + _beta_n(v_mv))
+        m = _alpha_m(v_mv) / (_alpha_m(v_mv) + _beta_m(v_mv))
+        h = _alpha_h(v_mv) / (_alpha_h(v_mv) + _beta_h(v_mv))
+        return n, m, h
+
+    def _derivatives(self, state: np.ndarray, i_stim_ua_cm2: float) -> np.ndarray:
+        v, n, m, h = state
+        p = self.params
+        i_na = p.g_na * m**3 * h * (v - p.e_na)
+        i_k = p.g_k * n**4 * (v - p.e_k)
+        i_leak = p.g_leak * (v - p.e_leak)
+        dv = (i_stim_ua_cm2 - i_na - i_k - i_leak) / p.c_m
+        dn = _alpha_n(v) * (1.0 - n) - _beta_n(v) * n
+        dm = _alpha_m(v) * (1.0 - m) - _beta_m(v) * m
+        dh = _alpha_h(v) * (1.0 - h) - _beta_h(v) * h
+        return np.array([dv, dn, dm, dh])
+
+    def simulate(
+        self,
+        duration_s: float,
+        dt_s: float = 10e-6,
+        stimulus: "StimulusProtocol | None" = None,
+    ) -> HHResult:
+        """Integrate for ``duration_s`` seconds.
+
+        ``stimulus`` provides the injected current density over time; the
+        default is a single supra-threshold pulse at 2 ms.
+        """
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("duration and dt must be positive")
+        stimulus = stimulus or StimulusProtocol.single_pulse()
+        p = self.params
+        dt_ms = dt_s * 1e3
+        steps = int(round(duration_s / dt_s))
+        n0, m0, h0 = self.steady_state(p.v_rest)
+        state = np.array([p.v_rest, n0, m0, h0])
+        v_out = np.empty(steps)
+        i_ion = np.empty(steps)
+        i_na_out = np.empty(steps)
+        i_k_out = np.empty(steps)
+        for step in range(steps):
+            t_s = step * dt_s
+            i_stim = stimulus.current_ua_cm2(t_s)
+            k1 = self._derivatives(state, i_stim)
+            k2 = self._derivatives(state + 0.5 * dt_ms * k1, i_stim)
+            k3 = self._derivatives(state + 0.5 * dt_ms * k2, i_stim)
+            k4 = self._derivatives(state + dt_ms * k3, i_stim)
+            state = state + (dt_ms / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            v, n, m, h = state
+            i_na = p.g_na * m**3 * h * (v - p.e_na)
+            i_k = p.g_k * n**4 * (v - p.e_k)
+            i_leak = p.g_leak * (v - p.e_leak)
+            v_out[step] = v
+            i_ion[step] = i_na + i_k + i_leak
+            i_na_out[step] = i_na
+            i_k_out[step] = i_k
+        # Unit conversions: mV -> V; uA/cm^2 -> A/m^2 (x0.01).
+        v_trace = Trace(v_out * 1e-3, dt_s, label="V_membrane")
+        ion_trace = Trace(i_ion * 0.01, dt_s, label="ionic current density")
+        # Capacitive density: C dV/dt with C in F/m^2 (1 uF/cm^2 = 0.01 F/m^2).
+        cap_density = np.gradient(v_out * 1e-3, dt_s) * (p.c_m * 0.01)
+        cap_trace = Trace(cap_density, dt_s, label="capacitive current density")
+        spike_times = detect_spike_times(v_trace, threshold_v=0.0)
+        return HHResult(
+            membrane_voltage=v_trace,
+            ionic_current_density=ion_trace,
+            capacitive_current_density=cap_trace,
+            sodium_current_density=Trace(i_na_out * 0.01, dt_s, label="I_Na density"),
+            potassium_current_density=Trace(i_k_out * 0.01, dt_s, label="I_K density"),
+            spike_times=spike_times,
+        )
+
+
+@dataclass
+class StimulusProtocol:
+    """Injected current-density schedule, uA/cm^2 vs seconds."""
+
+    pulses: list[tuple[float, float, float]] = field(default_factory=list)
+    # each pulse: (t_start_s, duration_s, amplitude_ua_cm2)
+
+    def current_ua_cm2(self, t_s: float) -> float:
+        total = 0.0
+        for start, width, amplitude in self.pulses:
+            if start <= t_s < start + width:
+                total += amplitude
+        return total
+
+    @classmethod
+    def single_pulse(
+        cls, t_start_s: float = 2e-3, duration_s: float = 0.5e-3, amplitude: float = 40.0
+    ) -> "StimulusProtocol":
+        return cls(pulses=[(t_start_s, duration_s, amplitude)])
+
+    @classmethod
+    def spike_train(
+        cls,
+        rate_hz: float,
+        duration_s: float,
+        rng: RngLike = None,
+        pulse_amplitude: float = 40.0,
+    ) -> "StimulusProtocol":
+        """Poisson stimulation pulses producing an irregular spike train."""
+        if rate_hz <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        generator = ensure_rng(rng)
+        times = []
+        t = 0.0
+        while True:
+            t += float(generator.exponential(1.0 / rate_hz))
+            if t >= duration_s:
+                break
+            times.append(t)
+        return cls(pulses=[(t, 0.5e-3, pulse_amplitude) for t in times])
+
+
+def detect_spike_times(v: Trace, threshold_v: float = 0.0, refractory_s: float = 2e-3) -> np.ndarray:
+    """Upward threshold crossings with a refractory hold-off."""
+    above = v.samples > threshold_v
+    crossings = np.nonzero(above[1:] & ~above[:-1])[0] + 1
+    times = v.t0 + crossings * v.dt
+    if len(times) == 0:
+        return times
+    kept = [times[0]]
+    for t in times[1:]:
+        if t - kept[-1] >= refractory_s:
+            kept.append(t)
+    return np.asarray(kept)
+
+
+def template_action_potential(
+    duration_s: float = 5e-3,
+    dt_s: float = 10e-6,
+    amplitude_v: float = 0.1,
+    t_spike_s: float = 1e-3,
+) -> Trace:
+    """Analytic AP: fast depolarisation, slower repolarisation with
+    undershoot — matches the HH waveform shape at ~1/1000 the cost."""
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and dt must be positive")
+    t = np.arange(0.0, duration_s, dt_s)
+    x = (t - t_spike_s) / 0.4e-3
+    rising = np.exp(-np.clip(-x, None, 50.0) * 2.0)
+    falling = np.exp(-np.clip(x, None, 50.0) * 0.7)
+    wave = np.where(x < 0, rising, falling)
+    undershoot = -0.25 * np.exp(-np.clip((t - t_spike_s - 1.2e-3) / 1.5e-3, None, 50.0) ** 2)
+    undershoot[t < t_spike_s + 0.5e-3] = 0.0
+    samples = amplitude_v * (wave + undershoot)
+    return Trace(samples, dt_s, label="template AP")

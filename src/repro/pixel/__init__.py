@@ -1,0 +1,13 @@
+"""In-pixel signal conversion: the Fig. 3 sawtooth ADC and its counter."""
+
+from .counter import PixelCounter, required_bits
+from .pixel import DnaSensorPixel, PixelVariation
+from .sawtooth_adc import SawtoothAdc
+
+__all__ = [
+    "DnaSensorPixel",
+    "PixelCounter",
+    "PixelVariation",
+    "SawtoothAdc",
+    "required_bits",
+]

@@ -1,0 +1,106 @@
+"""Digital counter / shift register of the pixel (Fig. 3 right half).
+
+"For A/D conversion, the number of reset pulses is counted with a
+digital counter within a given time frame."  The same flip-flops are
+re-used as a shift register for serial readout — the scheme the 6-pin
+interface relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PixelCounter:
+    """An n-bit counter with selectable overflow behaviour.
+
+    Parameters
+    ----------
+    bits:
+        Counter width (the real chips use 16-24 bits to cover the
+        current dynamic range at long frames).
+    saturate:
+        True: hold at full scale on overflow (easy to detect off-chip);
+        False: wrap modulo 2^bits (cheaper hardware, ambiguous reading).
+    """
+
+    bits: int = 20
+    saturate: bool = True
+    _value: int = field(default=0, repr=False)
+    _overflowed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ValueError("counter width must lie in [1, 64]")
+
+    @property
+    def full_scale(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def overflowed(self) -> bool:
+        return self._overflowed
+
+    def reset(self) -> None:
+        self._value = 0
+        self._overflowed = False
+
+    def clock(self, pulses: int = 1) -> None:
+        """Advance by ``pulses`` reset events."""
+        if pulses < 0:
+            raise ValueError("pulse count must be non-negative")
+        raw = self._value + pulses
+        if raw > self.full_scale:
+            self._overflowed = True
+            self._value = self.full_scale if self.saturate else raw & self.full_scale
+        else:
+            self._value = raw
+
+    # ------------------------------------------------------------------
+    # Shift-register readout
+    # ------------------------------------------------------------------
+    def to_bits(self) -> list[int]:
+        """MSB-first bit vector, as shifted out on the serial pin."""
+        return [(self._value >> i) & 1 for i in range(self.bits - 1, -1, -1)]
+
+    @classmethod
+    def from_bits(cls, bits_vector: list[int], bits: int | None = None, saturate: bool = True) -> "PixelCounter":
+        """Rebuild a counter value from a shifted-in bit vector."""
+        if not bits_vector:
+            raise ValueError("empty bit vector")
+        if any(b not in (0, 1) for b in bits_vector):
+            raise ValueError("bit vector must contain only 0/1")
+        width = bits if bits is not None else len(bits_vector)
+        if len(bits_vector) != width:
+            raise ValueError(f"bit vector length {len(bits_vector)} != width {width}")
+        counter = cls(bits=width, saturate=saturate)
+        value = 0
+        for bit in bits_vector:
+            value = (value << 1) | bit
+        counter._value = value
+        return counter
+
+    def shift_out(self, incoming: int = 0) -> tuple[int, "PixelCounter"]:
+        """One shift-register clock: returns (msb_out, self) and shifts
+        ``incoming`` into the LSB — models the daisy-chained column
+        readout where pixel counters form one long register."""
+        if incoming not in (0, 1):
+            raise ValueError("incoming bit must be 0 or 1")
+        msb = (self._value >> (self.bits - 1)) & 1
+        self._value = ((self._value << 1) & self.full_scale) | incoming
+        return msb, self
+
+
+def required_bits(max_frequency_hz: float, frame_s: float) -> int:
+    """Counter width needed so the largest expected count fits."""
+    if max_frequency_hz <= 0 or frame_s <= 0:
+        raise ValueError("frequency and frame must be positive")
+    import math
+
+    max_count = int(max_frequency_hz * frame_s) + 1
+    return max(1, math.ceil(math.log2(max_count + 1)))

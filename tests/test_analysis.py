@@ -1,0 +1,96 @@
+"""Analysis layer: ADC transfer characterisation, calibration reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_histogram,
+    calibration_report,
+    characterize_adc,
+)
+from repro.neuro.array import NeuralArrayModel
+from repro.neuro.culture import ArrayGeometry
+from repro.pixel.sawtooth_adc import SawtoothAdc
+
+
+class TestTransferAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return characterize_adc(SawtoothAdc(), frame_s=4.0, rng=1)
+
+    def test_slope_near_unity(self, analysis):
+        assert analysis.loglog_slope == pytest.approx(1.0, abs=0.02)
+
+    def test_usable_range_spans_paper_window(self, analysis):
+        # >= 4 decades usable within 5% (paper: 1 pA - 100 nA ~ 5 decades,
+        # with the top decade visibly compressed).
+        assert analysis.usable_decades >= 4.0
+        assert analysis.usable_low_a <= 2e-12
+
+    def test_compression_at_top(self, analysis):
+        top = analysis.rows[-1]
+        assert top.relative_error < -0.05
+
+    def test_rows_cover_sweep(self, analysis):
+        currents = analysis.currents()
+        assert currents[0] == pytest.approx(1e-12)
+        assert currents[-1] == pytest.approx(100e-9)
+
+    def test_counts_positive_across_range(self, analysis):
+        assert all(row.count > 0 for row in analysis.rows)
+
+    def test_worst_error_query(self, analysis):
+        assert analysis.worst_error_in(1e-11, 1e-9) < 0.02
+        with pytest.raises(ValueError):
+            analysis.worst_error_in(1.0, 2.0)
+
+    def test_dead_adc_rejected(self):
+        dead = SawtoothAdc(leakage_a=1e-6)
+        with pytest.raises(ValueError):
+            characterize_adc(dead, rng=2)
+
+
+class TestCalibrationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        array = NeuralArrayModel(ArrayGeometry(24, 24, 7.8e-6), rng=5)
+        return calibration_report(array)
+
+    def test_improvement_factor(self, report):
+        assert report.improvement > 5
+
+    def test_saturation_story(self, report):
+        # Uncalibrated offsets saturate most of the x5600 chain;
+        # calibration rescues the majority of pixels.
+        assert report.saturated_fraction_uncalibrated > 0.5
+        assert (report.saturated_fraction_calibrated
+                < 0.5 * report.saturated_fraction_uncalibrated)
+
+    def test_rows_render(self, report):
+        rows = report.as_rows()
+        assert len(rows) == 3
+
+    def test_invalid_args(self):
+        array = NeuralArrayModel(ArrayGeometry(8, 8, 7.8e-6), rng=6)
+        with pytest.raises(ValueError):
+            calibration_report(array, chain_gain=0.0)
+
+
+class TestAsciiHistogram:
+    def test_basic_render(self):
+        text = ascii_histogram(np.random.default_rng(1).normal(0, 1, 500), bins=8)
+        assert len(text.splitlines()) == 8
+        assert "#" in text
+
+    def test_log_axis(self):
+        values = np.logspace(-12, -7, 200)
+        text = ascii_histogram(values, bins=5, unit="A", log_x=True)
+        assert "pA" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]))
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([-1.0, -2.0]), log_x=True)

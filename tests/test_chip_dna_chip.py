@@ -1,0 +1,115 @@
+"""The integrated 16x8 DNA microarray chip (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.chip.dna_chip import ChipSpecs, DnaMicroarrayChip
+from repro.dna import MicroarrayAssay, ProbeLayout, Sample
+
+
+class TestSpecs:
+    def test_defaults_match_paper(self):
+        specs = ChipSpecs()
+        assert specs.rows * specs.cols == 128
+        assert specs.process.vdd == 5.0
+        assert specs.process.l_min == pytest.approx(0.5e-6)
+        assert specs.process.t_ox == pytest.approx(15e-9)
+        assert specs.pin_count == 6
+
+    def test_as_rows_renders(self):
+        rows = ChipSpecs().as_rows()
+        assert any("16 x 8" in value for _, value in rows)
+
+
+class TestConfiguration:
+    def test_bias_configuration_good(self, dna_chip):
+        assert dna_chip.configure_bias(0.45, -0.25)
+        assert dna_chip.registers.read("generator_dac") > 0
+
+    def test_bias_misconfiguration_detected(self):
+        chip = DnaMicroarrayChip(rng=5)
+        # Collector above the redox potential: cycling impossible.
+        assert not chip.configure_bias(0.45, 0.45)
+
+    def test_misbiased_chip_reads_background_only(self):
+        chip = DnaMicroarrayChip(rng=6)
+        chip.configure_bias(0.45, 0.45)
+        currents = np.full((16, 8), 1e-9)
+        # Pixels still convert raw currents (test mode bypasses chemistry).
+        counts = chip.measure_currents(currents, frame_s=0.1, rng=1)
+        assert counts.max() > 0
+
+    def test_pixel_indexing(self, dna_chip):
+        assert dna_chip.pixel_at(0, 0) is dna_chip.pixels[0]
+        assert dna_chip.pixel_at(15, 7) is dna_chip.pixels[127]
+        with pytest.raises(IndexError):
+            dna_chip.pixel_at(16, 0)
+
+
+class TestCalibrationAndMeasurement:
+    def test_calibration_improves_estimates(self):
+        chip = DnaMicroarrayChip(rng=21)
+        chip.configure_bias(0.45, -0.25)
+        currents = np.full((16, 8), 2e-9)
+        counts_raw = chip.measure_currents(currents, frame_s=1.0, rng=1)
+        est_raw = chip.current_estimates(counts_raw, 1.0)
+        err_raw = np.abs(est_raw - 2e-9) / 2e-9
+        chip.auto_calibrate(frame_s=0.1, rng=2)
+        counts_cal = chip.measure_currents(currents, frame_s=1.0, rng=3)
+        est_cal = chip.current_estimates(counts_cal, 1.0)
+        err_cal = np.abs(est_cal - 2e-9) / 2e-9
+        assert np.median(err_cal) < np.median(err_raw)
+        assert np.median(err_cal) < 0.01
+
+    def test_measure_currents_shape_checked(self, dna_chip):
+        with pytest.raises(ValueError):
+            dna_chip.measure_currents(np.zeros((4, 4)))
+
+    def test_count_matrix_monotone_in_current(self):
+        chip = DnaMicroarrayChip(rng=22)
+        chip.configure_bias(0.45, -0.25)
+        lo = chip.measure_currents(np.full((16, 8), 1e-10), frame_s=0.5, rng=4)
+        hi = chip.measure_currents(np.full((16, 8), 1e-9), frame_s=0.5, rng=5)
+        assert np.all(hi > lo)
+
+    def test_assay_grid_mismatch_rejected(self, dna_chip):
+        layout = ProbeLayout.random_panel(4, rows=4, cols=4, rng=1)
+        sample = Sample.for_probes(layout.probes(), 1e-6)
+        result = MicroarrayAssay(layout).run(sample)
+        with pytest.raises(ValueError):
+            dna_chip.measure_assay(result)
+
+
+class TestSerialReadout:
+    def test_counts_roundtrip_through_link(self):
+        chip = DnaMicroarrayChip(rng=23)
+        chip.configure_bias(0.45, -0.25)
+        counts = chip.measure_currents(np.full((16, 8), 1e-9), frame_s=0.2, rng=6)
+        host = chip.read_counters_serial()
+        assert host == [int(c) for c in counts.reshape(-1)]
+        assert len(host) == 128
+
+    def test_transcript_records_traffic(self):
+        chip = DnaMicroarrayChip(rng=24)
+        chip.configure_bias(0.45, -0.25)
+        n_before = len(chip.link.transcript)
+        chip.measure_currents(np.full((16, 8), 1e-10), frame_s=0.1, rng=7)
+        chip.read_counters_serial()
+        assert len(chip.link.transcript) > n_before
+
+
+class TestFailureInjection:
+    def test_dead_pixel_never_fires(self):
+        chip = DnaMicroarrayChip(rng=25)
+        chip.configure_bias(0.45, -0.25)
+        chip.inject_dead_pixel(3, 3)
+        counts = chip.measure_currents(np.full((16, 8), 5e-12), frame_s=1.0, rng=8)
+        assert counts[3, 3] == 0
+        assert counts[0, 0] > 0
+
+    def test_dead_pixel_map(self):
+        chip = DnaMicroarrayChip(rng=26)
+        chip.inject_dead_pixel(1, 2)
+        flags = chip.dead_pixel_map()
+        assert flags[1, 2]
+        assert flags.sum() >= 1

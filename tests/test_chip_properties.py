@@ -1,0 +1,112 @@
+"""Hypothesis property tests on chip-level invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip.registers import dna_chip_registers
+from repro.chip.sequencer import ScanTiming
+from repro.pixel.sawtooth_adc import SawtoothAdc
+
+
+class TestScanTimingProperties:
+    @given(
+        rows=st.integers(min_value=1, max_value=256),
+        mux=st.integers(min_value=1, max_value=16),
+        channels=st.integers(min_value=1, max_value=32),
+        rate=st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_timing_identities(self, rows, mux, channels, rate):
+        cols = mux * channels
+        timing = ScanTiming(rows=rows, cols=cols, channels=channels, frame_rate_hz=rate)
+        # Slot * mux * rows = frame time (the scan covers the array).
+        assert timing.slot_time_s * timing.mux_depth * rows == pytest.approx(
+            timing.frame_time_s, rel=1e-9
+        )
+        # Aggregate rate = all pixels per frame x frame rate.
+        assert timing.aggregate_pixel_rate_hz == pytest.approx(
+            rows * cols * rate, rel=1e-9
+        )
+
+    @given(
+        rows=st.integers(min_value=2, max_value=64),
+        mux=st.integers(min_value=1, max_value=8),
+        channels=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pixel_order_is_a_permutation(self, rows, mux, channels):
+        cols = mux * channels
+        timing = ScanTiming(rows=rows, cols=cols, channels=channels, frame_rate_hz=100.0)
+        order = timing.pixel_order()
+        assert len(order) == rows * cols
+        assert len(set(order)) == rows * cols
+        assert all(0 <= r < rows and 0 <= c < cols for r, c in order)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=64),
+        mux=st.integers(min_value=1, max_value=8),
+        channels=st.integers(min_value=1, max_value=8),
+        rate=st.floats(min_value=10.0, max_value=1e4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_times_inside_frame(self, rows, mux, channels, rate):
+        cols = mux * channels
+        timing = ScanTiming(rows=rows, cols=cols, channels=channels, frame_rate_hz=rate)
+        assert timing.sample_time_s(rows - 1, cols - 1) < timing.frame_time_s
+
+
+class TestRegisterProperties:
+    @given(
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip(self, value):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", value)
+        assert regs.read("generator_dac") == value
+
+    @given(value=st.integers(min_value=16, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_oversized_writes_always_rejected(self, value):
+        regs = dna_chip_registers()
+        with pytest.raises(ValueError):
+            regs.write("frame_exponent", value)  # 4-bit register
+
+
+class TestAdcProperties:
+    @given(
+        exp_a=st.floats(min_value=-12, max_value=-7.2),
+        exp_b=st.floats(min_value=-12, max_value=-7.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_order_preserved(self, exp_a, exp_b):
+        adc = SawtoothAdc()
+        ia, ib = 10.0**exp_a, 10.0**exp_b
+        fa, fb = adc.frequency(ia), adc.frequency(ib)
+        if ia < ib:
+            assert fa <= fb
+        elif ia > ib:
+            assert fa >= fb
+
+    @given(exp=st.floats(min_value=-12, max_value=-8))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_transfer_is_true_inverse(self, exp):
+        adc = SawtoothAdc()
+        current = 10.0**exp
+        assert adc.current_from_frequency(adc.frequency(current)) == pytest.approx(
+            current, rel=1e-9
+        )
+
+    @given(
+        exp=st.floats(min_value=-11, max_value=-8),
+        frame=st.floats(min_value=0.5, max_value=8.0),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_count_rate_tracks_frequency(self, exp, frame, seed):
+        adc = SawtoothAdc()
+        current = 10.0**exp
+        count = adc.count_in_frame(current, frame, rng=seed)
+        expected = adc.frequency(current) * frame
+        assert count == pytest.approx(expected, abs=max(2.0, 0.05 * expected))

@@ -1,0 +1,149 @@
+"""Register files and scan-timing arithmetic."""
+
+import pytest
+
+from repro.chip.registers import (
+    RegisterFile,
+    RegisterSpec,
+    dna_chip_registers,
+    neuro_chip_registers,
+)
+from repro.chip.sequencer import NEURO_SCAN, ScanTiming, SiteSequence
+
+
+class TestRegisters:
+    def test_reset_values(self):
+        regs = dna_chip_registers()
+        assert regs.read("frame_exponent") == 8
+        assert regs.read("chip_id") == 0x2D
+
+    def test_write_read_by_name(self):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", 128)
+        assert regs.read("generator_dac") == 128
+
+    def test_write_read_by_address(self):
+        regs = dna_chip_registers()
+        regs.write(0x00, 42)
+        assert regs.read("generator_dac") == 42
+
+    def test_width_enforced(self):
+        regs = dna_chip_registers()
+        with pytest.raises(ValueError):
+            regs.write("calibration_enable", 2)  # 1-bit register
+
+    def test_unknown_register(self):
+        regs = dna_chip_registers()
+        with pytest.raises(KeyError):
+            regs.read("bogus")
+        with pytest.raises(KeyError):
+            regs.read(0x99)
+
+    def test_reset_restores(self):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", 99)
+        regs.reset()
+        assert regs.read("generator_dac") == 0
+
+    def test_duplicate_address_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile([
+                RegisterSpec("a", 0x00, 8),
+                RegisterSpec("b", 0x00, 8),
+            ])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile([
+                RegisterSpec("a", 0x00, 8),
+                RegisterSpec("a", 0x01, 8),
+            ])
+
+    def test_bad_reset_value(self):
+        with pytest.raises(ValueError):
+            RegisterSpec("a", 0x00, 4, reset_value=16)
+
+    def test_neuro_map_distinct(self):
+        regs = neuro_chip_registers()
+        assert regs.read("chip_id") == 0x4E
+        assert "calibration_current" in regs.names()
+
+    def test_dump(self):
+        regs = dna_chip_registers()
+        dump = regs.dump()
+        assert dump["chip_id"] == 0x2D
+
+
+class TestScanTiming:
+    def test_paper_numbers_lock_together(self):
+        t = NEURO_SCAN
+        # 2 kframe/s, 128 rows -> 3.906 us row time.
+        assert t.row_time_s == pytest.approx(3.90625e-6)
+        # 8:1 mux -> 488 ns slots.
+        assert t.mux_depth == 8
+        assert t.slot_time_s == pytest.approx(488.28125e-9)
+        # 2.048 MHz per channel, 32.77 Mpixel/s aggregate.
+        assert t.channel_pixel_rate_hz == pytest.approx(2.048e6)
+        assert t.aggregate_pixel_rate_hz == pytest.approx(32.768e6)
+
+    def test_bandwidths_support_the_scan(self):
+        # The paper's 4 MHz readout amp and 32 MHz driver both settle.
+        assert NEURO_SCAN.settling_ok(4e6)
+        assert NEURO_SCAN.settling_ok(32e6)
+
+    def test_slower_amp_fails(self):
+        assert not NEURO_SCAN.settling_ok(0.5e6)
+
+    def test_max_frame_rate_consistent(self):
+        t = NEURO_SCAN
+        limit = t.max_frame_rate_hz(4e6)
+        assert limit > 2000.0  # the chip runs below the amp's limit
+        assert not ScanTiming(128, 128, 16, limit * 1.2).settling_ok(4e6)
+
+    def test_columns_must_divide(self):
+        with pytest.raises(ValueError):
+            ScanTiming(rows=128, cols=100, channels=16, frame_rate_hz=2000)
+
+    def test_pixel_order_covers_array(self):
+        t = ScanTiming(rows=4, cols=8, channels=2, frame_rate_hz=100)
+        order = t.pixel_order()
+        assert len(order) == 32
+        assert len(set(order)) == 32
+
+    def test_sample_time_within_frame(self):
+        t = NEURO_SCAN
+        assert t.sample_time_s(0, 0) == 0.0
+        assert t.sample_time_s(127, 127) < t.frame_time_s
+
+    def test_sample_time_out_of_range(self):
+        with pytest.raises(IndexError):
+            NEURO_SCAN.sample_time_s(128, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ScanTiming(0, 8, 1, 100.0)
+        with pytest.raises(ValueError):
+            ScanTiming(8, 8, 1, 0.0)
+
+
+class TestSiteSequence:
+    def test_site_count(self):
+        seq = SiteSequence()
+        assert seq.sites == 128
+
+    def test_readout_time(self):
+        seq = SiteSequence(rows=16, cols=8, counter_bits=24, serial_clock_hz=1e6)
+        expected_bits = 128 * 24 + 40
+        assert seq.readout_time_s() == pytest.approx(expected_bits / 1e6)
+
+    def test_measurement_time_adds_frame(self):
+        seq = SiteSequence()
+        assert seq.measurement_time_s(1.0) == pytest.approx(1.0 + seq.readout_time_s())
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            SiteSequence().measurement_time_s(0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SiteSequence(rows=0)

@@ -1,0 +1,108 @@
+"""Fitting and linearity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    linear_fit,
+    loglog_slope,
+    proportionality_error,
+    snr_db,
+    usable_dynamic_range,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.linspace(0, 10, 20)
+        fit = linear_fit(x, 3 * x + 1)
+        assert fit.gain == pytest.approx(3.0)
+        assert fit.offset == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.max_abs_residual < 1e-9
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 200)
+        y = 2 * x + rng.normal(0, 0.1, size=len(x))
+        fit = linear_fit(x, y)
+        assert fit.gain == pytest.approx(2.0, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit(np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit(np.arange(3.0), np.arange(4.0))
+
+
+class TestLogLogSlope:
+    def test_proportional_data_slope_one(self):
+        x = np.logspace(-12, -7, 20)
+        assert loglog_slope(x, 5e12 * x) == pytest.approx(1.0)
+
+    def test_square_law_slope_two(self):
+        x = np.logspace(0, 2, 10)
+        assert loglog_slope(x, x**2) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+
+class TestProportionalityError:
+    def test_perfectly_proportional(self):
+        x = np.logspace(-12, -8, 10)
+        errors = proportionality_error(x, 3.0 * x)
+        assert np.allclose(errors, 0.0, atol=1e-12)
+
+    def test_compression_localised_at_top(self):
+        # Bottom decades exact, top point compressed 20%: the robust fit
+        # must put the error at the top point, not spread it.
+        x = np.logspace(-12, -8, 9)
+        y = 1e13 * x
+        y[-1] *= 0.8
+        errors = proportionality_error(x, y)
+        assert abs(errors[0]) < 0.01
+        assert errors[-1] == pytest.approx(-0.2, abs=0.02)
+
+    def test_rejects_zero_x(self):
+        with pytest.raises(ValueError):
+            proportionality_error(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestUsableDynamicRange:
+    def test_full_range_when_ideal(self):
+        x = np.logspace(-12, -7, 21)
+        low, high, decades = usable_dynamic_range(x, 7.0 * x)
+        assert low == pytest.approx(1e-12)
+        assert high == pytest.approx(1e-7)
+        assert decades == pytest.approx(5.0)
+
+    def test_compressed_top_excluded(self):
+        x = np.logspace(-12, -7, 21)
+        y = 7.0 * x.copy()
+        y[-4:] *= 0.8  # compress the top decade by 20%
+        low, high, decades = usable_dynamic_range(x, y, max_rel_error=0.05)
+        assert high < 1e-8 * 1.01
+        assert decades == pytest.approx(np.log10(high / low), rel=1e-6)
+
+    def test_all_bad_returns_nan(self):
+        x = np.logspace(0, 1, 5)
+        y = np.array([1.0, 100.0, 1.0, 100.0, 1.0])
+        low, high, decades = usable_dynamic_range(x, y, max_rel_error=0.01)
+        assert decades == pytest.approx(0.0, abs=0.5) or np.isnan(low)
+
+
+class TestSnr:
+    def test_20db(self):
+        assert snr_db(1.0, 0.1) == pytest.approx(20.0)
+
+    def test_zero_signal(self):
+        assert snr_db(0.0, 1.0) == float("-inf")
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ValueError):
+            snr_db(1.0, 0.0)

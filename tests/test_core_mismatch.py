@@ -1,0 +1,83 @@
+"""Pelgrom mismatch sampling and spread reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.mismatch import MismatchSampler, spread_report
+from repro.core.process import C5_PROCESS
+
+
+class TestProcessSigmas:
+    def test_sigma_vth_pelgrom_scaling(self):
+        # Quadrupling the area halves sigma.
+        s1 = C5_PROCESS.sigma_vth(1e-6, 1e-6)
+        s2 = C5_PROCESS.sigma_vth(2e-6, 2e-6)
+        assert s1 == pytest.approx(2 * s2)
+
+    def test_sigma_vth_magnitude(self):
+        # 10 mV*um coefficient -> 10 mV for a 1 um^2 device.
+        assert C5_PROCESS.sigma_vth(1e-6, 1e-6) == pytest.approx(10e-3, rel=1e-6)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            C5_PROCESS.sigma_vth(0.0, 1e-6)
+
+
+class TestSampler:
+    def test_draw_statistics(self):
+        sampler = MismatchSampler(C5_PROCESS, 2e-6, 1e-6)
+        dvth, dbeta = sampler.draw_arrays(20000, rng=1)
+        assert np.std(dvth) == pytest.approx(sampler.sigma_vth, rel=0.05)
+        assert np.std(dbeta) == pytest.approx(sampler.sigma_beta, rel=0.05)
+        assert abs(np.mean(dvth)) < 0.2 * sampler.sigma_vth
+
+    def test_draw_many_count(self):
+        sampler = MismatchSampler(C5_PROCESS, 2e-6, 1e-6)
+        samples = sampler.draw_many(7, rng=2)
+        assert len(samples) == 7
+
+    def test_draw_single(self):
+        sampler = MismatchSampler(C5_PROCESS, 2e-6, 1e-6)
+        sample = sampler.draw(rng=3)
+        assert abs(sample.delta_vth) < 6 * sampler.sigma_vth
+
+    def test_correlation_honoured(self):
+        sampler = MismatchSampler(C5_PROCESS, 2e-6, 1e-6, correlation=0.9)
+        dvth, dbeta = sampler.draw_arrays(20000, rng=4)
+        rho = np.corrcoef(dvth, dbeta)[0, 1]
+        assert rho == pytest.approx(0.9, abs=0.03)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            MismatchSampler(C5_PROCESS, 1e-6, 1e-6, correlation=1.5)
+
+    def test_negative_count(self):
+        sampler = MismatchSampler(C5_PROCESS, 1e-6, 1e-6)
+        with pytest.raises(ValueError):
+            sampler.draw_many(-1)
+
+    def test_reproducible_with_seed(self):
+        sampler = MismatchSampler(C5_PROCESS, 2e-6, 1e-6)
+        a = sampler.draw_arrays(10, rng=5)
+        b = sampler.draw_arrays(10, rng=5)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestSpreadReport:
+    def test_basic_stats(self):
+        report = spread_report(np.array([1.0, 2.0, 3.0]))
+        assert report["mean"] == pytest.approx(2.0)
+        assert report["min"] == 1.0
+        assert report["max"] == 3.0
+
+    def test_relative_sigma(self):
+        report = spread_report(np.array([9.0, 11.0]))
+        assert report["relative_sigma"] == pytest.approx(0.1)
+
+    def test_zero_mean_relative_sigma_inf(self):
+        report = spread_report(np.array([-1.0, 1.0]))
+        assert report["relative_sigma"] == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            spread_report(np.array([]))

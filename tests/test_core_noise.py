@@ -1,0 +1,120 @@
+"""Noise synthesis: densities, sampled traces, budgets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import noise
+from repro.core.units import BOLTZMANN, ELEMENTARY_CHARGE
+
+
+class TestDensities:
+    def test_thermal_current_density(self):
+        g = 1e-3
+        assert noise.thermal_current_noise_density(g, 300.0) == pytest.approx(
+            4 * BOLTZMANN * 300.0 * g
+        )
+
+    def test_thermal_voltage_density_1k_resistor(self):
+        # 4 nV/rtHz for 1 kOhm at room temperature.
+        density = noise.thermal_voltage_noise_density(1000.0, 300.0)
+        assert math.sqrt(density) == pytest.approx(4.07e-9, rel=0.02)
+
+    def test_shot_noise_density(self):
+        assert noise.shot_noise_density(1e-9) == pytest.approx(2 * ELEMENTARY_CHARGE * 1e-9)
+
+    def test_shot_noise_uses_magnitude(self):
+        assert noise.shot_noise_density(-1e-9) == noise.shot_noise_density(1e-9)
+
+    def test_negative_conductance_rejected(self):
+        with pytest.raises(ValueError):
+            noise.thermal_current_noise_density(-1.0)
+
+    def test_kt_over_c(self):
+        # ~64 uV rms on 1 pF.
+        assert noise.kt_over_c_noise(1e-12) == pytest.approx(64.4e-6, rel=0.02)
+
+    def test_kt_over_c_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            noise.kt_over_c_noise(0.0)
+
+    def test_integrate_white_noise(self):
+        assert noise.integrate_white_noise(1e-18, 1e6) == pytest.approx(1e-6)
+
+    def test_single_pole_enbw(self):
+        assert noise.single_pole_enbw(4e6) == pytest.approx(math.pi / 2 * 4e6)
+
+
+class TestTraces:
+    def test_white_noise_variance_matches_density(self):
+        density = 1e-12
+        dt = 1e-6
+        trace = noise.white_noise_trace(density, duration=0.2, dt=dt, rng=1)
+        expected_var = density / (2 * dt)
+        assert trace.samples.var() == pytest.approx(expected_var, rel=0.05)
+
+    def test_white_noise_zero_density(self):
+        trace = noise.white_noise_trace(0.0, duration=1e-3, dt=1e-6, rng=1)
+        assert np.all(trace.samples == 0)
+
+    def test_white_noise_reproducible(self):
+        a = noise.white_noise_trace(1e-12, 1e-3, 1e-6, rng=42)
+        b = noise.white_noise_trace(1e-12, 1e-3, 1e-6, rng=42)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_flicker_noise_spectrum_slope(self):
+        # PSD should fall roughly as 1/f: compare low vs high octave power.
+        trace = noise.flicker_noise_trace(1e-12, 1e3, duration=1.0, dt=1e-4, rng=3)
+        spectrum = np.abs(np.fft.rfft(trace.samples)) ** 2
+        freqs = np.fft.rfftfreq(trace.n, d=trace.dt)
+        low = spectrum[(freqs > 5) & (freqs < 50)].mean()
+        high = spectrum[(freqs > 500) & (freqs < 5000)].mean()
+        ratio = low / high
+        assert 10 < ratio < 1000  # ~100 expected for exact 1/f
+
+    def test_flicker_rejects_bad_corner(self):
+        with pytest.raises(ValueError):
+            noise.flicker_noise_trace(1e-12, 0.0, 1e-3, 1e-6)
+
+    def test_shot_noise_trace_rms(self):
+        current = 1e-9
+        dt = 1e-6
+        trace = noise.shot_noise_trace(current, duration=0.1, dt=dt, rng=2)
+        expected_rms = math.sqrt(noise.shot_noise_density(current) / (2 * dt))
+        assert trace.rms() == pytest.approx(expected_rms, rel=0.05)
+
+
+class TestNoiseBudget:
+    def test_quadrature_sum(self):
+        budget = noise.NoiseBudget()
+        budget.add("a", 3.0)
+        budget.add("b", 4.0)
+        assert budget.total_rms() == pytest.approx(5.0)
+
+    def test_dominant(self):
+        budget = noise.NoiseBudget()
+        budget.add("thermal", 1.0)
+        budget.add("flicker", 10.0)
+        assert budget.dominant() == "flicker"
+
+    def test_duplicate_rejected(self):
+        budget = noise.NoiseBudget()
+        budget.add("x", 1.0)
+        with pytest.raises(KeyError):
+            budget.add("x", 2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            noise.NoiseBudget().add("x", -1.0)
+
+    def test_empty_dominant_raises(self):
+        with pytest.raises(ValueError):
+            noise.NoiseBudget().dominant()
+
+    def test_rows_sorted_descending(self):
+        budget = noise.NoiseBudget()
+        budget.add("small", 1.0)
+        budget.add("big", 2.0)
+        rows = budget.as_rows()
+        assert rows[0][0] == "big"

@@ -1,0 +1,208 @@
+"""Trace: construction, arithmetic, slicing, resampling, filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signals import Trace, concatenate, time_axis
+
+
+def make_sine(freq=1e3, duration=0.01, dt=1e-6, amplitude=1.0):
+    t = np.arange(0, duration, dt)
+    return Trace(amplitude * np.sin(2 * np.pi * freq * t), dt)
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = Trace(np.zeros(100), dt=1e-6)
+        assert trace.n == 100
+        assert trace.duration == pytest.approx(100e-6)
+        assert trace.sample_rate == pytest.approx(1e6)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((4, 4)), dt=1e-6)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(4), dt=0.0)
+        with pytest.raises(ValueError):
+            Trace(np.zeros(4), dt=float("nan"))
+
+    def test_from_function(self):
+        trace = Trace.from_function(lambda t: 2 * t, duration=1.0, dt=0.25)
+        assert trace.n == 4
+        assert trace.samples[1] == pytest.approx(0.5)
+
+    def test_zeros(self):
+        trace = Trace.zeros(1e-3, 1e-6)
+        assert trace.n == 1000
+        assert np.all(trace.samples == 0)
+
+    def test_times_axis(self):
+        trace = Trace(np.zeros(3), dt=0.5, t0=1.0)
+        assert list(trace.times) == [1.0, 1.5, 2.0]
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        trace = Trace(np.ones(5), 1.0)
+        assert np.all((trace + 2.0).samples == 3.0)
+
+    def test_add_traces(self):
+        a = Trace(np.ones(5), 1.0)
+        b = Trace(2 * np.ones(5), 1.0)
+        assert np.all((a + b).samples == 3.0)
+
+    def test_subtract(self):
+        a = Trace(np.ones(5), 1.0)
+        assert np.all((a - a).samples == 0.0)
+
+    def test_multiply(self):
+        trace = Trace(np.ones(5), 1.0)
+        assert np.all((3.0 * trace).samples == 3.0)
+        assert np.all((trace * 3.0).samples == 3.0)
+
+    def test_incompatible_dt_raises(self):
+        a = Trace(np.ones(5), 1.0)
+        b = Trace(np.ones(5), 2.0)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_incompatible_length_raises(self):
+        a = Trace(np.ones(5), 1.0)
+        b = Trace(np.ones(6), 1.0)
+        with pytest.raises(ValueError):
+            a + b
+
+
+class TestMetrics:
+    def test_rms_of_sine(self):
+        assert make_sine().rms() == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_peak_to_peak(self):
+        assert make_sine().peak_to_peak() == pytest.approx(2.0, rel=1e-3)
+
+    def test_peak_abs(self):
+        trace = Trace(np.array([-3.0, 1.0, 2.0]), 1.0)
+        assert trace.peak_abs() == 3.0
+
+    def test_mean_std(self):
+        trace = Trace(np.array([1.0, 3.0]), 1.0)
+        assert trace.mean() == 2.0
+        assert trace.std() == 1.0
+
+
+class TestTransformations:
+    def test_slice_time(self):
+        trace = Trace(np.arange(10, dtype=float), 1.0)
+        part = trace.slice_time(2.0, 5.0)
+        assert list(part.samples) == [2.0, 3.0, 4.0]
+        assert part.t0 == 2.0
+
+    def test_slice_empty_raises(self):
+        trace = Trace(np.arange(10, dtype=float), 1.0)
+        with pytest.raises(ValueError):
+            trace.slice_time(5.0, 5.0)
+
+    def test_resample_downsamples(self):
+        trace = make_sine()
+        coarse = trace.resample(4e-6)
+        assert coarse.dt == pytest.approx(4e-6)
+        assert coarse.n == pytest.approx(trace.n / 4, abs=2)
+
+    def test_resample_identity(self):
+        trace = make_sine()
+        same = trace.resample(trace.dt)
+        assert np.allclose(same.samples, trace.samples)
+
+    def test_decimate(self):
+        trace = Trace(np.arange(10, dtype=float), 1.0)
+        dec = trace.decimate(3)
+        assert list(dec.samples) == [0.0, 3.0, 6.0, 9.0]
+        assert dec.dt == 3.0
+
+    def test_clipped(self):
+        trace = Trace(np.array([-2.0, 0.0, 2.0]), 1.0)
+        assert list(trace.clipped(-1.0, 1.0).samples) == [-1.0, 0.0, 1.0]
+
+    def test_clip_invalid_range(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(3), 1.0).clipped(1.0, -1.0)
+
+    def test_lowpass_attenuates_above_cutoff(self):
+        fast = make_sine(freq=100e3, duration=2e-3, dt=1e-7)
+        out = fast.lowpass_fast(1e3)
+        assert out.rms() < 0.05 * fast.rms()
+
+    def test_lowpass_passes_below_cutoff(self):
+        slow = make_sine(freq=100.0, duration=0.05, dt=1e-5)
+        out = slow.lowpass_fast(100e3)
+        assert out.rms() == pytest.approx(slow.rms(), rel=0.02)
+
+    def test_lowpass_iterative_matches_vectorised(self):
+        trace = make_sine(freq=5e3, duration=2e-3, dt=1e-6)
+        a = trace.lowpass(20e3)
+        b = trace.lowpass_fast(20e3)
+        assert np.allclose(a.samples, b.samples, atol=1e-9)
+
+    def test_highpass_blocks_dc(self):
+        trace = Trace(np.ones(5000), 1e-5) + make_sine(freq=10e3, duration=0.05, dt=1e-5)
+        out = trace.highpass(100.0)
+        assert abs(out.slice_time(0.02, 0.05).mean()) < 0.05
+
+    def test_derivative_of_ramp(self):
+        trace = Trace(np.arange(100, dtype=float), 0.5)
+        deriv = trace.derivative()
+        assert np.allclose(deriv.samples, 2.0)
+
+    def test_delayed_shifts(self):
+        trace = Trace(np.array([1.0, 2.0, 3.0, 4.0]), 1.0)
+        shifted = trace.delayed(2.0)
+        assert list(shifted.samples) == [0.0, 0.0, 1.0, 2.0]
+
+    def test_delayed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(3), 1.0).delayed(-1.0)
+
+
+class TestModuleHelpers:
+    def test_concatenate(self):
+        a = Trace(np.ones(3), 1.0)
+        b = Trace(2 * np.ones(2), 1.0)
+        joined = concatenate([a, b])
+        assert list(joined.samples) == [1.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_concatenate_dt_mismatch(self):
+        with pytest.raises(ValueError):
+            concatenate([Trace(np.ones(2), 1.0), Trace(np.ones(2), 2.0)])
+
+    def test_concatenate_empty(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_time_axis(self):
+        axis = time_axis(1.0, 0.25)
+        assert len(axis) == 4
+        assert axis[-1] == pytest.approx(0.75)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=300),
+        dt=st.floats(min_value=1e-9, max_value=1.0),
+        scale=st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_scales_rms(self, n, dt, scale):
+        rng = np.random.default_rng(n)
+        trace = Trace(rng.normal(size=n), dt)
+        assert (trace * scale).rms() == pytest.approx(abs(scale) * trace.rms(), rel=1e-9, abs=1e-12)
+
+    @given(n=st.integers(min_value=4, max_value=200), factor=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_decimate_preserves_duration_approximately(self, n, factor):
+        trace = Trace(np.arange(n, dtype=float), 1.0)
+        dec = trace.decimate(factor)
+        assert abs(dec.duration - trace.duration) < factor

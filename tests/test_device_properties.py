@@ -1,0 +1,154 @@
+"""Hypothesis property tests on device-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.process import C5_PROCESS
+from repro.devices.capacitor import Capacitor
+from repro.devices.comparator import Comparator
+from repro.devices.dac import ResistorStringDac
+from repro.devices.mosfet import Mosfet
+from repro.devices.switches import MosSwitch
+
+
+class TestMosfetProperties:
+    @given(
+        vgs=st.floats(min_value=0.0, max_value=5.0),
+        vds=st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_current_non_negative_forward(self, vgs, vds):
+        device = Mosfet(2e-6, 1e-6)
+        assert device.ids(vgs, vds) >= 0.0
+
+    @given(
+        vgs=st.floats(min_value=0.3, max_value=4.0),
+        scale=st.floats(min_value=1.1, max_value=8.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_current_scales_with_width(self, vgs, scale):
+        narrow = Mosfet(1e-6, 1e-6)
+        wide = Mosfet(scale * 1e-6, 1e-6)
+        i_narrow = narrow.ids(vgs, 2.5)
+        if i_narrow > 1e-18:
+            assert wide.ids(vgs, 2.5) == pytest.approx(scale * i_narrow, rel=0.01)
+
+    @given(vgs=st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_gm_consistent_with_finite_difference(self, vgs):
+        device = Mosfet(2e-6, 1e-6)
+        gm = device.gm(vgs, 2.5)
+        delta = 1e-4
+        fd = (device.ids(vgs + delta, 2.5) - device.ids(vgs - delta, 2.5)) / (2 * delta)
+        assert gm == pytest.approx(fd, rel=0.01)
+
+
+class TestComparatorProperties:
+    @given(
+        threshold=st.floats(min_value=0.1, max_value=4.0),
+        hysteresis=st.floats(min_value=0.0, max_value=0.5),
+        v=st.floats(min_value=-1.0, max_value=5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hysteresis_band_consistency(self, threshold, hysteresis, v):
+        comp = Comparator(threshold_v=threshold, hysteresis_v=hysteresis)
+        # Above the rising threshold: output high regardless of state.
+        if v > threshold:
+            assert comp.compare_static(v, state=False)
+        # Below the falling threshold: output low regardless of state.
+        if v <= threshold - hysteresis:
+            assert not comp.compare_static(v, state=True)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_noisy_trip_levels_centered(self, seed):
+        comp = Comparator(threshold_v=1.0, noise_rms_v=0.01)
+        levels = [comp.trip_level(rng=seed * 100 + i) for i in range(50)]
+        assert abs(np.mean(levels) - 1.0) < 0.01
+
+
+class TestSwitchCapacitorProperties:
+    @given(
+        w=st.floats(min_value=0.5e-6, max_value=10e-6),
+        l=st.floats(min_value=0.5e-6, max_value=5e-6),
+        v=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_channel_charge_non_negative_and_area_scaled(self, w, l, v):
+        sw = MosSwitch(w, l)
+        q = sw.channel_charge(v)
+        assert q >= 0.0
+        double = MosSwitch(2 * w, l)
+        assert double.channel_charge(v) == pytest.approx(2 * q, rel=1e-9)
+
+    @given(
+        current=st.floats(min_value=1e-13, max_value=1e-6),
+        dv=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_charge_time_inverse_in_current(self, current, dv):
+        cap = Capacitor(100e-15)
+        t1 = cap.charge_time(current, dv)
+        t2 = cap.charge_time(2 * current, dv)
+        assert t2 == pytest.approx(t1 / 2, rel=1e-9)
+
+    @given(
+        g=st.floats(min_value=1e-16, max_value=1e-12),
+        v=st.floats(min_value=0.1, max_value=3.0),
+        t=st.floats(min_value=1e-6, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_droop_bounded_by_initial_voltage(self, g, v, t):
+        cap = Capacitor(100e-15, leakage_conductance_s=g)
+        droop = cap.droop(v, t)
+        assert 0.0 <= droop <= v + 1e-12
+
+
+class TestDacProperties:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_always_monotone(self, seed):
+        # Single-string DACs are monotone by construction, for any
+        # resistor mismatch draw — verify the model preserves this.
+        dac = ResistorStringDac.sample(rng=seed, bits=6, resistor_sigma=0.05)
+        outputs = [dac.output(code) for code in range(64)]
+        assert all(b > a for a, b in zip(outputs, outputs[1:]))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        voltage=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_code_for_voltage_within_one_lsb_ideal(self, seed, voltage):
+        dac = ResistorStringDac.sample(rng=seed, bits=8, v_low=0.0, v_high=5.0,
+                                       resistor_sigma=0.002)
+        code = dac.code_for_voltage(voltage)
+        assert abs(dac.output(code) - voltage) <= 3 * dac.lsb
+
+
+class TestProcessProperties:
+    def test_cox_from_tox(self):
+        expected = 8.8541878128e-12 * 3.9 / 15e-9
+        assert C5_PROCESS.c_ox == pytest.approx(expected)
+
+    def test_scaled_process(self):
+        half = C5_PROCESS.scaled(0.5)
+        assert half.l_min == pytest.approx(0.25e-6)
+        assert half.vdd == pytest.approx(2.5)
+        assert half.t_ox == pytest.approx(7.5e-9)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            C5_PROCESS.scaled(0.0)
+
+    @given(
+        w=st.floats(min_value=0.5e-6, max_value=20e-6),
+        l=st.floats(min_value=0.5e-6, max_value=20e-6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pelgrom_sigma_decreases_with_area(self, w, l):
+        base = C5_PROCESS.sigma_vth(w, l)
+        bigger = C5_PROCESS.sigma_vth(2 * w, 2 * l)
+        assert bigger == pytest.approx(base / 2, rel=1e-9)

@@ -1,0 +1,135 @@
+"""Gain stages and amplifier chains (the Fig. 6 building blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signals import Trace
+from repro.devices.amplifier import AmplifierChain, GainStage
+from repro.neuro.readout_chain import build_readout_chain
+
+
+def sine(freq, duration, dt, amplitude=1.0):
+    t = np.arange(0, duration, dt)
+    return Trace(amplitude * np.sin(2 * np.pi * freq * t), dt)
+
+
+class TestGainStage:
+    def test_dc_transfer(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6)
+        assert stage.dc_transfer(0.1) == pytest.approx(1.0)
+
+    def test_gain_error_applied(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, gain_error=0.05)
+        assert stage.actual_gain == pytest.approx(10.5)
+
+    def test_clipping(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, rail_low=-1.0, rail_high=1.0)
+        assert stage.dc_transfer(1.0) == 1.0
+        assert stage.dc_transfer(-1.0) == -1.0
+
+    def test_offset_calibration(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, offset_v=0.01)
+        assert stage.dc_transfer(0.0) == pytest.approx(0.1)
+        stage.calibrate_offset()
+        assert stage.dc_transfer(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_calibration_residual(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, offset_v=0.01)
+        stage.calibrate_offset(residual_v=0.001)
+        assert stage.residual_offset == pytest.approx(0.001)
+
+    def test_reset_calibration(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, offset_v=0.01)
+        stage.calibrate_offset()
+        stage.reset_calibration()
+        assert stage.residual_offset == pytest.approx(0.01)
+
+    def test_bandwidth_attenuates(self):
+        stage = GainStage(nominal_gain=1.0, bandwidth_hz=1e4)
+        fast = sine(1e6, 1e-4, 1e-8)
+        out = stage.process(fast, include_noise=False)
+        settled = out.slice_time(2e-5, 1e-4)
+        assert settled.rms() < 0.05 * fast.rms()
+
+    def test_noise_added(self):
+        stage = GainStage(nominal_gain=1.0, bandwidth_hz=1e6, input_noise_density=1e-12)
+        silent = Trace(np.zeros(10000), 1e-7)
+        out = stage.process(silent, rng=1)
+        assert out.rms() > 0
+
+    def test_output_noise_rms_positive(self):
+        stage = GainStage(nominal_gain=10.0, bandwidth_hz=1e6, input_noise_density=1e-16)
+        assert stage.output_noise_rms() > 0
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            GainStage(nominal_gain=0.0, bandwidth_hz=1e6)
+
+
+class TestAmplifierChain:
+    def build_paper_chain(self):
+        return AmplifierChain([
+            GainStage(100.0, 12e6, label="x100"),
+            GainStage(7.0, 4e6, label="x7"),
+            GainStage(1.0, 32e6, label="driver"),
+            GainStage(4.0, 32e6, label="x4"),
+            GainStage(2.0, 32e6, label="x2"),
+        ])
+
+    def test_total_gain_5600(self):
+        assert self.build_paper_chain().nominal_gain == pytest.approx(5600.0)
+
+    def test_bandwidth_dominated_by_4mhz(self):
+        bw = self.build_paper_chain().bandwidth_hz()
+        assert 1.5e6 < bw <= 4e6
+
+    def test_dc_transfer_through_chain(self):
+        chain = self.build_paper_chain()
+        assert chain.dc_transfer(1e-4) == pytest.approx(0.56, rel=1e-6)
+
+    def test_input_referred_offset_dominated_by_first_stage(self):
+        chain = AmplifierChain([
+            GainStage(100.0, 1e6, offset_v=0.001),
+            GainStage(7.0, 1e6, offset_v=0.1),
+        ])
+        # Second stage offset is divided by 100.
+        assert chain.input_referred_offset() == pytest.approx(0.001 + 0.1 / 100)
+
+    def test_calibrate_all(self):
+        chain = AmplifierChain([
+            GainStage(10.0, 1e6, offset_v=0.01),
+            GainStage(10.0, 1e6, offset_v=0.02),
+        ])
+        chain.calibrate_all()
+        assert chain.input_referred_offset() == pytest.approx(0.0, abs=1e-12)
+
+    def test_process_amplifies(self):
+        chain = self.build_paper_chain()
+        small = sine(1e3, 5e-3, 1e-6, amplitude=1e-4)
+        out = chain.process(small, include_noise=False)
+        assert out.slice_time(1e-3, 5e-3).peak_abs() == pytest.approx(0.56, rel=0.05)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            AmplifierChain([])
+
+    def test_input_referred_noise_positive(self):
+        chain = build_readout_chain(rng=1)
+        noise = chain.input_referred_noise_rms()
+        assert 1e-6 < noise < 1e-3
+
+
+class TestReadoutChainFactory:
+    def test_stage_structure(self):
+        chain = build_readout_chain(rng=2)
+        assert len(chain.stages) == 5
+        assert chain.nominal_gain == pytest.approx(5600.0)
+
+    def test_instances_differ(self):
+        a = build_readout_chain(rng=1)
+        b = build_readout_chain(rng=2)
+        assert a.actual_gain != b.actual_gain
+
+    def test_gain_spread_reasonable(self):
+        gains = [build_readout_chain(rng=i).actual_gain for i in range(20)]
+        assert np.std(gains) / np.mean(gains) < 0.15

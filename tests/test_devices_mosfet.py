@@ -1,0 +1,134 @@
+"""MOSFET model: operating regions, monotonicity, inverse solve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mismatch import MismatchSample
+from repro.core.process import C5_PROCESS
+from repro.devices.mosfet import Mosfet
+
+
+@pytest.fixture
+def nmos():
+    return Mosfet(width=2e-6, length=1e-6)
+
+
+class TestRegions:
+    def test_strong_inversion_magnitude(self, nmos):
+        # beta*(Vgs-Vth)^2/2n-ish: ~40-60 uA at Vgs=1.5, W/L=2.
+        current = nmos.ids(1.5, 2.5)
+        assert 20e-6 < current < 100e-6
+
+    def test_subthreshold_is_exponential(self, nmos):
+        i1 = nmos.ids(0.45, 2.5)
+        i2 = nmos.ids(0.45 + 0.1, 2.5)
+        # One decade per ~n*Vt*ln(10) = 86 mV: 100 mV -> > 8x.
+        assert 5 < i2 / i1 < 25
+
+    def test_cutoff_tiny(self, nmos):
+        assert nmos.ids(0.0, 2.5) < 1e-12
+
+    def test_triode_less_than_saturation(self, nmos):
+        assert nmos.ids(2.0, 0.05) < nmos.ids(2.0, 2.5)
+
+    def test_saturation_flat(self, nmos):
+        # Channel-length modulation only: a few % per volt.
+        i1 = nmos.ids(1.5, 2.0)
+        i2 = nmos.ids(1.5, 3.0)
+        assert 1.0 < i2 / i1 < 1.1
+
+    def test_negative_vds_antisymmetric(self, nmos):
+        # Swapping source/drain flips the current sign.
+        forward = nmos.ids(1.5, 0.3)
+        backward = nmos.ids(1.2, -0.3)
+        assert backward == pytest.approx(-forward, rel=1e-9)
+
+    def test_monotone_in_vgs(self, nmos):
+        vgs = np.linspace(0.0, 5.0, 60)
+        currents = [nmos.ids(v, 2.5) for v in vgs]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+
+class TestGeometryAndMismatch:
+    def test_wider_device_more_current(self):
+        narrow = Mosfet(1e-6, 1e-6)
+        wide = Mosfet(4e-6, 1e-6)
+        assert wide.ids(1.5, 2.5) == pytest.approx(4 * narrow.ids(1.5, 2.5), rel=0.01)
+
+    def test_vth_shift_shifts_current(self):
+        shifted = Mosfet(2e-6, 1e-6, mismatch=MismatchSample(delta_vth=0.05, delta_beta_rel=0.0))
+        nominal = Mosfet(2e-6, 1e-6)
+        assert shifted.ids(1.5, 2.5) < nominal.ids(1.5, 2.5)
+        assert shifted.ids(1.55, 2.5) == pytest.approx(nominal.ids(1.5, 2.5), rel=0.02)
+
+    def test_beta_error_scales_current(self):
+        fat = Mosfet(2e-6, 1e-6, mismatch=MismatchSample(delta_vth=0.0, delta_beta_rel=0.1))
+        nominal = Mosfet(2e-6, 1e-6)
+        assert fat.ids(1.5, 2.5) == pytest.approx(1.1 * nominal.ids(1.5, 2.5), rel=0.001)
+
+    def test_pmos_uses_pmos_parameters(self):
+        pmos = Mosfet(2e-6, 1e-6, polarity="p")
+        nmos = Mosfet(2e-6, 1e-6, polarity="n")
+        assert pmos.ids(1.5, 2.5) < nmos.ids(1.5, 2.5)  # lower mobility
+
+    def test_invalid_polarity(self):
+        with pytest.raises(ValueError):
+            Mosfet(1e-6, 1e-6, polarity="x")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mosfet(0.0, 1e-6)
+
+    def test_gate_capacitance(self, nmos):
+        expected = C5_PROCESS.c_ox * 2e-6 * 1e-6
+        assert nmos.gate_capacitance == pytest.approx(expected)
+
+    def test_junction_leakage_positive(self, nmos):
+        assert nmos.junction_leakage() > 0
+
+
+class TestSmallSignal:
+    def test_gm_positive_and_sane(self, nmos):
+        gm = nmos.gm(1.5, 2.5)
+        # gm = dI/dVgs ~ 2I/(Vov) ~ 120 uS here.
+        assert 50e-6 < gm < 300e-6
+
+    def test_gm_over_id_weak_inversion_limit(self, nmos):
+        # In weak inversion gm/Id -> 1/(n*Vt) ~ 26.7 1/V.
+        ratio = nmos.gm_over_id(0.4, 2.5)
+        assert 20 < ratio < 28
+
+    def test_gm_over_id_strong_lower(self, nmos):
+        assert nmos.gm_over_id(2.5, 2.5) < nmos.gm_over_id(0.5, 2.5)
+
+    def test_gds_positive(self, nmos):
+        assert nmos.gds(1.5, 2.5) > 0
+
+    def test_flicker_corner_positive(self, nmos):
+        corner = nmos.flicker_corner_hz(1.2, 2.5)
+        assert 1e2 < corner < 1e8
+
+
+class TestInverseSolve:
+    @pytest.mark.parametrize("target", [1e-12, 1e-9, 1e-6, 1e-4])
+    def test_roundtrip(self, nmos, target):
+        vgs = nmos.vgs_for_current(target, vds=2.5)
+        assert nmos.ids(vgs, 2.5) == pytest.approx(target, rel=1e-5)
+
+    def test_rejects_nonpositive(self, nmos):
+        with pytest.raises(ValueError):
+            nmos.vgs_for_current(0.0)
+
+    def test_rejects_unreachable(self, nmos):
+        with pytest.raises(ValueError):
+            nmos.vgs_for_current(1.0)  # 1 A is beyond this device
+
+    @given(exp=st.floats(min_value=-11.5, max_value=-4.5))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, exp):
+        device = Mosfet(2e-6, 1e-6)
+        target = 10.0**exp
+        vgs = device.vgs_for_current(target, vds=2.5)
+        assert device.ids(vgs, 2.5) == pytest.approx(target, rel=1e-4)

@@ -1,0 +1,131 @@
+"""Op-amp and comparator behavioural models."""
+
+import numpy as np
+import pytest
+
+from repro.core.signals import Trace
+from repro.devices.comparator import Comparator
+from repro.devices.opamp import OpAmp
+
+
+class TestOpAmpStatic:
+    def test_output_saturates(self):
+        amp = OpAmp(dc_gain=1e4, rail_low=0.0, rail_high=5.0)
+        assert amp.output_static(1.0, 0.0) == 5.0
+        assert amp.output_static(0.0, 1.0) == 0.0
+
+    def test_small_signal_linear(self):
+        amp = OpAmp(dc_gain=100.0, rail_low=-10.0, rail_high=10.0)
+        assert amp.output_static(0.01, 0.0) == pytest.approx(1.0)
+
+    def test_offset_adds(self):
+        amp = OpAmp(dc_gain=100.0, offset_v=0.001, rail_low=-10.0, rail_high=10.0)
+        assert amp.output_static(0.0, 0.0) == pytest.approx(0.1)
+
+    def test_closed_loop_gain(self):
+        amp = OpAmp(dc_gain=1e5)
+        assert amp.closed_loop_gain(1.0) == pytest.approx(1.0, rel=1e-4)
+        assert amp.closed_loop_gain(0.1) == pytest.approx(10.0, rel=1e-3)
+
+    def test_closed_loop_bandwidth(self):
+        amp = OpAmp(gbw_hz=10e6)
+        assert amp.closed_loop_bandwidth(0.5) == pytest.approx(5e6)
+
+    def test_invalid_feedback(self):
+        with pytest.raises(ValueError):
+            OpAmp().closed_loop_gain(0.0)
+
+    def test_invalid_rails(self):
+        with pytest.raises(ValueError):
+            OpAmp(rail_low=1.0, rail_high=0.0)
+
+
+class TestOpAmpDynamic:
+    def test_follower_tracks_dc(self):
+        amp = OpAmp(dc_gain=1e5, gbw_hz=1e6)
+        target = Trace(np.full(5000, 2.0), dt=1e-7)
+        out = amp.follower_response(target)
+        assert out.samples[-1] == pytest.approx(2.0, abs=1e-3)
+
+    def test_follower_bandwidth_limits_step(self):
+        amp = OpAmp(dc_gain=1e5, gbw_hz=1e5)
+        samples = np.concatenate([np.zeros(10), np.ones(2000)])
+        out = amp.follower_response(Trace(samples, dt=1e-7))
+        # 10-90 settling of a 100 kHz pole ~ 3.5 us; at 1 us after the
+        # step the output must still be well below the target.
+        assert out.samples[20] < 0.8
+
+    def test_slew_limit_enforced(self):
+        amp = OpAmp(dc_gain=1e5, gbw_hz=1e8, slew_rate=1e5)  # 0.1 V/us
+        samples = np.concatenate([np.zeros(10), np.ones(4000)])
+        out = amp.follower_response(Trace(samples, dt=1e-7))
+        max_step = np.max(np.abs(np.diff(out.samples)))
+        assert max_step <= 1e5 * 1e-7 * 1.001
+
+    def test_settling_time_linear_case(self):
+        amp = OpAmp(dc_gain=1e5, gbw_hz=1e6)
+        t = amp.settling_time(0.1, tolerance=1e-3)
+        tau = 1 / (2 * np.pi * 1e6)
+        assert t == pytest.approx(tau * np.log(1000), rel=1e-6)
+
+    def test_settling_time_zero_step(self):
+        assert OpAmp().settling_time(0.0) == 0.0
+
+    def test_settling_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            OpAmp().settling_time(1.0, tolerance=2.0)
+
+
+class TestComparatorStatic:
+    def test_trip_above_threshold(self):
+        comp = Comparator(threshold_v=1.0)
+        assert comp.compare_static(1.1)
+        assert not comp.compare_static(0.9)
+
+    def test_offset_shifts_threshold(self):
+        comp = Comparator(threshold_v=1.0, offset_v=0.2)
+        assert not comp.compare_static(1.1)
+        assert comp.compare_static(1.25)
+
+    def test_hysteresis_memory(self):
+        comp = Comparator(threshold_v=1.0, hysteresis_v=0.2)
+        assert comp.compare_static(0.9, state=True)  # holds above falling level
+        assert not comp.compare_static(0.9, state=False)
+        assert not comp.compare_static(0.75, state=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Comparator(1.0, hysteresis_v=-0.1)
+        with pytest.raises(ValueError):
+            Comparator(1.0, delay_s=-1.0)
+
+
+class TestComparatorDynamic:
+    def test_process_ramp_fires_once(self):
+        comp = Comparator(threshold_v=0.5)
+        ramp = Trace(np.linspace(0, 1, 1000), dt=1e-6)
+        out = comp.process(ramp)
+        transitions = np.sum(np.abs(np.diff(out.samples)) > 0.5)
+        assert transitions == 1
+
+    def test_delay_shifts_edge(self):
+        comp_fast = Comparator(threshold_v=0.5, delay_s=0.0)
+        comp_slow = Comparator(threshold_v=0.5, delay_s=50e-6)
+        ramp = Trace(np.linspace(0, 1, 1000), dt=1e-6)
+        t_fast = comp_fast.first_crossing_time(ramp)
+        t_slow = comp_slow.first_crossing_time(ramp)
+        assert t_slow - t_fast == pytest.approx(50e-6, abs=2e-6)
+
+    def test_no_crossing_returns_none(self):
+        comp = Comparator(threshold_v=2.0)
+        flat = Trace(np.zeros(100), dt=1e-6)
+        assert comp.first_crossing_time(flat) is None
+
+    def test_noise_jitters_trip_point(self):
+        comp = Comparator(threshold_v=0.5, noise_rms_v=0.05)
+        levels = {comp.trip_level(rng=i) for i in range(16)}
+        assert len(levels) > 1
+
+    def test_noiseless_trip_is_deterministic(self):
+        comp = Comparator(threshold_v=0.5)
+        assert comp.trip_level() == comp.trip_level()

@@ -1,0 +1,136 @@
+"""Langmuir hybridization and washing kinetics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.hybridization import DEFAULT_KINETICS, HybridizationKinetics, ProbeSiteState
+
+
+class TestRates:
+    def test_k_off_penalty_per_mismatch(self):
+        kin = HybridizationKinetics(mismatch_penalty=10.0)
+        assert kin.k_off(1) == pytest.approx(10 * kin.k_off(0))
+        assert kin.k_off(3) == pytest.approx(1000 * kin.k_off(0))
+
+    def test_k_off_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_KINETICS.k_off(-1)
+
+    def test_k_on_effective_slower_for_long_targets(self):
+        kin = DEFAULT_KINETICS
+        assert kin.k_on_effective(20, 2000) < kin.k_on_effective(20, 20)
+
+    def test_k_on_effective_sqrt_scaling(self):
+        kin = DEFAULT_KINETICS
+        assert kin.k_on_effective(20, 2000) == pytest.approx(kin.k_on * 0.1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HybridizationKinetics(k_on=0.0)
+        with pytest.raises(ValueError):
+            HybridizationKinetics(mismatch_penalty=0.5)
+
+
+class TestEquilibrium:
+    def test_occupancy_bounds(self):
+        kin = DEFAULT_KINETICS
+        for conc in (0.0, 1e-9, 1e-6, 1e-3, 1.0):
+            theta = kin.equilibrium_occupancy(conc)
+            assert 0.0 <= theta <= 1.0
+
+    def test_monotone_in_concentration(self):
+        kin = DEFAULT_KINETICS
+        thetas = [kin.equilibrium_occupancy(c) for c in (1e-9, 1e-7, 1e-5, 1e-3)]
+        assert all(b > a for a, b in zip(thetas, thetas[1:]))
+
+    def test_mismatch_lowers_equilibrium(self):
+        kin = DEFAULT_KINETICS
+        assert kin.equilibrium_occupancy(1e-6, 1) < kin.equilibrium_occupancy(1e-6, 0)
+
+    def test_saturation_at_high_concentration(self):
+        assert DEFAULT_KINETICS.equilibrium_occupancy(10.0) > 0.99
+
+
+class TestTimeCourse:
+    def test_approaches_equilibrium(self):
+        kin = DEFAULT_KINETICS
+        theta_eq = kin.equilibrium_occupancy(1e-4)
+        theta_long = kin.occupancy_after(1e6, 1e-4, target_length=20)
+        assert theta_long == pytest.approx(theta_eq, rel=1e-3)
+
+    def test_zero_time_keeps_initial(self):
+        kin = DEFAULT_KINETICS
+        assert kin.occupancy_after(0.0, 1e-6, initial=0.3) == pytest.approx(0.3)
+
+    def test_monotone_in_time_from_zero(self):
+        kin = DEFAULT_KINETICS
+        thetas = [kin.occupancy_after(t, 1e-5) for t in (60, 600, 3600, 36000)]
+        assert all(b >= a for a, b in zip(thetas, thetas[1:]))
+
+    @given(
+        duration=st.floats(min_value=0.0, max_value=1e5),
+        conc=st.floats(min_value=0.0, max_value=1.0),
+        mm=st.integers(min_value=0, max_value=5),
+        initial=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_always_in_unit_interval(self, duration, conc, mm, initial):
+        theta = DEFAULT_KINETICS.occupancy_after(duration, conc, mm, initial)
+        assert 0.0 <= theta <= 1.0
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            DEFAULT_KINETICS.occupancy_after(1.0, 1e-6, initial=1.5)
+
+
+class TestWashing:
+    def test_wash_only_decreases(self):
+        kin = DEFAULT_KINETICS
+        assert kin.occupancy_after_wash(120.0, 0, 0.8) < 0.8
+
+    def test_mismatched_strips_faster(self):
+        kin = DEFAULT_KINETICS
+        match = kin.occupancy_after_wash(120.0, 0, 1.0)
+        mm = kin.occupancy_after_wash(120.0, 1, 1.0)
+        assert mm < match
+
+    def test_zero_duration_no_change(self):
+        assert DEFAULT_KINETICS.occupancy_after_wash(0.0, 0, 0.5) == pytest.approx(0.5)
+
+    @given(
+        wash=st.floats(min_value=0.0, max_value=1e4),
+        mm=st.integers(min_value=0, max_value=4),
+        initial=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_wash_result_in_unit_interval(self, wash, mm, initial):
+        theta = DEFAULT_KINETICS.occupancy_after_wash(wash, mm, initial)
+        assert 0.0 <= theta <= initial + 1e-12
+
+
+class TestDiscrimination:
+    def test_single_mismatch_discrimination_large(self):
+        # The Fig. 2 claim: washing separates match from mismatch.
+        ratio = DEFAULT_KINETICS.discrimination_ratio(3600, 120, 1e-6, 1)
+        assert ratio > 10
+
+    def test_more_mismatches_more_discrimination(self):
+        kin = DEFAULT_KINETICS
+        r1 = kin.discrimination_ratio(3600, 120, 1e-6, 1)
+        r2 = kin.discrimination_ratio(3600, 120, 1e-6, 2)
+        assert r2 > r1
+
+    def test_longer_wash_more_discrimination(self):
+        kin = DEFAULT_KINETICS
+        assert (kin.discrimination_ratio(3600, 300, 1e-6, 1)
+                > kin.discrimination_ratio(3600, 30, 1e-6, 1))
+
+
+class TestSiteState:
+    def test_retained_fraction(self):
+        state = ProbeSiteState(0.5, 0.4, 0)
+        assert state.retained_fraction() == pytest.approx(0.8)
+
+    def test_retained_fraction_zero_hyb(self):
+        assert ProbeSiteState(0.0, 0.0, 0).retained_fraction() == 0.0

@@ -1,0 +1,150 @@
+"""DNA sequence algebra, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.sequences import DnaSequence, Probe, Target, perfect_target_for
+
+dna_strings = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestBasics:
+    def test_construction_normalises_case(self):
+        assert str(DnaSequence("acgt")) == "ACGT"
+
+    def test_rejects_invalid_bases(self):
+        with pytest.raises(ValueError):
+            DnaSequence("ACGX")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DnaSequence("")
+
+    def test_equality_and_hash(self):
+        assert DnaSequence("ACGT") == DnaSequence("acgt")
+        assert len({DnaSequence("ACGT"), DnaSequence("ACGT")}) == 1
+
+    def test_indexing(self):
+        assert DnaSequence("ACGT")[1] == "C"
+
+    def test_gc_content(self):
+        assert DnaSequence("GGCC").gc_content() == 1.0
+        assert DnaSequence("AATT").gc_content() == 0.0
+        assert DnaSequence("ACGT").gc_content() == 0.5
+
+
+class TestComplement:
+    def test_complement(self):
+        assert str(DnaSequence("ACGT").complement()) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert str(DnaSequence("AACG").reverse_complement()) == "CGTT"
+
+    @given(dna_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_complement_is_involution(self, s):
+        seq = DnaSequence(s)
+        assert seq.complement().complement() == seq
+
+    @given(dna_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_reverse_complement_is_involution(self, s):
+        seq = DnaSequence(s)
+        assert seq.reverse_complement().reverse_complement() == seq
+
+    @given(dna_strings)
+    @settings(max_examples=50, deadline=None)
+    def test_gc_content_invariant_under_complement(self, s):
+        # A<->T and G<->C both preserve the GC class of each base.
+        seq = DnaSequence(s)
+        assert seq.complement().gc_content() == pytest.approx(seq.gc_content())
+
+
+class TestMeltingTemperature:
+    def test_wallace_rule_short(self):
+        # 2*AT + 4*GC for <14-mers.
+        assert DnaSequence("AATTGGCC").melting_temperature_c() == pytest.approx(2 * 4 + 4 * 4)
+
+    def test_gc_rich_melts_higher(self):
+        at = DnaSequence("ATATATATATATATATATAT")
+        gc = DnaSequence("GCGCGCGCGCGCGCGCGCGC")
+        assert gc.melting_temperature_c() > at.melting_temperature_c()
+
+
+class TestMismatches:
+    def test_perfect_match_zero(self):
+        probe = Probe("p", DnaSequence("ACGTACGTACGTACGTACGT"))
+        target = perfect_target_for(probe)
+        assert target.mismatches_with(probe) == 0
+
+    def test_point_mutation_counts_one(self):
+        rng = np.random.default_rng(1)
+        probe_seq = DnaSequence.random(20, rng)
+        probe = Probe("p", probe_seq)
+        mutated = probe_seq.with_mismatches(1, rng)
+        target = Target("t", mutated.reverse_complement())
+        assert target.mismatches_with(probe) <= 1
+
+    def test_sliding_alignment_finds_embedded_site(self):
+        rng = np.random.default_rng(2)
+        probe = Probe("p", DnaSequence.random(20, rng))
+        site = probe.sequence.reverse_complement()
+        flank_left = DnaSequence.random(30, rng)
+        flank_right = DnaSequence.random(30, rng)
+        embedded = DnaSequence(str(flank_left) + str(site) + str(flank_right))
+        target = Target("t", embedded)
+        assert target.mismatches_with(probe) == 0
+
+    def test_unrelated_sequences_many_mismatches(self):
+        rng = np.random.default_rng(3)
+        probe = Probe("p", DnaSequence.random(20, rng))
+        unrelated = Target("t", DnaSequence.random(20, rng))
+        # Random 20-mers differ in ~3/4 of positions under best alignment.
+        assert unrelated.mismatches_with(probe) >= 5
+
+    def test_probe_longer_than_target(self):
+        probe = Probe("p", DnaSequence("ACGTACGTACGTACGTACGT"))
+        short_target = Target("t", DnaSequence("ACGTA"))
+        assert short_target.mismatches_with(probe) >= 15
+
+    @given(dna_strings.filter(lambda s: 5 <= len(s) <= 40))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_target_always_zero_mismatches(self, s):
+        probe = Probe("p", DnaSequence(s))
+        assert perfect_target_for(probe).mismatches_with(probe) == 0
+
+    def test_with_mismatches_exact_count(self):
+        rng = np.random.default_rng(4)
+        seq = DnaSequence.random(20, rng)
+        for n in (0, 1, 3, 5):
+            mutated = seq.with_mismatches(n, rng)
+            hamming = sum(1 for a, b in zip(str(seq), str(mutated)) if a != b)
+            assert hamming == n
+
+    def test_with_mismatches_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            DnaSequence("ACGT").with_mismatches(5)
+
+
+class TestProbeTarget:
+    def test_probe_length_limits(self):
+        with pytest.raises(ValueError):
+            Probe("bad", DnaSequence("ACG"))
+
+    def test_target_length_accounting(self):
+        rng = np.random.default_rng(5)
+        region = DnaSequence.random(20, rng)
+        target = Target("t", region, total_length=2000)
+        assert target.length == 2000
+        bare = Target("t2", region)
+        assert bare.length == 20
+
+    def test_target_rejects_short_total(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            Target("t", DnaSequence.random(20, rng), total_length=10)
+
+    def test_random_reproducible(self):
+        assert DnaSequence.random(20, rng=7) == DnaSequence.random(20, rng=7)

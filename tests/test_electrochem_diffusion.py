@@ -1,0 +1,114 @@
+"""1-D diffusion solver: conservation, steady state, closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.electrochem.diffusion import (
+    DiffusionDomain,
+    ramp_time_constant,
+    surface_concentration_quasi_static,
+)
+
+
+def make_domain():
+    return DiffusionDomain(height=50e-6, cells=50, diffusion_coefficient=6e-10)
+
+
+class TestDomainBasics:
+    def test_grid(self):
+        dom = make_domain()
+        assert dom.dz == pytest.approx(1e-6)
+        assert len(dom.z) == 50
+        assert dom.surface_concentration == 0.0
+
+    def test_reset(self):
+        dom = make_domain()
+        dom.reset(1.0)
+        assert np.all(dom.concentration == 1.0)
+        with pytest.raises(ValueError):
+            dom.reset(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DiffusionDomain(0.0, 10, 1e-9)
+        with pytest.raises(ValueError):
+            DiffusionDomain(1e-5, 2, 1e-9)
+
+    def test_stable_dt_positive(self):
+        assert make_domain().stable_dt() > 0
+
+
+class TestEvolution:
+    def test_steady_state_matches_quasi_static(self):
+        dom = make_domain()
+        flux = 1e-6
+        dt = 0.02
+        for _ in range(int(20 / dt)):
+            dom.step(dt, flux)
+        expected = surface_concentration_quasi_static(flux, 50e-6, 6e-10)
+        assert dom.surface_concentration == pytest.approx(expected, rel=0.05)
+
+    def test_no_flux_stays_zero(self):
+        dom = make_domain()
+        for _ in range(100):
+            dom.step(0.01, 0.0)
+        assert dom.total_amount() == pytest.approx(0.0, abs=1e-15)
+
+    def test_concentration_non_negative(self):
+        dom = make_domain()
+        dom.reset(0.5)
+        for _ in range(200):
+            dom.step(0.01, 0.0, consume_fraction=0.5)
+        assert np.all(dom.concentration >= 0.0)
+
+    def test_consumption_lowers_surface(self):
+        consuming = make_domain()
+        conserving = make_domain()
+        for _ in range(200):
+            consuming.step(0.01, 1e-6, consume_fraction=0.2)
+            conserving.step(0.01, 1e-6, consume_fraction=0.0)
+        assert consuming.surface_concentration < conserving.surface_concentration
+
+    def test_mass_grows_under_injection(self):
+        dom = make_domain()
+        before = dom.total_amount()
+        dom.step(0.01, 1e-6)
+        assert dom.total_amount() > before
+
+    def test_profile_decreases_away_from_source(self):
+        dom = make_domain()
+        for _ in range(500):
+            dom.step(0.01, 1e-6)
+        profile = dom.concentration
+        assert profile[0] > profile[len(profile) // 2] > profile[-1]
+
+    def test_invalid_step_arguments(self):
+        dom = make_domain()
+        with pytest.raises(ValueError):
+            dom.step(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            dom.step(0.01, 1e-6, consume_fraction=2.0)
+
+
+class TestClosedForms:
+    def test_quasi_static_formula(self):
+        assert surface_concentration_quasi_static(1e-6, 50e-6, 6e-10) == pytest.approx(
+            1e-6 * 50e-6 / 6e-10
+        )
+
+    def test_quasi_static_zero_flux(self):
+        assert surface_concentration_quasi_static(0.0, 50e-6, 6e-10) == 0.0
+
+    def test_quasi_static_invalid(self):
+        with pytest.raises(ValueError):
+            surface_concentration_quasi_static(1e-6, 0.0, 1e-9)
+        with pytest.raises(ValueError):
+            surface_concentration_quasi_static(-1.0, 1e-5, 1e-9)
+
+    def test_ramp_time_constant(self):
+        tau = ramp_time_constant(50e-6, 6e-10)
+        assert tau == pytest.approx((50e-6) ** 2 / (2 * 6e-10))
+
+    def test_ramp_time_invalid(self):
+        with pytest.raises(ValueError):
+            ramp_time_constant(0.0, 1e-9)

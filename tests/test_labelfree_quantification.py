@@ -1,0 +1,200 @@
+"""Label-free sensing (Section 2 extension) and concentration quantification."""
+
+import numpy as np
+import pytest
+
+from repro.chip import DnaMicroarrayChip
+from repro.dna import (
+    CalibrationCurve,
+    CalibrationPoint,
+    ConcentrationEstimator,
+    ProbeLayout,
+    Sample,
+    perfect_target_for,
+)
+from repro.electrochem.labelfree import (
+    ImpedanceSensor,
+    MassResonator,
+    compare_detection_limits,
+)
+
+
+class TestImpedanceSensor:
+    def test_capacitance_drops_with_coverage(self):
+        sensor = ImpedanceSensor()
+        assert sensor.capacitance(0.5) < sensor.capacitance(0.0)
+        assert sensor.capacitance(1.0) < sensor.capacitance(0.5)
+
+    def test_signal_monotone(self):
+        sensor = ImpedanceSensor()
+        signals = [sensor.signal(theta) for theta in (0.0, 0.1, 0.5, 1.0)]
+        assert all(b > a for a, b in zip(signals, signals[1:]))
+
+    def test_zero_coverage_zero_signal(self):
+        assert ImpedanceSensor().signal(0.0) == 0.0
+
+    def test_full_coverage_large_signal(self):
+        # A nm-thick DNA layer over a 1 nm double layer: tens of % change.
+        assert ImpedanceSensor().signal(1.0) > 0.3
+
+    def test_detection_limit_scales_with_resolution(self):
+        fine = ImpedanceSensor(capacitance_resolution=1e-4)
+        coarse = ImpedanceSensor(capacitance_resolution=1e-2)
+        assert fine.detection_limit_occupancy() < coarse.detection_limit_occupancy()
+
+    def test_bare_capacitance_magnitude(self):
+        # ~30 eps0 / 1 nm over 1e-8 m^2: nF scale.
+        assert 1e-9 < ImpedanceSensor().bare_capacitance() < 1e-5
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            ImpedanceSensor().capacitance(1.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ImpedanceSensor(electrode_area=0.0)
+        with pytest.raises(ValueError):
+            ImpedanceSensor(capacitance_resolution=2.0)
+
+
+class TestMassResonator:
+    def test_shift_is_downward(self):
+        assert MassResonator().frequency_shift(0.5) < 0
+
+    def test_shift_linear_in_occupancy(self):
+        res = MassResonator()
+        assert res.signal(1.0) == pytest.approx(2 * res.signal(0.5))
+
+    def test_longer_targets_more_signal(self):
+        short = MassResonator(target_length_bases=20)
+        long = MassResonator(target_length_bases=2000)
+        assert long.signal(0.1) == pytest.approx(100 * short.signal(0.1))
+
+    def test_detection_limit_small(self):
+        # GHz resonator with Hz-scale resolution: ppm-level coverage.
+        assert MassResonator().detection_limit_occupancy() < 1e-4
+
+    def test_areal_mass_magnitude(self):
+        # Full coverage of 200-mers at 3e16 /m^2: ~ mg/m^2 scale.
+        mass = MassResonator().areal_mass(1.0)
+        assert 1e-6 < mass < 1e-2
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            MassResonator().areal_mass(-0.1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MassResonator(resonance_hz=0.0)
+
+
+class TestComparison:
+    def test_all_principles_reported(self):
+        limits = compare_detection_limits()
+        assert len(limits) == 3
+        assert all(0 < v <= 1 for v in limits.values())
+
+    def test_labelled_redox_most_sensitive(self):
+        # The paper's chips use labels because cycling + enzyme
+        # amplification beats the label-free floors (for now).
+        limits = compare_detection_limits()
+        redox = limits["redox cycling (enzyme label)"]
+        assert redox <= limits["impedance (label-free)"]
+        assert redox <= limits["mass resonator (label-free)"]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            compare_detection_limits(redox_background_a=1e-9, redox_full_scale_a=1e-12)
+
+
+class TestCalibrationCurve:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            CalibrationCurve([CalibrationPoint(1e-6, 100.0)])
+
+    def test_needs_monotone_concentrations(self):
+        with pytest.raises(ValueError):
+            CalibrationCurve([
+                CalibrationPoint(1e-6, 100.0),
+                CalibrationPoint(1e-7, 200.0),
+            ])
+
+    def test_needs_monotone_counts(self):
+        with pytest.raises(ValueError):
+            CalibrationCurve([
+                CalibrationPoint(1e-7, 300.0),
+                CalibrationPoint(1e-6, 100.0),
+            ])
+
+    def test_interpolates_log_log(self):
+        curve = CalibrationCurve([
+            CalibrationPoint(1e-7, 100.0),
+            CalibrationPoint(1e-5, 10_000.0),
+        ])
+        # Count 1000 sits one decade up: concentration 1e-6.
+        assert curve.concentration_for_count(1000.0) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_zero_count(self):
+        curve = CalibrationCurve([
+            CalibrationPoint(1e-7, 100.0),
+            CalibrationPoint(1e-5, 10_000.0),
+        ])
+        assert curve.concentration_for_count(0.0) == 0.0
+
+    def test_in_range(self):
+        curve = CalibrationCurve([
+            CalibrationPoint(1e-7, 100.0),
+            CalibrationPoint(1e-5, 10_000.0),
+        ])
+        assert curve.in_range(500.0)
+        assert not curve.in_range(50.0)
+
+
+class TestConcentrationEstimator:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        chip = DnaMicroarrayChip(rng=71)
+        chip.configure_bias(0.45, -0.25)
+        chip.auto_calibrate(frame_s=0.1, rng=72)
+        layout = ProbeLayout.random_panel(4, replicates=16, rng=73)
+        estimator = ConcentrationEstimator(chip, layout)
+        probe = layout.probes()[0]
+        estimator.calibrate(probe, [1e-7, 1e-6, 1e-5, 1e-4], rng=74)
+        return estimator, probe
+
+    def test_recovers_known_concentration(self, setup):
+        estimator, probe = setup
+        sample = Sample({perfect_target_for(probe, total_length=2000): 3e-6})
+        result = estimator.quantify(probe, sample, rng=75)
+        assert result.estimated_concentration == pytest.approx(3e-6, rel=0.15)
+        assert result.in_calibrated_range
+
+    def test_confidence_interval_brackets_estimate(self, setup):
+        estimator, probe = setup
+        sample = Sample({perfect_target_for(probe, total_length=2000): 1e-5})
+        result = estimator.quantify(probe, sample, rng=76)
+        assert result.ci_low <= result.estimated_concentration <= result.ci_high
+        assert result.relative_uncertainty < 0.5
+
+    def test_absent_target_reads_below_loq(self, setup):
+        # Background counts clamp to the lowest standard and are flagged
+        # as outside the calibrated range (below limit of quantification).
+        estimator, probe = setup
+        result = estimator.quantify(probe, Sample(), rng=77)
+        assert result.estimated_concentration <= 1e-7
+        assert not result.in_calibrated_range
+
+    def test_unknown_probe_rejected(self, setup):
+        estimator, probe = setup
+        from repro.dna import DnaSequence, Probe
+
+        stranger = Probe("stranger", DnaSequence.random(20, np.random.default_rng(1)))
+        with pytest.raises(ValueError):
+            estimator.calibrate(stranger, [1e-7, 1e-6], rng=78)
+        with pytest.raises(KeyError):
+            estimator.quantify(stranger, Sample(), rng=79)
+
+    def test_calibration_requires_standards(self, setup):
+        estimator, probe = setup
+        with pytest.raises(ValueError):
+            estimator.calibrate(probe, [], rng=80)

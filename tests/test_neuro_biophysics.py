@@ -1,0 +1,143 @@
+"""Hodgkin-Huxley action potentials and the cell-chip junction (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.neuro.action_potential import (
+    HodgkinHuxleyNeuron,
+    StimulusProtocol,
+    detect_spike_times,
+    template_action_potential,
+)
+from repro.neuro.junction import CellChipJunction
+
+
+class TestHodgkinHuxley:
+    def test_resting_potential_stable(self):
+        quiet = StimulusProtocol(pulses=[])
+        hh = HodgkinHuxleyNeuron().simulate(0.02, dt_s=20e-6, stimulus=quiet)
+        v = hh.membrane_voltage
+        assert abs(v.samples[-1] - (-65e-3)) < 2e-3
+        assert len(hh.spike_times) == 0
+
+    def test_suprathreshold_pulse_fires(self, hh_run):
+        assert len(hh_run.spike_times) == 1
+        assert hh_run.membrane_voltage.peak_abs() > 60e-3  # overshoot past 0
+
+    def test_subthreshold_pulse_silent(self):
+        weak = StimulusProtocol(pulses=[(2e-3, 0.5e-3, 2.0)])
+        hh = HodgkinHuxleyNeuron().simulate(0.02, dt_s=20e-6, stimulus=weak)
+        assert len(hh.spike_times) == 0
+
+    def test_spike_amplitude_classic(self, hh_run):
+        # ~100 mV swing from -65 mV rest to ~+40 mV peak.
+        v = hh_run.membrane_voltage.samples
+        assert v.max() > 20e-3
+        assert v.min() < -60e-3
+
+    def test_currents_sum_near_zero_off_stimulus(self, hh_run):
+        # Point-neuron charge balance: capacitive + ionic ~ stimulus.
+        total = hh_run.total_current_density()
+        late = total.slice_time(0.015, 0.03)  # far from the 2 ms pulse
+        assert late.peak_abs() < 0.05 * hh_run.ionic_current_density.peak_abs()
+
+    def test_sodium_activates_before_potassium(self, hh_run):
+        # The m-gate is fast, the n-gate slow: sodium current crosses
+        # 20% of its own peak before potassium does.
+        i_na = np.abs(hh_run.sodium_current_density.samples)
+        i_k = np.abs(hh_run.potassium_current_density.samples)
+        onset_na = np.argmax(i_na > 0.2 * i_na.max())
+        onset_k = np.argmax(i_k > 0.2 * i_k.max())
+        assert onset_na < onset_k
+
+    def test_spike_train_stimulus(self):
+        protocol = StimulusProtocol.spike_train(rate_hz=100.0, duration_s=0.05, rng=1)
+        assert len(protocol.pulses) > 0
+        assert all(0 <= p[0] < 0.05 for p in protocol.pulses)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            HodgkinHuxleyNeuron().simulate(0.0)
+
+
+class TestSpikeTimeDetection:
+    def test_refractory_merges_close_events(self, hh_run):
+        times = detect_spike_times(hh_run.membrane_voltage, refractory_s=1.0)
+        assert len(times) <= 1
+
+    def test_empty_for_quiet_trace(self):
+        from repro.core.signals import Trace
+
+        quiet = Trace(np.full(1000, -65e-3), 1e-5)
+        assert len(detect_spike_times(quiet)) == 0
+
+
+class TestTemplateAp:
+    def test_shape(self):
+        ap = template_action_potential(amplitude_v=0.1)
+        assert ap.peak_abs() == pytest.approx(0.1, rel=0.05)
+        assert ap.samples.min() < 0  # undershoot present
+
+    def test_peak_near_spike_time(self):
+        ap = template_action_potential(t_spike_s=2e-3, duration_s=6e-3)
+        t_peak = ap.times[np.argmax(ap.samples)]
+        assert t_peak == pytest.approx(2e-3, abs=0.3e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            template_action_potential(duration_s=0.0)
+
+
+class TestJunction:
+    def test_seal_resistance_megaohm_range(self):
+        j = CellChipJunction()
+        assert 1e5 < j.seal_resistance < 1e7
+
+    def test_seal_scales_inverse_with_cleft(self):
+        j60 = CellChipJunction(cleft_height=60e-9)
+        j120 = CellChipJunction(cleft_height=120e-9)
+        assert j60.seal_resistance == pytest.approx(2 * j120.seal_resistance)
+
+    def test_junction_area_scales_with_cell(self):
+        small = CellChipJunction(cell_diameter=10e-6)
+        large = CellChipJunction(cell_diameter=100e-6)
+        assert large.junction_area == pytest.approx(100 * small.junction_area)
+
+    def test_amplitudes_in_paper_window(self, hh_run):
+        # 10-100 um cells -> peak V_J inside (or near) 100 uV ... 5 mV.
+        for diameter, lo, hi in ((20e-6, 50e-6, 1e-3), (100e-6, 1e-3, 10e-3)):
+            j = CellChipJunction(cell_diameter=diameter)
+            peak = j.junction_voltage(hh_run).peak_abs()
+            assert lo < peak < hi
+
+    def test_vj_zero_without_channel_asymmetry_and_stimulus(self, hh_run):
+        # mu = 1: capacitive and ionic terms cancel except the stimulus.
+        j_sym = CellChipJunction(ion_channel_factor=1.0)
+        j_asym = CellChipJunction(ion_channel_factor=2.0)
+        assert j_sym.junction_voltage(hh_run).peak_abs() < 0.35 * j_asym.junction_voltage(
+            hh_run
+        ).peak_abs()
+
+    def test_template_path(self):
+        ap = template_action_potential(amplitude_v=0.1)
+        j = CellChipJunction(cell_diameter=40e-6)
+        vj = j.junction_voltage_from_template(ap)
+        assert 1e-5 < vj.peak_abs() < 5e-3
+
+    def test_peak_estimate_order_of_magnitude(self, hh_run):
+        j = CellChipJunction(cell_diameter=20e-6)
+        estimate = j.peak_amplitude_estimate()
+        actual = j.junction_voltage(hh_run).peak_abs()
+        assert 0.1 * actual < estimate < 10 * actual
+
+    def test_with_cleft_copies(self):
+        j = CellChipJunction()
+        j2 = j.with_cleft(100e-9)
+        assert j2.cleft_height == 100e-9
+        assert j2.cell_diameter == j.cell_diameter
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CellChipJunction(cell_diameter=0.0)
+        with pytest.raises(ValueError):
+            CellChipJunction(attachment_fraction=0.0)

@@ -1,0 +1,154 @@
+"""Pixel counter/shift register and the integrated DNA sensor pixel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pixel.counter import PixelCounter, required_bits
+from repro.pixel.pixel import DnaSensorPixel, PixelVariation
+
+
+class TestCounter:
+    def test_counts(self):
+        counter = PixelCounter(bits=8)
+        counter.clock(5)
+        counter.clock(3)
+        assert counter.value == 8
+
+    def test_saturating_overflow(self):
+        counter = PixelCounter(bits=4, saturate=True)
+        counter.clock(100)
+        assert counter.value == 15
+        assert counter.overflowed
+
+    def test_wrapping_overflow(self):
+        counter = PixelCounter(bits=4, saturate=False)
+        counter.clock(18)
+        assert counter.value == 2
+        assert counter.overflowed
+
+    def test_reset(self):
+        counter = PixelCounter(bits=8)
+        counter.clock(10)
+        counter.reset()
+        assert counter.value == 0
+        assert not counter.overflowed
+
+    def test_negative_pulses_rejected(self):
+        with pytest.raises(ValueError):
+            PixelCounter().clock(-1)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PixelCounter(bits=0)
+
+    def test_bits_roundtrip(self):
+        counter = PixelCounter(bits=12)
+        counter.clock(1234)
+        rebuilt = PixelCounter.from_bits(counter.to_bits())
+        assert rebuilt.value == 1234
+
+    @given(value=st.integers(min_value=0, max_value=2**20 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bits_roundtrip_property(self, value):
+        counter = PixelCounter(bits=20)
+        counter.clock(value)
+        assert PixelCounter.from_bits(counter.to_bits()).value == value
+
+    def test_from_bits_validates(self):
+        with pytest.raises(ValueError):
+            PixelCounter.from_bits([0, 1, 2])
+        with pytest.raises(ValueError):
+            PixelCounter.from_bits([])
+
+    def test_shift_out_sequence(self):
+        counter = PixelCounter(bits=4)
+        counter.clock(0b1010)
+        bits = []
+        for _ in range(4):
+            msb, _ = counter.shift_out()
+            bits.append(msb)
+        assert bits == [1, 0, 1, 0]
+
+    def test_shift_in_bit(self):
+        counter = PixelCounter(bits=4)
+        counter.shift_out(incoming=1)
+        assert counter.value & 1 == 1
+
+    def test_shift_invalid_bit(self):
+        with pytest.raises(ValueError):
+            PixelCounter().shift_out(incoming=2)
+
+    def test_required_bits(self):
+        # 1 MHz for 1 s -> ~2^20.
+        assert required_bits(1e6, 1.0) == 20
+        assert required_bits(10.0, 1.0) == 4
+
+    def test_required_bits_invalid(self):
+        with pytest.raises(ValueError):
+            required_bits(0.0, 1.0)
+
+
+class TestPixelVariation:
+    def test_draw_reproducible(self):
+        a = PixelVariation.draw(rng=5)
+        b = PixelVariation.draw(rng=5)
+        assert a.comparator_offset_v == b.comparator_offset_v
+
+    def test_draw_spreads(self):
+        offsets = [PixelVariation.draw(rng=i).comparator_offset_v for i in range(50)]
+        assert min(offsets) < 0 < max(offsets)
+
+    def test_leakage_non_negative(self):
+        for i in range(20):
+            assert PixelVariation.draw(rng=i).leakage_a >= 0
+
+
+class TestDnaSensorPixel:
+    def test_conversion_close_to_nominal(self):
+        pixel = DnaSensorPixel()  # no variation
+        count = pixel.convert_current(1e-9, 1.0, rng=1)
+        assert count == pytest.approx(1e-9 / (100e-15 * 1.0), rel=0.02)
+
+    def test_variation_shifts_counts(self):
+        nominal = DnaSensorPixel()
+        varied = DnaSensorPixel(PixelVariation(comparator_offset_v=0.05, cint_relative_error=0.05))
+        c_nom = nominal.convert_current(1e-9, 1.0, rng=1)
+        c_var = varied.convert_current(1e-9, 1.0, rng=1)
+        assert c_var != c_nom
+
+    def test_calibration_corrects_gain(self):
+        pixel = DnaSensorPixel(PixelVariation(cint_relative_error=0.05), counter_bits=24)
+        pixel.calibrate(1e-8, 1.0, rng=2)
+        count = pixel.convert_current(1e-9, 1.0, rng=3)
+        estimate = pixel.current_estimate(count, 1.0)
+        assert estimate == pytest.approx(1e-9, rel=0.01)
+
+    def test_calibration_needs_counts(self):
+        pixel = DnaSensorPixel()
+        with pytest.raises(ValueError):
+            pixel.calibrate(1e-18, 0.001, rng=1)  # too small to fire
+
+    def test_measure_concentration_path(self):
+        pixel = DnaSensorPixel()
+        count = pixel.measure_concentration(0.01, 1.0, rng=4)
+        assert count > 0
+
+    def test_current_estimate_validation(self):
+        pixel = DnaSensorPixel()
+        with pytest.raises(ValueError):
+            pixel.current_estimate(-1, 1.0)
+        with pytest.raises(ValueError):
+            pixel.current_estimate(10, 0.0)
+
+    def test_dead_pixel_flag(self):
+        healthy = DnaSensorPixel()
+        sick = DnaSensorPixel(PixelVariation(leakage_a=10e-12))
+        assert not healthy.is_dead()
+        assert sick.is_dead()
+
+    def test_counter_saturation_guard(self):
+        pixel = DnaSensorPixel(counter_bits=8)
+        count = pixel.convert_current(100e-9, 1.0, rng=5)
+        assert count == pixel.counter.full_scale
+        assert pixel.counter.overflowed
