@@ -1,63 +1,67 @@
-"""Fig. 1 — the drug-screening funnel.
+"""Fig. 1 — the drug-screening funnel, via the Experiment API.
 
 Regenerates the figure's two monotone series (datapoints/day falling,
 costs/datapoint rising) over the four stages, the attrition from a
 10^5-compound library toward single candidates, and the CMOS-array
-economics the paper's introduction motivates.
+economics the paper's introduction motivates.  Both benches run
+``ScreeningSpec`` experiments through ``repro.experiments.Runner``; the
+CMOS-vs-conventional pair shares one generated library and one decision
+stream (paired comparison) via the Runner's caches and seed tree.
 """
 
 import pytest
 
 from repro.core import render_kv, render_table
-from repro.screening import (
-    CompoundLibrary,
-    ScreeningFunnel,
-    compare_cmos_vs_conventional,
-)
+from repro.experiments import Runner, ScreeningSpec
 
 
 def bench_fig1_funnel(benchmark):
-    library = CompoundLibrary.generate(size=100_000, viable_rate=1e-4, rng=31)
+    runner = Runner(seed=31)
+    spec = ScreeningSpec(library_size=100_000, viable_rate=1e-4, cmos=False)
 
-    result = benchmark.pedantic(
-        lambda: ScreeningFunnel().run(library, rng=32), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: runner.run(spec), rounds=1, iterations=1)
 
     print()
     print(render_table(
         ["stage", "in", "out", "datapoints/day", "cost/datapoint", "stage cost", "days"],
-        [(o.stage_name, o.candidates_in, o.candidates_out,
-          f"{o.datapoints_per_day:g}", f"{o.cost_per_datapoint:g}",
-          f"{o.cost:,.0f}", f"{o.days:.1f}") for o in result.outcomes],
+        [(row["stage"], row["candidates_in"], row["candidates_out"],
+          f"{row['datapoints_per_day']:g}", f"{row['cost_per_datapoint']:g}",
+          f"{row['cost']:,.0f}", f"{row['days']:.1f}") for row in result.to_rows()],
         title="Fig. 1: screening funnel over 100k compounds"))
     print()
     print(render_kv("Reproduction vs paper", [
         ("paper: costs/datapoint arrow", "increasing down the funnel"),
-        ("measured: monotone cost increase", result.monotone_cost_increase()),
+        ("measured: monotone cost increase", result.metrics["monotone_cost_increase"]),
         ("paper: datapoints/day arrow", "decreasing down the funnel"),
-        ("measured: monotone throughput decrease", result.monotone_throughput_decrease()),
+        ("measured: monotone throughput decrease",
+         result.metrics["monotone_throughput_decrease"]),
         ("paper: 'one compound out of millions'", "funnel attrition"),
-        ("measured: attrition", f"{library.size} -> {result.survivors} "
-                                f"({result.surviving_viable} truly viable)"),
-        ("total cost", f"{result.total_cost:,.0f}"),
-        ("total days", f"{result.total_days:.1f}"),
+        ("measured: attrition",
+         f"{result.metrics['library_size']} -> {result.metrics['survivors']} "
+         f"({result.metrics['surviving_viable']} truly viable)"),
+        ("total cost", f"{result.metrics['total_cost']:,.0f}"),
+        ("total days", f"{result.metrics['total_days']:.1f}"),
     ]))
-    assert result.monotone_cost_increase()
-    assert result.monotone_throughput_decrease()
-    assert result.survivors < 0.01 * library.size
+    assert result.metrics["monotone_cost_increase"]
+    assert result.metrics["monotone_throughput_decrease"]
+    assert result.metrics["survivors"] < 0.01 * result.metrics["library_size"]
 
 
 def bench_fig1_cmos_vs_conventional(benchmark):
     """The paper's pitch: CMOS arrays accelerate the high-volume stages."""
-    library = CompoundLibrary.generate(size=100_000, viable_rate=1e-4, rng=33)
+    runner = Runner(seed=33)
+    specs = [
+        ScreeningSpec(library_size=100_000, viable_rate=1e-4, cmos=True),
+        ScreeningSpec(library_size=100_000, viable_rate=1e-4, cmos=False),
+    ]
 
-    results = benchmark.pedantic(
-        lambda: compare_cmos_vs_conventional(library, rng=34), rounds=1, iterations=1
+    cmos, conv = benchmark.pedantic(
+        lambda: runner.run_batch(specs), rounds=1, iterations=1
     )
 
-    cmos, conv = results["cmos"], results["conventional"]
-    early_cost = (sum(o.cost for o in conv.outcomes[:2]), sum(o.cost for o in cmos.outcomes[:2]))
-    early_days = (sum(o.days for o in conv.outcomes[:2]), sum(o.days for o in cmos.outcomes[:2]))
+    assert runner.stats.libraries_built == 1, "pair must share one library"
+    early_cost = (float(conv.column("cost")[:2].sum()), float(cmos.column("cost")[:2].sum()))
+    early_days = (float(conv.column("days")[:2].sum()), float(cmos.column("days")[:2].sum()))
     print()
     print(render_table(
         ["metric", "conventional", "CMOS arrays", "factor"],
@@ -66,8 +70,9 @@ def bench_fig1_cmos_vs_conventional(benchmark):
              f"{early_cost[0] / early_cost[1]:.1f}x"),
             ("early-stage days", f"{early_days[0]:.1f}", f"{early_days[1]:.1f}",
              f"{early_days[0] / early_days[1]:.1f}x"),
-            ("survivors (viable)", f"{conv.survivors} ({conv.surviving_viable})",
-             f"{cmos.survivors} ({cmos.surviving_viable})", "-"),
+            ("survivors (viable)",
+             f"{conv.metrics['survivors']} ({conv.metrics['surviving_viable']})",
+             f"{cmos.metrics['survivors']} ({cmos.metrics['surviving_viable']})", "-"),
         ],
         title="CMOS-array platforms vs conventional workflows"))
     assert early_cost[1] < early_cost[0]

@@ -1,67 +1,59 @@
 """Fig. 2 — DNA microarray workflow: immobilize -> hybridize -> wash.
 
-Regenerates the figure's phenomenology as numbers: site occupancy
-through each protocol phase for matched and mismatched probe/target
-pairs, and the post-wash discrimination that makes the chip readout
-meaningful (double-stranded DNA only at match positions).
+Regenerates the figure's phenomenology as numbers via the Experiment
+API's ``panel="mismatch"`` design: site occupancy through each protocol
+phase for matched and mismatched probe/target pairs, and the post-wash
+discrimination that makes the chip readout meaningful (double-stranded
+DNA only at match positions).  The washing ablation runs two specs that
+differ only in ``wash_s`` — the Runner reuses one chip and one layout.
 """
 
 import numpy as np
 import pytest
 
 from repro.core import render_kv, render_table, units
-from repro.dna import (
-    AssayProtocol,
-    DnaSequence,
-    MicroarrayAssay,
-    Probe,
-    ProbeLayout,
-    Sample,
-    Target,
+from repro.experiments import DnaAssaySpec, Runner
+
+FIG2_SPEC = DnaAssaySpec(
+    panel="mismatch",
+    mismatch_counts=(1, 2, 3),
+    replicates=28,
+    control_every=16,
+    concentration=10 * units.nM,
+    hybridization_s=3600.0,
+    wash_s=120.0,
 )
 
 
-def build_panel():
-    """One target, probes at 0-3 mismatches, bare controls."""
-    rng = np.random.default_rng(42)
-    region = DnaSequence.random(20, rng)
-    target = Target("target", region, total_length=2000)
-    perfect = region.reverse_complement()
-    probes = [Probe("match-0mm", perfect)]
-    for mm in (1, 2, 3):
-        probes.append(Probe(f"mismatch-{mm}mm", perfect.with_mismatches(mm, rng)))
-    layout = ProbeLayout.tiled(probes, rows=16, cols=8, replicates=28, control_every=16)
-    return layout, target
-
-
-def run_assay():
-    layout, target = build_panel()
-    protocol = AssayProtocol(hybridization_s=3600.0, wash_s=120.0)
-    return MicroarrayAssay(layout).run(Sample({target: 1e-5}), protocol)
+def median_current(result, probe_name):
+    mask = result.column("probe") == probe_name
+    return float(np.median(result.select(mask)["sensor_current_a"]))
 
 
 def bench_fig2_protocol(benchmark):
     """Full protocol over the 16x8 panel (the figure's a-g sequence)."""
-    result = benchmark.pedantic(run_assay, rounds=1, iterations=1)
+    runner = Runner(seed=42)
+    result = benchmark.pedantic(lambda: runner.run(FIG2_SPEC), rounds=1, iterations=1)
 
+    probes = result.column("probe")
     rows = []
     for name in ("match-0mm", "mismatch-1mm", "mismatch-2mm", "mismatch-3mm"):
-        sites = [s for s in result.sites if s.probe_name == name]
+        sel = result.select(probes == name)
         rows.append((
             name,
-            f"{np.median([s.occupancy_after_hybridization for s in sites]):.3e}",
-            f"{np.median([s.occupancy_after_wash for s in sites]):.3e}",
-            units.si_format(float(np.median([s.sensor_current for s in sites])), "A"),
+            f"{np.median(sel['occupancy_hyb']):.3e}",
+            f"{np.median(sel['occupancy_wash']):.3e}",
+            units.si_format(float(np.median(sel["sensor_current_a"])), "A"),
         ))
-    bare = [s.sensor_current for s in result.sites if not s.probe_name]
+    bare = result.select(probes == "")["sensor_current_a"]
     rows.append(("bare control", "0", "0", units.si_format(float(np.median(bare)), "A")))
     print()
     print(render_table(
         ["site", "theta after hybridization", "theta after wash", "sensor current"],
         rows, title="Fig. 2: occupancy through the protocol (10 nM target)"))
 
-    match = np.median([s.sensor_current for s in result.sites if s.probe_name == "match-0mm"])
-    mm1 = np.median([s.sensor_current for s in result.sites if s.probe_name == "mismatch-1mm"])
+    match = median_current(result, "match-0mm")
+    mm1 = median_current(result, "mismatch-1mm")
     print()
     print(render_kv("Reproduction vs paper", [
         ("paper: match sites", "double-stranded DNA retained after washing"),
@@ -75,22 +67,17 @@ def bench_fig2_protocol(benchmark):
 def bench_fig2_washing_ablation(benchmark):
     """Without the washing step the mismatch discrimination collapses —
     the reason Fig. 2 f)/g) exist."""
-    layout, target = build_panel()
-    assay = MicroarrayAssay(layout)
+    runner = Runner(seed=42)
+    specs = [FIG2_SPEC, FIG2_SPEC.replace(wash_s=1e-9)]
 
-    def run_both():
-        washed = assay.run(Sample({target: 1e-5}),
-                           AssayProtocol(hybridization_s=3600.0, wash_s=120.0))
-        unwashed = assay.run(Sample({target: 1e-5}),
-                             AssayProtocol(hybridization_s=3600.0, wash_s=1e-9))
-        return washed, unwashed
+    washed, unwashed = benchmark.pedantic(
+        lambda: runner.run_batch(specs), rounds=1, iterations=1
+    )
 
-    washed, unwashed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert runner.stats.chips_built == 1 and runner.stats.layouts_built == 1
 
     def ratio(result):
-        match = np.median([s.sensor_current for s in result.sites if s.probe_name == "match-0mm"])
-        mm = np.median([s.sensor_current for s in result.sites if s.probe_name == "mismatch-1mm"])
-        return match / mm
+        return median_current(result, "match-0mm") / median_current(result, "mismatch-1mm")
 
     r_washed, r_unwashed = ratio(washed), ratio(unwashed)
     print()

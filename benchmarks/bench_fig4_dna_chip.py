@@ -1,9 +1,10 @@
 """Fig. 4 — the 16x8 DNA microarray chip, end to end.
 
-Runs the complete device flow: serial configuration, electrode biasing
-through the on-chip DACs, auto-calibration against the bandgap-derived
-reference currents, a four-target assay, in-pixel A/D conversion at all
-128 sites in parallel, and bit-level serial readout of the counters.
+Runs the complete device flow as one ``DnaAssaySpec`` through the
+``Runner``: serial configuration, electrode biasing through the on-chip
+DACs, auto-calibration against the bandgap-derived reference currents,
+a four-target assay, in-pixel A/D conversion at all 128 sites in
+parallel, and bit-level serial readout of the counters.
 
 Paper claims checked: 8x16 array + periphery + 6-pin interface; per-site
 currents inside the 1 pA - 100 nA window; exact digital readout.
@@ -13,32 +14,36 @@ import numpy as np
 import pytest
 
 from repro.analysis import ascii_histogram
-from repro.chip import DnaMicroarrayChip
 from repro.core import render_kv, render_table, units
-from repro.dna import MicroarrayAssay, ProbeLayout, Sample
+from repro.experiments import DnaAssaySpec, Runner
 
-
-def run_full_chip():
-    chip = DnaMicroarrayChip(rng=11)
-    assert chip.configure_bias(0.45, -0.25)
-    chip.auto_calibrate(frame_s=0.05, rng=12)
-    layout = ProbeLayout.random_panel(16, replicates=7, control_every=16, rng=13)
-    sample = Sample.for_probes(layout.probes(), 5e-5, subset=[0, 1, 2, 3],
-                               target_length=2000)
-    result = MicroarrayAssay(layout).run(sample)
-    counts = chip.measure_assay(result, frame_s=1.0, rng=14)
-    host_counts = chip.read_counters_serial()
-    return chip, result, counts, host_counts
+FIG4_SPEC = DnaAssaySpec(
+    probe_count=16,
+    replicates=7,
+    control_every=16,
+    target_subset=(0, 1, 2, 3),
+    concentration=5e-5,
+    calibration_frame_s=0.05,
+)
 
 
 def bench_fig4_full_chip_assay(benchmark):
-    chip, result, counts, host_counts = benchmark.pedantic(
-        run_full_chip, rounds=1, iterations=1
-    )
+    runner = Runner(seed=11)
 
-    estimates = chip.current_estimates(counts, frame_s=1.0)
-    match_currents = [estimates[s.row, s.col] for s in result.match_sites()]
-    dark_currents = [estimates[s.row, s.col] for s in result.mismatch_sites()]
+    def run_full_chip():
+        result = runner.run(FIG4_SPEC)
+        host_counts = result.artifacts["chip"].read_counters_serial()
+        return result, host_counts
+
+    result, host_counts = benchmark.pedantic(run_full_chip, rounds=1, iterations=1)
+
+    chip = result.artifacts["chip"]
+    counts = result.artifacts["counts"]
+    estimates = result.column("current_estimate_a")
+    is_match = result.column("is_match")
+    is_probe = result.column("probe") != ""
+    match_currents = estimates[is_match]
+    dark_currents = estimates[~is_match & is_probe]
     print()
     print(render_kv("Fig. 4: chip nameplate", dict(chip.specs.as_rows()).items()))
     print()
@@ -62,13 +67,14 @@ def bench_fig4_full_chip_assay(benchmark):
     print()
     print(render_kv("Reproduction vs paper", [
         ("paper: array", "8 x 16 = 128 sensor sites"),
-        ("measured: sites digitised", int(counts.size)),
+        ("measured: sites digitised", result.metrics["n_sites"]),
         ("paper: sensor currents", "1 pA ... 100 nA"),
         ("measured: current span",
          f"{units.si_format(float(positive.min()), 'A')} ... "
          f"{units.si_format(float(positive.max()), 'A')}"),
         ("paper: 6-pin serial data transmission", "yes"),
-        ("measured: serial readout exact", host_counts == [int(c) for c in counts.reshape(-1)]),
+        ("measured: serial readout exact",
+         host_counts == [int(c) for c in counts.reshape(-1)]),
     ]))
     assert host_counts == [int(c) for c in counts.reshape(-1)]
     assert 1e-12 < positive.max() < 200e-9
@@ -77,8 +83,13 @@ def bench_fig4_full_chip_assay(benchmark):
 
 def bench_fig4_serial_readout(benchmark):
     """Kernel cost: bit-level serial transfer of all 128 counters."""
-    chip = DnaMicroarrayChip(rng=15)
-    chip.configure_bias(0.45, -0.25)
+    runner = Runner(seed=15)
+    # A minimal spec provisions the chip; the kernel then drives the
+    # test-mode current input and the serial link directly.
+    chip = runner.run(
+        FIG4_SPEC.replace(probe_count=1, replicates=1, control_every=0,
+                          target_subset=(0,), calibrate=False, concentration=0.0)
+    ).artifacts["chip"]
     chip.measure_currents(np.full((16, 8), 1e-9), frame_s=0.1, rng=16)
 
     host_counts = benchmark(chip.read_counters_serial)

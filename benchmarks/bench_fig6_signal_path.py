@@ -15,17 +15,10 @@ import numpy as np
 import pytest
 
 from repro.analysis import calibration_report
-from repro.chip import NeuralRecordingChip
 from repro.chip.sequencer import NEURO_SCAN
 from repro.core import render_kv, render_table, units
-from repro.neuro import (
-    ArrayGeometry,
-    Culture,
-    NeuralArrayModel,
-    build_readout_chain,
-    detect_spikes,
-    score_detection,
-)
+from repro.experiments import NeuralRecordingSpec, Runner
+from repro.neuro import ArrayGeometry, NeuralArrayModel, build_readout_chain
 
 
 def bench_fig6_pixel_calibration(benchmark):
@@ -121,39 +114,39 @@ def bench_fig6_scan_timing(benchmark):
 
 
 def bench_fig6_end_to_end_recording(benchmark):
-    """(c2): record a culture through the full path and detect spikes."""
+    """(c2): record a culture through the full path and detect spikes —
+    declared as a ``NeuralRecordingSpec`` and run through the unified
+    ``Runner`` (spike scoring included in the ResultSet)."""
+    runner = Runner(seed=22)
+    spec = NeuralRecordingSpec(
+        rows=32,
+        cols=32,
+        pitch_m=7.8e-6,
+        n_neurons=3,
+        diameter_range_m=(40e-6, 70e-6),
+        duration_s=0.25,
+        firing_rate_hz=25.0,
+        threshold_sigma=4.5,
+        tolerance_s=3e-3,
+    )
 
-    def run():
-        chip = NeuralRecordingChip(geometry=ArrayGeometry(32, 32, 7.8e-6), rng=22)
-        chip.calibrate()
-        culture = Culture.random(3, chip.geometry, diameter_range=(40e-6, 70e-6), rng=23)
-        recording = chip.record_culture(culture, duration_s=0.25,
-                                        firing_rate_hz=25.0, rng=24)
-        return chip, culture, recording
+    result = benchmark.pedantic(lambda: runner.run(spec), rounds=1, iterations=1)
 
-    chip, culture, recording = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    scores = []
-    for neuron in culture.neurons:
-        truth = recording.ground_truth[neuron.index]
-        row, col = recording.best_pixel_for(neuron.index)
-        trace = recording.electrode_movie.pixel_trace(row, col)
-        detected = detect_spikes(trace, threshold_sigma=4.5)
-        score = score_detection(detected, truth, tolerance_s=3e-3)
-        scores.append(score)
-        rows.append((f"{neuron.diameter * 1e6:.0f} um",
-                     units.si_format(trace.peak_abs(), "V"),
-                     len(truth), len(detected),
-                     f"{score.precision:.2f}", f"{score.recall:.2f}"))
+    rows = [
+        (f"{record['diameter_m'] * 1e6:.0f} um",
+         units.si_format(record["peak_v"], "V"),
+         record["true_spikes"], record["detected_spikes"],
+         f"{record['precision']:.2f}", f"{record['recall']:.2f}")
+        for record in result.to_rows()
+    ]
     print()
     print(render_table(
         ["neuron", "peak signal", "true spikes", "detected", "precision", "recall"],
         rows, title="End-to-end recording at 2 kframe/s (best pixel per cell)"))
     print()
     print(render_kv("Noise", [
-        ("input-referred per sample", units.si_format(chip.input_referred_noise_v(), "V")),
+        ("input-referred per sample",
+         units.si_format(result.metrics["noise_floor_v"], "V")),
     ]))
-    total_truth = sum(len(recording.ground_truth[n.index]) for n in culture.neurons)
-    assert total_truth > 0
-    assert np.mean([s.precision for s in scores if s.true_positives + s.false_positives]) > 0.4
+    assert result.metrics["total_true_spikes"] > 0
+    assert result.metrics["mean_precision"] > 0.4

@@ -2,47 +2,70 @@
 
 "The purpose of DNA microarray chips is the parallel investigation
 concerning the amount of specific DNA sequences in a given sample."
-This example builds a calibration curve from standards measured on the
-chip, then quantifies blinded samples and reports recovery accuracy.
+This example builds a calibration curve from standards measured as a
+``run_batch`` sweep — one calibrated chip, one spotted layout, four
+known concentrations — then quantifies blinded samples measured on the
+same chip and reports recovery accuracy.
 
 Run:  python examples/concentration_quantification.py
 """
 
 import numpy as np
 
-from repro import DnaMicroarrayChip, ProbeLayout, Sample, perfect_target_for
-from repro.core import render_table
-from repro.dna import ConcentrationEstimator
+from repro.core import render_table, units
+from repro.dna import CalibrationCurve, CalibrationPoint
+from repro.experiments import DnaAssaySpec, Runner
+
+
+def match_counts(result) -> np.ndarray:
+    """Replicate counts on the quantified probe's spots."""
+    return result.select(result.column("probe") == "probe-000")["count"]
 
 
 def main() -> None:
-    chip = DnaMicroarrayChip(rng=81)
-    chip.configure_bias(0.45, -0.25)
-    chip.auto_calibrate(frame_s=0.1, rng=82)
+    runner = Runner(seed=81)
+    base = DnaAssaySpec(
+        probe_count=4,
+        replicates=16,
+        target_subset=(0,),
+        calibration_frame_s=0.1,
+    )
 
-    layout = ProbeLayout.random_panel(4, replicates=16, rng=83)
-    probe = layout.probes()[0]
-    estimator = ConcentrationEstimator(chip, layout)
-
-    standards = [1e-7, 1e-6, 1e-5, 1e-4]  # 0.1 nM ... 100 nM
-    curve = estimator.calibrate(probe, standards, rng=84)
+    # --- standards: a declarative concentration sweep ----------------------
+    standards = [0.1 * units.nM, 1 * units.nM, 10 * units.nM, 100 * units.nM]
+    standard_results = runner.run_batch(
+        [base.replace(concentration=c) for c in standards]
+    )
+    points = [
+        CalibrationPoint(c, float(np.median(match_counts(result))))
+        for c, result in zip(standards, standard_results)
+    ]
+    curve = CalibrationCurve(points)
     print(render_table(
         ["standard", "median count"],
-        [(f"{p.concentration * 1e6:g} nM", f"{p.median_count:.0f}") for p in curve.points],
+        [(f"{p.concentration / units.nM:g} nM", f"{p.median_count:.0f}") for p in curve.points],
         title="Calibration curve (known standards)"))
+    print(f"(chips built: {runner.stats.chips_built} — the whole sweep "
+          f"shares one calibrated chip)")
 
-    unknowns = [3e-7, 2e-6, 7e-6, 5e-5]
+    # --- blinded samples ---------------------------------------------------
+    unknowns = [0.3 * units.nM, 2 * units.nM, 7 * units.nM, 50 * units.nM]
     rows = []
-    for i, true_conc in enumerate(unknowns):
-        sample = Sample({perfect_target_for(probe, total_length=2000): true_conc})
-        result = estimator.quantify(probe, sample, rng=100 + i)
-        recovery = result.estimated_concentration / true_conc * 100
+    for true_conc in unknowns:
+        result = runner.run(base.replace(concentration=true_conc))
+        replicate_counts = match_counts(result)
+        estimates = [curve.concentration_for_count(int(c)) for c in replicate_counts if c > 0]
+        estimate = float(np.median(estimates))
+        ci_low = float(np.percentile(estimates, 16))
+        ci_high = float(np.percentile(estimates, 84))
+        recovery = estimate / true_conc * 100
+        in_range = curve.in_range(float(np.median(replicate_counts)))
         rows.append((
-            f"{true_conc * 1e6:g} nM",
-            f"{result.estimated_concentration * 1e6:.3g} nM",
-            f"[{result.ci_low * 1e6:.3g}, {result.ci_high * 1e6:.3g}]",
+            f"{true_conc / units.nM:g} nM",
+            f"{estimate / units.nM:.3g} nM",
+            f"[{ci_low / units.nM:.3g}, {ci_high / units.nM:.3g}]",
             f"{recovery:.1f}%",
-            "yes" if result.in_calibrated_range else "no",
+            "yes" if in_range else "no",
         ))
     print()
     print(render_table(

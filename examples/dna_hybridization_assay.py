@@ -1,85 +1,73 @@
 """DNA hybridization assay in depth (Section 2, Fig. 2).
 
-Designs a probe panel with *deliberate* mismatch variants (0, 1, 2, 3
-substitutions against the same target), runs the immobilize ->
-hybridize -> wash protocol, and shows:
+Uses the Experiment API's ``panel="mismatch"`` design: one target, and
+probes with deliberate 0/1/2/3-substitution variants against it.  Shows
 
   * occupancy through the protocol phases per mismatch count,
   * the post-wash match/mismatch discrimination the washing step buys,
-  * a target-concentration dose-response from 10 pM to 1 uM, mapping
-    chemistry onto the chip's 1 pA - 100 nA current window.
+  * a target-concentration dose-response from 10 pM to 1 uM as a
+    ``run_batch`` sweep — one calibrated chip and one spotted layout
+    are reused across all six concentrations.
 
 Run:  python examples/dna_hybridization_assay.py
 """
 
 import numpy as np
 
-from repro import (
-    AssayProtocol,
-    DnaMicroarrayChip,
-    DnaSequence,
-    MicroarrayAssay,
-    Probe,
-    ProbeLayout,
-    Sample,
-    Target,
-)
 from repro.core import render_table, units
-
-
-def build_mismatch_panel(rng: np.random.Generator) -> tuple[ProbeLayout, Target]:
-    """One target; probes with 0-3 mismatches against it, plus controls."""
-    target_region = DnaSequence.random(20, rng)
-    target = Target("reference-target", target_region, total_length=2000)
-    perfect_probe_seq = target_region.reverse_complement()
-    probes = [Probe("match-0mm", perfect_probe_seq)]
-    for n_mm in (1, 2, 3):
-        probes.append(Probe(f"mismatch-{n_mm}mm", perfect_probe_seq.with_mismatches(n_mm, rng)))
-    layout = ProbeLayout.tiled(probes, rows=16, cols=8, replicates=28, control_every=16)
-    return layout, target
+from repro.experiments import DnaAssaySpec, Runner
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
-    layout, target = build_mismatch_panel(rng)
-    assay = MicroarrayAssay(layout)
-    protocol = AssayProtocol(hybridization_s=3600.0, wash_s=120.0)
+    runner = Runner(seed=7)
+    base = DnaAssaySpec(
+        panel="mismatch",
+        mismatch_counts=(1, 2, 3),
+        replicates=28,
+        control_every=16,
+        concentration=10 * units.nM,
+        hybridization_s=3600.0,
+        wash_s=120.0,
+    )
 
     # --- protocol phases per mismatch count --------------------------------
-    sample = Sample({target: 1e-5})  # 10 nM
-    result = assay.run(sample, protocol)
+    result = runner.run(base)
+    probe_names = result.column("probe")
     rows = []
     for probe_name in ("match-0mm", "mismatch-1mm", "mismatch-2mm", "mismatch-3mm"):
-        sites = [s for s in result.sites if s.probe_name == probe_name]
-        theta_h = np.median([s.occupancy_after_hybridization for s in sites])
-        theta_w = np.median([s.occupancy_after_wash for s in sites])
-        current = np.median([s.sensor_current for s in sites])
-        rows.append((probe_name, f"{theta_h:.2e}", f"{theta_w:.2e}",
-                     units.si_format(current, "A")))
+        sel = result.select(probe_names == probe_name)
+        rows.append((probe_name,
+                     f"{np.median(sel['occupancy_hyb']):.2e}",
+                     f"{np.median(sel['occupancy_wash']):.2e}",
+                     units.si_format(float(np.median(sel["sensor_current_a"])), "A")))
     print(render_table(
         ["probe", "theta after hyb", "theta after wash", "sensor current"],
         rows, title="Fig. 2 phases at 10 nM target (median over replicates)"))
-    match_current = np.median([s.sensor_current for s in result.sites if s.probe_name == "match-0mm"])
-    mm1_current = np.median([s.sensor_current for s in result.sites if s.probe_name == "mismatch-1mm"])
-    print(f"\nsingle-base discrimination after washing: {match_current / mm1_current:.0f}x\n")
+    match = np.median(result.select(probe_names == "match-0mm")["sensor_current_a"])
+    mm1 = np.median(result.select(probe_names == "mismatch-1mm")["sensor_current_a"])
+    print(f"\nsingle-base discrimination after washing: {match / mm1:.0f}x\n")
 
     # --- dose response -----------------------------------------------------
-    chip = DnaMicroarrayChip(rng=11)
-    chip.configure_bias(0.45, -0.25)
-    chip.auto_calibrate(rng=12)
+    # A declarative sweep: same panel, same chip, six concentrations.
+    # The Runner's caches mean the chip is built and calibrated once.
+    concentrations = (10 * units.pM, 100 * units.pM, 1 * units.nM,
+                      10 * units.nM, 100 * units.nM, 1 * units.uM)
+    sweep = runner.run_batch([base.replace(concentration=c) for c in concentrations])
     rows = []
-    for conc in (1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3):
-        result = assay.run(Sample({target: conc}), protocol)
-        counts = chip.measure_assay(result, frame_s=1.0, rng=13)
-        estimates = chip.current_estimates(counts, frame_s=1.0)
-        match_sites = [(s.row, s.col) for s in result.sites if s.probe_name == "match-0mm"]
-        i_match = float(np.median([estimates[r, c] for r, c in match_sites]))
-        rows.append((f"{conc * 1e6:g} nM" if conc < 1e-3 else "1 uM",
-                     units.si_format(i_match, "A"),
-                     int(np.median([counts[r, c] for r, c in match_sites]))))
+    for conc, point in zip(concentrations, sweep):
+        sel = point.select(point.column("probe") == "match-0mm")
+        i_match = float(np.median(sel["current_estimate_a"]))
+        rows.append((
+            f"{conc / units.nM:g} nM" if conc < 1 * units.uM else "1 uM",
+            units.si_format(i_match, "A"),
+            int(np.median(sel["count"])),
+        ))
     print(render_table(["target concentration", "match current", "median count"],
                        rows, title="Dose response (chip-measured)"))
-    print("\nThe current window spans the paper's 1 pA ... 100 nA sensor range.")
+    stats = runner.stats
+    print(f"\nchips built {stats.chips_built}, reused {stats.chips_reused} "
+          f"across {stats.runs} runs — the sweep recycled one calibrated chip.")
+    print("The current window spans the paper's 1 pA ... 100 nA sensor range.")
 
 
 if __name__ == "__main__":

@@ -1,48 +1,59 @@
 """The drug-screening funnel (Fig. 1), with and without CMOS arrays.
 
-Simulates a 200k-compound library flowing through the four stages —
-molecular assays, cell-based assays, animal tests, clinical trials —
-and prints Fig. 1's two series (datapoints/day falling, cost/datapoint
-rising) plus the economic benefit of replacing the first two stages
-with the paper's CMOS sensor-array platforms.
+Runs a 200k-compound library through the four stages — molecular
+assays, cell-based assays, animal tests, clinical trials — as a *pair*
+of ``ScreeningSpec`` experiments batched through the ``Runner``.  Specs
+that differ only in ``cmos`` share both the generated library and the
+per-stage decision stream, so the comparison is exactly paired.  Prints
+Fig. 1's two series (datapoints/day falling, cost/datapoint rising)
+plus the economic benefit of replacing the first two stages with the
+paper's CMOS sensor-array platforms.
 
 Run:  python examples/drug_screening_funnel.py
 """
 
-from repro import CompoundLibrary, compare_cmos_vs_conventional
 from repro.core import render_kv, render_table
+from repro.experiments import Runner, ScreeningSpec
 
 
 def main() -> None:
-    library = CompoundLibrary.generate(size=200_000, viable_rate=1e-4, rng=1)
-    print(f"library: {library.size} compounds, {library.viable_count()} truly viable\n")
+    runner = Runner(seed=1)
+    specs = {
+        "cmos": ScreeningSpec(library_size=200_000, viable_rate=1e-4, cmos=True),
+        "conventional": ScreeningSpec(library_size=200_000, viable_rate=1e-4, cmos=False),
+    }
+    results = dict(zip(specs, runner.run_batch(list(specs.values()))))
 
-    results = compare_cmos_vs_conventional(library, rng=2)
+    any_result = next(iter(results.values()))
+    print(f"library: {any_result.metrics['library_size']} compounds, "
+          f"{any_result.metrics['library_viable']} truly viable "
+          f"(generated once, shared by both funnels)\n")
 
     for label, result in results.items():
         rows = [
-            (o.stage_name, o.candidates_in, o.candidates_out,
-             f"{o.datapoints_per_day:g}", f"{o.cost_per_datapoint:g}",
-             f"{o.cost:,.0f}", f"{o.days:.1f}")
-            for o in result.outcomes
+            (row["stage"], row["candidates_in"], row["candidates_out"],
+             f"{row['datapoints_per_day']:g}", f"{row['cost_per_datapoint']:g}",
+             f"{row['cost']:,.0f}", f"{row['days']:.1f}")
+            for row in result.to_rows()
         ]
         print(render_table(
             ["stage", "in", "out", "datapoints/day", "cost/datapoint", "stage cost", "days"],
             rows, title=f"=== {label} funnel ==="))
         print(render_kv("", [
-            ("cost/datapoint rises monotonically", result.monotone_cost_increase()),
-            ("datapoints/day falls monotonically", result.monotone_throughput_decrease()),
-            ("survivors (viable)", f"{result.survivors} ({result.surviving_viable})"),
-            ("total cost", f"{result.total_cost:,.0f}"),
-            ("total days", f"{result.total_days:.1f}"),
+            ("cost/datapoint rises monotonically", result.metrics["monotone_cost_increase"]),
+            ("datapoints/day falls monotonically", result.metrics["monotone_throughput_decrease"]),
+            ("survivors (viable)",
+             f"{result.metrics['survivors']} ({result.metrics['surviving_viable']})"),
+            ("total cost", f"{result.metrics['total_cost']:,.0f}"),
+            ("total days", f"{result.metrics['total_days']:.1f}"),
         ]))
         print()
 
     cmos, conv = results["cmos"], results["conventional"]
-    early_cmos = sum(o.cost for o in cmos.outcomes[:2])
-    early_conv = sum(o.cost for o in conv.outcomes[:2])
-    days_cmos = sum(o.days for o in cmos.outcomes[:2])
-    days_conv = sum(o.days for o in conv.outcomes[:2])
+    early_cmos = float(cmos.column("cost")[:2].sum())
+    early_conv = float(conv.column("cost")[:2].sum())
+    days_cmos = float(cmos.column("days")[:2].sum())
+    days_conv = float(conv.column("days")[:2].sum())
     print(render_kv("CMOS-array benefit in the early (high-volume) stages", [
         ("early-stage cost", f"{early_conv:,.0f} -> {early_cmos:,.0f} "
                              f"({early_conv / early_cmos:.0f}x cheaper)"),

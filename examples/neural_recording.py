@@ -1,24 +1,36 @@
 """Neural recording on the 128x128 sensor array (Section 3, Figs. 5-6).
 
-Places a small culture of neurons on the chip, lets them fire
-spontaneously, records at the full 2 kframe/s rate through the
-calibrated pixel array and the x5600 signal path, then runs spike
-detection against the simulation's ground truth.
+Declares the whole scenario — array geometry, culture, recording
+length, detection thresholds — as a ``NeuralRecordingSpec`` and runs it
+through the unified ``Runner``: spontaneous activity is simulated,
+recorded at the full 2 kframe/s rate through the calibrated pixel array
+and the x5600 signal path, and spike detection is scored against the
+simulation's ground truth, all folded into one ``ResultSet``.
 
 Run:  python examples/neural_recording.py
 """
 
-import numpy as np
-
-from repro import Culture, NeuralRecordingChip
 from repro.core import render_kv, render_table, units
-from repro.neuro import ArrayGeometry, detect_spikes, score_detection, spike_snr
+from repro.experiments import NeuralRecordingSpec, Runner
 
 
 def main() -> None:
     # A 64x64 sub-array keeps the example quick; geometry and timing
     # scale exactly as the full 128x128 device (same pitch and design).
-    chip = NeuralRecordingChip(geometry=ArrayGeometry(64, 64, 7.8e-6), rng=1)
+    spec = NeuralRecordingSpec(
+        rows=64,
+        cols=64,
+        pitch_m=7.8e-6,
+        n_neurons=5,
+        diameter_range_m=(25e-6, 80e-6),
+        duration_s=0.25,
+        firing_rate_hz=25.0,
+        threshold_sigma=4.5,
+        tolerance_s=3e-3,
+    )
+    runner = Runner(seed=1)
+    result = runner.run(spec)
+    chip = result.artifacts["chip"]
 
     print(render_kv("Scan timing (locked to the paper's numbers)", [
         ("frame rate", f"{chip.scan.frame_rate_hz:.0f} frames/s"),
@@ -30,36 +42,25 @@ def main() -> None:
         ("32 MHz output driver settles", chip.scan.settling_ok(32e6)),
     ]))
 
-    # Calibration first — without it the pixel offsets saturate the chain.
-    chip.calibrate()
     print(f"\ninput-referred noise floor: "
-          f"{units.si_format(chip.input_referred_noise_v(), 'V')} rms per sample")
-
-    culture = Culture.random(5, chip.geometry, diameter_range=(25e-6, 80e-6), rng=2)
-    print(f"culture: {len(culture.neurons)} neurons, "
-          f"coverage = {culture.coverage_fraction() * 100:.0f}% "
+          f"{units.si_format(result.metrics['noise_floor_v'], 'V')} rms per sample")
+    print(f"culture: {result.metrics['n_neurons']} neurons, "
+          f"coverage = {result.metrics['coverage_fraction'] * 100:.0f}% "
           f"(pitch 7.8 um vs 25-80 um somata)")
 
-    recording = chip.record_culture(culture, duration_s=0.25, firing_rate_hz=25.0, rng=3)
-
-    rows = []
-    for neuron in culture.neurons:
-        truth = recording.ground_truth[neuron.index]
-        row, col = recording.best_pixel_for(neuron.index)
-        trace = recording.electrode_movie.pixel_trace(row, col)
-        detected = detect_spikes(trace, threshold_sigma=4.5)
-        score = score_detection(detected, truth, tolerance_s=3e-3)
-        snr = spike_snr(trace, truth) if len(truth) else float("nan")
-        rows.append((
-            f"neuron {neuron.index}",
-            f"{neuron.diameter * 1e6:.0f} um",
-            f"({row},{col})",
-            units.si_format(trace.peak_abs(), "V"),
-            len(truth),
-            len(detected),
-            f"{score.precision:.2f}/{score.recall:.2f}",
-            f"{snr:.1f}",
-        ))
+    rows = [
+        (
+            f"neuron {record['neuron']}",
+            f"{record['diameter_m'] * 1e6:.0f} um",
+            f"({record['best_row']},{record['best_col']})",
+            units.si_format(record["peak_v"], "V"),
+            record["true_spikes"],
+            record["detected_spikes"],
+            f"{record['precision']:.2f}/{record['recall']:.2f}",
+            f"{record['snr']:.1f}",
+        )
+        for record in result.to_rows()
+    ]
     print()
     print(render_table(
         ["cell", "diameter", "best pixel", "peak signal", "true", "detected",

@@ -1,56 +1,64 @@
 """Quickstart: run a DNA assay on the 16x8 microarray chip.
 
-The minimal end-to-end flow of Section 2 / Fig. 4: build a chip, bias
-the electrodes, auto-calibrate, spot a probe panel, apply a sample,
-hybridize/wash, digitise the sensor currents in-pixel and read the
-counters over the 6-pin serial interface.
+The minimal end-to-end flow of Section 2 / Fig. 4, driven through the
+unified Experiment API: declare the assay as a ``DnaAssaySpec``, hand
+it to a ``Runner``, read the uniform ``ResultSet``.  Under the hood the
+Runner builds the chip, biases the electrodes, auto-calibrates, spots
+the probe panel, applies the sample, hybridizes/washes, digitises the
+sensor currents in-pixel and reads the counters over the 6-pin serial
+interface.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DnaMicroarrayChip, MicroarrayAssay, ProbeLayout, Sample
 from repro.core import render_table, units
+from repro.experiments import DnaAssaySpec, Runner
 
 
 def main() -> None:
-    # A chip instance: seeding makes the manufacturing variation (pixel
-    # offsets, DAC INL, bandgap spread) reproducible.
-    chip = DnaMicroarrayChip(rng=1)
+    # One declarative spec instead of four hand-numbered seeds: 16
+    # random 20-mer probes spotted 8x each, perfect targets for the
+    # first four probes at 10 nM (units.nM converts to the library's
+    # mol/m^3 convention), everything else on the chip stays dark.
+    spec = DnaAssaySpec(
+        probe_count=16,
+        probe_length=20,
+        replicates=8,
+        target_subset=(0, 1, 2, 3),
+        concentration=10 * units.nM,
+    )
+
+    # The Runner owns the seed tree (reproducibility) and the chip
+    # cache (re-running or sweeping this spec reuses the calibrated
+    # chip instead of rebuilding it).
+    runner = Runner(seed=1)
+    result = runner.run(spec)
+
+    chip = result.artifacts["chip"]
     print("Chip:", dict(chip.specs.as_rows()))
+    print("Spec:", result.spec["kind"], "| electrodes biased:", result.metrics["bias_ok"])
 
-    # Electrochemical bias: generator above, collector below the redox
-    # potential of the p-aminophenol label product.
-    assert chip.configure_bias(v_generator=0.45, v_collector=-0.25)
-    chip.auto_calibrate(frame_s=0.05, rng=2)
-
-    # 16 random 20-mer probes, each spotted 8 times across the array.
-    layout = ProbeLayout.random_panel(16, probe_length=20, replicates=8, rng=3)
-    probes = layout.probes()
-
-    # The sample contains perfect targets for the first four probes at
-    # 10 nM; everything else on the chip should stay dark.
-    sample = Sample.for_probes(probes, concentration=1e-5, subset=[0, 1, 2, 3])
-
-    # Chemistry: hybridize, wash, develop the enzyme label.
-    result = MicroarrayAssay(layout).run(sample)
-
-    # Electronics: in-pixel A/D conversion, then serial readout.
-    counts = chip.measure_assay(result, frame_s=1.0, rng=4)
+    # The full digital path still works on the artifact chip: serial
+    # counter readout must agree with the in-pixel conversion exactly.
+    counts = result.artifacts["counts"]
     host_counts = chip.read_counters_serial()
     assert host_counts == [int(c) for c in counts.reshape(-1)], "serial readout mismatch"
 
-    currents = chip.current_estimates(counts, frame_s=1.0)
+    currents = result.column("current_estimate_a")
+    is_match = result.column("is_match")
+    is_probe = result.column("probe") != ""
     rows = []
-    for name, subset in (("match", result.match_sites()), ("non-match", result.mismatch_sites())):
-        sites = [(s.row, s.col) for s in subset]
-        values = [currents[r, c] for r, c in sites]
-        rows.append((name, len(sites), units.si_format(min(values), "A"),
-                     units.si_format(max(values), "A")))
+    for name, mask in (("match", is_match), ("non-match", ~is_match & is_probe)):
+        values = currents[mask]
+        rows.append((name, int(mask.sum()), units.si_format(values.min(), "A"),
+                     units.si_format(values.max(), "A")))
     print()
     print(render_table(["site type", "sites", "min current", "max current"], rows,
                        title="Assay outcome (host-side current estimates)"))
     print()
-    print(f"match / non-match discrimination: {result.discrimination_ratio():.0f}x")
+    print(f"match / non-match discrimination: {result.metrics['discrimination_ratio']:.0f}x")
+    print(f"provenance: root seed {result.seeds['root']}, "
+          f"streams {sorted(result.seeds['streams'])}, version {result.version}")
 
 
 if __name__ == "__main__":

@@ -2,27 +2,31 @@
 
 Reproduces both halves of the figure:
   * the sawtooth waveform with its tau1 (ramp), comparator delay and
-    tau_delay (reset pulse) segments,
-  * the frequency-vs-current transfer over the 1 pA - 100 nA range,
+    tau_delay (reset pulse) segments (direct device-model calls),
+  * the frequency-vs-current transfer over the 1 pA - 100 nA range as
+    an ``AdcTransferSpec`` experiment — the registry's fourth workload —
     with the dead-time compression and counting quantisation that bound
     the usable dynamic range.
 
 Run:  python examples/sawtooth_adc_characterization.py
 """
 
-from repro import SawtoothAdc
-from repro.analysis import characterize_adc
 from repro.core import render_kv, render_table, units
+from repro.experiments import AdcTransferSpec, Runner
 
 
 def main() -> None:
-    adc = SawtoothAdc()
+    runner = Runner(seed=1)
+    spec = AdcTransferSpec(i_low_a=1e-12, i_high_a=100e-9, points_per_decade=4, frame_s=4.0)
+    result = runner.run(spec)
+    adc = result.artifacts["adc"]
+
     print(render_kv("ADC design values", [
         ("Cint", units.si_format(adc.cint.capacitance_f, "F")),
         ("comparator threshold", units.si_format(adc.swing_v, "V")),
         ("comparator delay", units.si_format(adc.comparator.delay_s, "s")),
         ("reset pulse (tau_delay)", units.si_format(adc.tau_delay_s, "s")),
-        ("dead-time frequency limit", units.si_format(adc.max_frequency(), "Hz")),
+        ("dead-time frequency limit", units.si_format(result.metrics["max_frequency_hz"], "Hz")),
     ]))
 
     # --- waveform segments (Fig. 3 sketch) ---------------------------------
@@ -40,15 +44,14 @@ def main() -> None:
     print(f"waveform peak {units.si_format(wave.peak_abs(), 'V')}, "
           f"{len(adc.reset_pulse_times(i_demo, 3.5 * period))} reset pulses in 3.5 periods")
 
-    # --- transfer characteristic -------------------------------------------
-    analysis = characterize_adc(adc, frame_s=4.0, rng=1)
+    # --- transfer characteristic (the registered experiment) ---------------
     rows = [
-        (units.si_format(r.current_a, "A"),
-         units.si_format(r.frequency_hz, "Hz"),
-         r.count,
-         units.si_format(r.measured_frequency_hz, "Hz"),
-         f"{r.relative_error * 100:+.2f}%")
-        for r in analysis.rows
+        (units.si_format(row["current_a"], "A"),
+         units.si_format(row["frequency_hz"], "Hz"),
+         row["count"],
+         units.si_format(row["measured_frequency_hz"], "Hz"),
+         f"{row['relative_error'] * 100:+.2f}%")
+        for row in result.to_rows()
     ]
     print()
     print(render_table(
@@ -56,11 +59,11 @@ def main() -> None:
         rows, title="Transfer characteristic, 1 pA ... 100 nA"))
     print()
     print(render_kv("Summary", [
-        ("log-log slope", f"{analysis.loglog_slope:.4f}"),
+        ("log-log slope", f"{result.metrics['loglog_slope']:.4f}"),
         ("usable range (5% error)",
-         f"{units.si_format(analysis.usable_low_a, 'A')} ... "
-         f"{units.si_format(analysis.usable_high_a, 'A')}"),
-        ("usable decades", f"{analysis.usable_decades:.1f}"),
+         f"{units.si_format(result.metrics['usable_low_a'], 'A')} ... "
+         f"{units.si_format(result.metrics['usable_high_a'], 'A')}"),
+        ("usable decades", f"{result.metrics['usable_decades']:.1f}"),
     ]))
 
 

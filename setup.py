@@ -1,5 +1,8 @@
-"""Legacy shim so `pip install -e .` works without the `wheel` package
-(this environment is offline).  All metadata lives in pyproject.toml."""
+"""Compatibility shim for fully offline machines whose setuptools lacks a
+bundled bdist_wheel (no `wheel` package, no network for build isolation):
+there, `python setup.py develop` still produces an editable install.
+Everywhere else use `pip install -e .`.  All project metadata lives in
+pyproject.toml."""
 
 from setuptools import setup
 

@@ -13,22 +13,23 @@ The library models both platforms the paper presents:
 * **Drug-screening funnel** (Fig. 1): the staged-economics simulation
   motivating highly parallel CMOS biosensing.
 
-Quick start::
+Quick start — declare an experiment, hand it to the Runner::
 
-    from repro import DnaMicroarrayChip, MicroarrayAssay, ProbeLayout, Sample
+    from repro.experiments import DnaAssaySpec, Runner
 
-    chip = DnaMicroarrayChip(rng=1)
-    chip.configure_bias(0.45, -0.25)
-    chip.auto_calibrate(rng=2)
-    layout = ProbeLayout.random_panel(16, rng=3)
-    sample = Sample.for_probes(layout.probes(), 1e-6, subset=[0, 1])
-    counts = chip.measure_assay(MicroarrayAssay(layout).run(sample), rng=4)
+    runner = Runner(seed=1)
+    result = runner.run(DnaAssaySpec(target_subset=(0, 1), concentration=1e-6))
+    print(result.metrics["discrimination_ratio"])
 
-See ``examples/`` for full scenarios and ``benchmarks/`` for the
-figure-by-figure reproduction harness.
+The imperative layer underneath (chips, assays, cultures, funnels)
+remains fully public for custom flows.  See ``examples/`` for full
+scenarios and ``benchmarks/`` for the figure-by-figure reproduction
+harness.
 """
 
-from . import analysis, chip, core, devices, dna, electrochem, neuro, pixel, screening
+__version__ = "1.1.0"
+
+from . import analysis, chip, core, devices, dna, electrochem, experiments, neuro, pixel, screening
 from .chip import (
     ChipSpecs,
     DnaMicroarrayChip,
@@ -51,6 +52,15 @@ from .dna import (
     perfect_target_for,
 )
 from .electrochem import InterdigitatedElectrode, RedoxCyclingSensor
+from .experiments import (
+    AdcTransferSpec,
+    DnaAssaySpec,
+    ExperimentSpec,
+    NeuralRecordingSpec,
+    ResultSet,
+    Runner,
+    ScreeningSpec,
+)
 from .neuro import (
     CellChipJunction,
     Culture,
@@ -64,18 +74,19 @@ from .neuro import (
 from .pixel import DnaSensorPixel, SawtoothAdc
 from .screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_conventional
 
-__version__ = "1.0.0"
-
 __all__ = [
+    "AdcTransferSpec",
     "AssayProtocol",
     "AssayResult",
     "CellChipJunction",
     "ChipSpecs",
     "CompoundLibrary",
     "Culture",
+    "DnaAssaySpec",
     "DnaMicroarrayChip",
     "DnaSensorPixel",
     "DnaSequence",
+    "ExperimentSpec",
     "HodgkinHuxleyNeuron",
     "HybridizationKinetics",
     "InterdigitatedElectrode",
@@ -83,15 +94,19 @@ __all__ = [
     "NEURO_SCAN",
     "NeuralArrayModel",
     "NeuralRecordingChip",
+    "NeuralRecordingSpec",
     "NeuralSensorPixel",
     "Probe",
     "ProbeLayout",
     "RecordingResult",
     "RedoxCyclingSensor",
+    "ResultSet",
+    "Runner",
     "Sample",
     "SawtoothAdc",
     "ScanTiming",
     "ScreeningFunnel",
+    "ScreeningSpec",
     "StimulusProtocol",
     "Target",
     "Trace",
@@ -103,6 +118,7 @@ __all__ = [
     "devices",
     "dna",
     "electrochem",
+    "experiments",
     "neuro",
     "perfect_target_for",
     "pixel",

@@ -8,6 +8,7 @@ reproducible and lets tests pin seeds without monkeypatching globals.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -52,3 +53,49 @@ def spawn_children(rng: RngLike, count: int) -> list[np.random.Generator]:
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def stable_entropy(*parts: object) -> tuple[int, ...]:
+    """Hash arbitrary path components into four uint32 words.
+
+    The mapping is stable across processes and Python versions (it feeds
+    ``repr`` through SHA-256 rather than ``hash()``, which is salted), so
+    it can key :class:`numpy.random.SeedSequence` spawn trees whose layout
+    must be reproducible run-to-run.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    raw = digest.digest()
+    return tuple(int.from_bytes(raw[i : i + 4], "little") for i in range(0, 16, 4))
+
+
+class SeedTree:
+    """A deterministic tree of named random streams.
+
+    One root seed fans out into independent :class:`numpy.random.Generator`
+    streams addressed by a path of strings/ints, e.g.
+    ``tree.generator("chip", key)``.  Streams depend only on
+    ``(root, path)`` — never on the order or number of previous requests —
+    so callers can draw sub-streams lazily, in parallel, or repeatedly and
+    always get the same bits.  This replaces hand-numbered seeds
+    (``rng=1`` for the chip, ``rng=2`` for calibration, ...) with a single
+    root plus self-describing stream names.
+    """
+
+    def __init__(self, root: int = 0) -> None:
+        self.root = int(root)
+
+    def __repr__(self) -> str:
+        return f"SeedTree(root={self.root})"
+
+    def sequence(self, *path: object) -> np.random.SeedSequence:
+        """SeedSequence for the stream addressed by ``path``."""
+        if not path:
+            raise ValueError("a stream path needs at least one component")
+        return np.random.SeedSequence(entropy=self.root, spawn_key=stable_entropy(*path))
+
+    def generator(self, *path: object) -> np.random.Generator:
+        """Fresh Generator for the stream addressed by ``path``."""
+        return np.random.default_rng(self.sequence(*path))

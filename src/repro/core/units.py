@@ -44,6 +44,15 @@ ms = MILLI
 kHz = KILO
 MHz = MEGA
 
+# Molar concentrations.  Internal concentrations are mol/m^3, and
+# 1 mol/m^3 = 1 mmol/L, so 1 nanomolar = 1e-6 mol/m^3.  Writing
+# ``10 * nM`` instead of ``1e-5`` keeps example code and comments from
+# drifting apart.
+mM = 1.0  # mol/m^3 per millimolar
+uM = 1e-3  # mol/m^3 per micromolar
+nM = 1e-6  # mol/m^3 per nanomolar
+pM = 1e-9  # mol/m^3 per picomolar
+
 # ---------------------------------------------------------------------------
 # Physical constants (CODATA, truncated to the precision behavioural models
 # need)

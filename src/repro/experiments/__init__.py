@@ -1,0 +1,50 @@
+"""Unified experiment API: declarative specs -> Runner -> ResultSets.
+
+The one front door for all the paper's workloads::
+
+    from repro.experiments import DnaAssaySpec, Runner
+
+    runner = Runner(seed=1)
+    result = runner.run(DnaAssaySpec(concentration=1e-5))
+    print(result.metrics["discrimination_ratio"])
+    payload = result.to_json()
+
+Specs are frozen and serializable (``to_dict``/``from_dict``); the
+Runner owns the seed tree, batches over shared chips/layouts/libraries,
+and always returns the uniform :class:`ResultSet`.
+"""
+
+from .compat import run_legacy_dna_assay, run_legacy_neural_recording
+from .results import ResultSet
+from .runner import Runner, RunnerStats
+from .specs import (
+    AdcTransferSpec,
+    DnaAssaySpec,
+    ExperimentSpec,
+    NeuralRecordingSpec,
+    ScreeningSpec,
+    experiment_kinds,
+    experiment_type,
+    register_experiment,
+    spec_from_dict,
+)
+from .workloads import register_workload, workload_for
+
+__all__ = [
+    "AdcTransferSpec",
+    "DnaAssaySpec",
+    "ExperimentSpec",
+    "NeuralRecordingSpec",
+    "ResultSet",
+    "Runner",
+    "RunnerStats",
+    "ScreeningSpec",
+    "experiment_kinds",
+    "experiment_type",
+    "register_experiment",
+    "register_workload",
+    "run_legacy_dna_assay",
+    "run_legacy_neural_recording",
+    "spec_from_dict",
+    "workload_for",
+]

@@ -1,0 +1,122 @@
+"""Back-compat shims for the pre-Runner imperative call sequences.
+
+The seed era drove every workload by hand with numbered seeds::
+
+    chip = DnaMicroarrayChip(rng=1)
+    chip.configure_bias(0.45, -0.25)
+    chip.auto_calibrate(rng=2)
+    layout = ProbeLayout.random_panel(16, rng=3)
+    counts = chip.measure_assay(MicroarrayAssay(layout).run(sample), rng=4)
+
+These shims keep that calling convention alive — same arguments, same
+numbers, bit for bit — while delegating the actual work to
+:class:`~repro.experiments.runner.Runner` via its stream-override hook.
+They emit :class:`DeprecationWarning`; new code should build a spec and
+call the Runner directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence
+
+from ..core.rng import RngLike
+from .results import ResultSet
+from .runner import Runner
+from .specs import DnaAssaySpec, NeuralRecordingSpec
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_legacy_dna_assay(
+    chip_rng: RngLike = 1,
+    calibration_rng: RngLike = 2,
+    layout_rng: RngLike = 3,
+    measure_rng: RngLike = 4,
+    *,
+    probe_count: int = 16,
+    probe_length: int = 20,
+    replicates: int = 8,
+    control_every: int = 0,
+    subset: Optional[Sequence[int]] = (0, 1, 2, 3),
+    concentration: float = 1e-5,
+    target_length: int = 2000,
+    frame_s: float = 1.0,
+    calibration_frame_s: float = 0.05,
+) -> ResultSet:
+    """The classic quickstart assay with its four hand-numbered seeds.
+
+    Reproduces ``DnaMicroarrayChip(rng=1) ... measure_assay(rng=4)``
+    exactly; the count matrix is ``result.artifacts["counts"]``.
+    """
+    _deprecated("run_legacy_dna_assay", "repro.experiments.Runner.run(DnaAssaySpec(...))")
+    spec = DnaAssaySpec(
+        probe_count=probe_count,
+        probe_length=probe_length,
+        replicates=replicates,
+        control_every=control_every,
+        target_subset=tuple(subset) if subset is not None else None,
+        concentration=concentration,
+        target_length=target_length,
+        frame_s=frame_s,
+        calibration_frame_s=calibration_frame_s,
+    )
+    return Runner().run(
+        spec,
+        rng_overrides={
+            "chip": chip_rng,
+            "calibration": calibration_rng,
+            "layout": layout_rng,
+            "measure": measure_rng,
+        },
+    )
+
+
+def run_legacy_neural_recording(
+    chip_rng: RngLike = 1,
+    culture_rng: RngLike = 2,
+    record_rng: RngLike = 3,
+    *,
+    rows: int = 64,
+    cols: int = 64,
+    pitch_m: float = 7.8e-6,
+    n_neurons: int = 5,
+    diameter_range: tuple[float, float] = (25e-6, 80e-6),
+    duration_s: float = 0.25,
+    firing_rate_hz: float = 25.0,
+    use_hh: bool = True,
+) -> ResultSet:
+    """The classic neural-recording flow with its three seeds.
+
+    Reproduces ``NeuralRecordingChip(rng=1)``/``Culture.random(rng=2)``/
+    ``record_culture(rng=3)`` exactly; the recording object is
+    ``result.artifacts["recording"]``.
+    """
+    _deprecated(
+        "run_legacy_neural_recording",
+        "repro.experiments.Runner.run(NeuralRecordingSpec(...))",
+    )
+    spec = NeuralRecordingSpec(
+        rows=rows,
+        cols=cols,
+        pitch_m=pitch_m,
+        n_neurons=n_neurons,
+        diameter_range_m=diameter_range,
+        duration_s=duration_s,
+        firing_rate_hz=firing_rate_hz,
+        use_hh=use_hh,
+    )
+    return Runner().run(
+        spec,
+        rng_overrides={
+            "chip": chip_rng,
+            "culture": culture_rng,
+            "record": record_rng,
+        },
+    )

@@ -1,0 +1,121 @@
+"""The uniform result container shared by every workload.
+
+A :class:`ResultSet` is the one shape that comes back from the Runner
+regardless of experiment kind: columnar per-record data (one record per
+array site, neuron or funnel stage), scalar summary ``metrics``, and
+full provenance (the spec dict, the seed streams that were consumed,
+and the library version).  ``artifacts`` carries the rich in-memory
+objects (chip, culture, funnel result, ...) for callers that want to
+keep digging; it is deliberately excluded from serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+
+@dataclass
+class ResultSet:
+    """Uniform experiment output: records + metrics + provenance."""
+
+    kind: str
+    spec: dict[str, Any]
+    seeds: dict[str, Any]
+    version: str
+    record_name: str = "record"
+    records: dict[str, np.ndarray] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    artifacts: dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(column) for name, column in self.records.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"record columns have unequal lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        for column in self.records.values():
+            return len(column)
+        return 0
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.records[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {sorted(self.records)}"
+            ) from None
+
+    def select(self, mask: np.ndarray) -> dict[str, np.ndarray]:
+        """Apply a boolean mask across every column."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_records,):
+            raise ValueError("mask length must match record count")
+        return {name: column[mask] for name, column in self.records.items()}
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[dict[str, Any]]:
+        """One plain-python dict per record — ready for csv.DictWriter,
+        pandas, or a report table."""
+        names = list(self.records)
+        columns = [self.records[name] for name in names]
+        return [
+            {name: _as_python(column[i]) for name, column in zip(names, columns)}
+            for i in range(self.n_records)
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "spec": self.spec,
+            "seeds": self.seeds,
+            "version": self.version,
+            "record_name": self.record_name,
+            "records": {
+                name: [_as_python(value) for value in column]
+                for name, column in self.records.items()
+            },
+            "metrics": {name: _as_python(value) for name, value in self.metrics.items()},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ResultSet":
+        data = json.loads(payload)
+        return cls(
+            kind=data["kind"],
+            spec=data["spec"],
+            seeds=data["seeds"],
+            version=data["version"],
+            record_name=data.get("record_name", "record"),
+            records={name: np.asarray(column) for name, column in data["records"].items()},
+            metrics=data.get("metrics", {}),
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human summary for logs and examples."""
+        return (
+            f"<ResultSet {self.kind}: {self.n_records} {self.record_name}s, "
+            f"{len(self.metrics)} metrics>"
+        )
+
+
+def _as_python(value: Any) -> Any:
+    """Strip numpy scalar types so json serialization round-trips."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_as_python(item) for item in value]
+    return value

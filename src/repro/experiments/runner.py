@@ -1,0 +1,195 @@
+"""The batched experiment Runner — the library's front door.
+
+One Runner owns one :class:`~repro.core.rng.SeedTree`; every random
+stream any experiment consumes is derived from ``(seed, stream path)``,
+never from call order.  Consequences:
+
+* ``run(spec)`` is a pure function of ``(seed, spec)`` — bit-identical
+  on repeat, whether run alone, inside a batch, or after other specs;
+* expensive substrates (built-and-calibrated chips, probe layouts,
+  compound libraries) are cached by the facet of the spec that defines
+  them, so a concentration sweep of N assays provisions *one* chip and
+  *one* spotted layout instead of N;
+* provenance is automatic: every ResultSet records the root seed and
+  the stream paths that produced it.
+
+Use::
+
+    from repro.experiments import DnaAssaySpec, Runner
+
+    runner = Runner(seed=1)
+    result = runner.run(DnaAssaySpec(concentration=1e-5))
+    sweep = runner.run_batch(
+        [DnaAssaySpec(concentration=c) for c in (1e-7, 1e-6, 1e-5)]
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..core.rng import RngLike, SeedTree, ensure_rng
+from .results import ResultSet
+from .specs import ExperimentSpec, experiment_type
+from .workloads import workload_for
+
+
+@dataclass
+class RunnerStats:
+    """Cheap instrumentation: what the caches actually saved."""
+
+    runs: int = 0
+    chips_built: int = 0
+    chips_reused: int = 0
+    layouts_built: int = 0
+    layouts_reused: int = 0
+    libraries_built: int = 0
+    libraries_reused: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Runner:
+    """Executes experiment specs with shared, deterministic resources.
+
+    Parameters
+    ----------
+    seed:
+        Root of the seed tree.  Two Runners with the same seed produce
+        bit-identical results for the same specs.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed_tree = SeedTree(seed)
+        self.stats = RunnerStats()
+        self._caches: dict[str, dict[str, Any]] = {}
+        # Per-run context (single-threaded): which streams were
+        # explicitly overridden, and the provenance to stamp on results.
+        self._overridden: frozenset[str] = frozenset()
+        self._current_seeds: dict[str, Any] = {}
+
+    @property
+    def seed(self) -> int:
+        return self.seed_tree.root
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ExperimentSpec | str,
+        *,
+        rng_overrides: Optional[dict[str, RngLike]] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        **params: Any,
+    ) -> ResultSet:
+        """Execute one spec and return its :class:`ResultSet`.
+
+        ``spec`` may be a spec instance or a registered kind name plus
+        field values (``runner.run("dna_assay", concentration=1e-6)``).
+
+        ``rng_overrides`` replaces named random streams (see each
+        workload's ``streams``) — the hook the legacy shims use to
+        reproduce seed-era numbers exactly.  ``inputs`` injects
+        pre-built substrates (e.g. ``{"library": lib}``); injected or
+        override-built resources bypass the caches.
+        """
+        spec = self._coerce_spec(spec, params)
+        workload = workload_for(spec.kind)
+        paths = workload.streams(spec)
+        overrides = rng_overrides or {}
+        unknown = set(overrides) - set(paths)
+        if unknown:
+            raise KeyError(
+                f"unknown stream override(s) {sorted(unknown)} for kind "
+                f"{spec.kind!r}; streams: {sorted(paths)}"
+            )
+        rngs = {
+            name: ensure_rng(overrides[name])
+            if name in overrides
+            else self.seed_tree.generator(*path)
+            for name, path in paths.items()
+        }
+        self._overridden = frozenset(overrides)
+        self._current_seeds = {
+            "root": self.seed,
+            "streams": {
+                name: "override" if name in overrides else [str(part) for part in path]
+                for name, path in paths.items()
+            },
+        }
+        try:
+            result = workload.execute(self, spec, rngs, inputs or {})
+        finally:
+            self._overridden = frozenset()
+            self._current_seeds = {}
+        self.stats.runs += 1
+        return result
+
+    def run_batch(
+        self,
+        specs: Sequence[ExperimentSpec] | Iterable[ExperimentSpec],
+        *,
+        inputs: Optional[dict[str, Any]] = None,
+    ) -> list[ResultSet]:
+        """Execute many specs, sharing chips/layouts/libraries via the
+        caches.  Results come back in input order and are identical to
+        running each spec alone (streams are position-independent)."""
+        return [self.run(spec, inputs=inputs) for spec in specs]
+
+    def clear_caches(self) -> None:
+        self._caches.clear()
+
+    # ------------------------------------------------------------------
+    # Workload services
+    # ------------------------------------------------------------------
+    def _coerce_spec(self, spec: ExperimentSpec | str, params: dict[str, Any]) -> ExperimentSpec:
+        if isinstance(spec, str):
+            return experiment_type(spec)(**params)
+        if params:
+            raise TypeError("field values are only accepted with a kind name, not a spec instance")
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(f"cannot run {type(spec).__name__}; expected a spec or kind name")
+        return spec
+
+    def _provision(
+        self,
+        cache_name: str,
+        key: str,
+        factory: Callable[[], Any],
+        cacheable: bool = True,
+        counter: str = "chips",
+    ) -> Any:
+        """Fetch-or-build a shared substrate, keeping reuse statistics."""
+        cache = self._caches.setdefault(cache_name, {})
+        if cacheable and key in cache:
+            setattr(self.stats, f"{counter}_reused", getattr(self.stats, f"{counter}_reused") + 1)
+            return cache[key]
+        built = factory()
+        setattr(self.stats, f"{counter}_built", getattr(self.stats, f"{counter}_built") + 1)
+        if cacheable:
+            cache[key] = built
+        return built
+
+    def _result(
+        self,
+        spec: ExperimentSpec,
+        record_name: str,
+        records: dict[str, Any],
+        metrics: dict[str, Any],
+        artifacts: dict[str, Any],
+    ) -> ResultSet:
+        from .. import __version__
+
+        return ResultSet(
+            kind=spec.kind,
+            spec=spec.to_dict(),
+            seeds=dict(self._current_seeds),
+            version=__version__,
+            record_name=record_name,
+            records=records,
+            metrics=metrics,
+            artifacts=artifacts,
+        )

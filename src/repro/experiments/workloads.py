@@ -1,0 +1,453 @@
+"""Workload implementations behind the Runner.
+
+Each experiment kind contributes two functions:
+
+* ``streams(spec)`` — the named random streams it consumes, each mapped
+  to a seed-tree path.  Paths are keyed by the *facet* of the spec they
+  serve: chip streams hash only chip configuration (so identical chips
+  are shared and re-seeded identically), layout streams only the panel
+  design (so concentration sweeps keep the same spotted array), and
+  measurement streams the full spec (so distinct experiments get
+  independent noise).
+* ``execute(runner, spec, rngs, inputs)`` — run the physics and fold
+  the outcome into a :class:`~repro.experiments.results.ResultSet`.
+
+``register_workload`` adds a new kind at runtime; the built-in three
+(plus the ADC sweep) register at import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ..analysis.transfer import characterize_adc
+from ..chip.dna_chip import ChipSpecs, DnaMicroarrayChip
+from ..chip.neuro_chip import NeuralRecordingChip
+from ..dna.assay import AssayProtocol, MicroarrayAssay
+from ..dna.sample import Sample
+from ..dna.sequences import DnaSequence, Probe, Target
+from ..dna.spotting import ProbeLayout
+from ..neuro.culture import ArrayGeometry, Culture
+from ..neuro.spike_detection import detect_spikes, score_detection, spike_snr
+from ..pixel.sawtooth_adc import SawtoothAdc
+from ..screening.compounds import CompoundLibrary
+from ..screening.stages import default_funnel_stages
+from .results import ResultSet
+from .specs import (
+    AdcTransferSpec,
+    DnaAssaySpec,
+    ExperimentSpec,
+    NeuralRecordingSpec,
+    ScreeningSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import Runner
+
+StreamsFn = Callable[[ExperimentSpec], dict[str, tuple]]
+ExecuteFn = Callable[["Runner", ExperimentSpec, dict, dict], ResultSet]
+
+
+@dataclass(frozen=True)
+class Workload:
+    kind: str
+    streams: StreamsFn
+    execute: ExecuteFn
+
+
+WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(kind: str, streams: StreamsFn, execute: ExecuteFn) -> None:
+    """Plug a new experiment kind into the Runner dispatch table."""
+    if kind in WORKLOADS:
+        raise ValueError(f"workload {kind!r} already registered")
+    WORKLOADS[kind] = Workload(kind=kind, streams=streams, execute=execute)
+
+
+def workload_for(kind: str) -> Workload:
+    try:
+        return WORKLOADS[kind]
+    except KeyError:
+        raise KeyError(
+            f"no workload registered for kind {kind!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# DNA microarray assay
+# ---------------------------------------------------------------------------
+def _dna_streams(spec: DnaAssaySpec) -> dict[str, tuple]:
+    return {
+        "chip": ("dna", "chip", spec.chip_key()),
+        "calibration": ("dna", "calibration", spec.chip_key()),
+        "layout": ("dna", "layout", spec.layout_key()),
+        "measure": ("dna", "measure", spec.content_hash()),
+    }
+
+
+def _build_dna_chip(spec: DnaAssaySpec, chip_rng, calibration_rng) -> DnaMicroarrayChip:
+    chip = DnaMicroarrayChip(ChipSpecs(rows=spec.rows, cols=spec.cols), rng=chip_rng)
+    bias_ok = chip.configure_bias(spec.v_generator, spec.v_collector)
+    if spec.calibrate:
+        chip.auto_calibrate(frame_s=spec.calibration_frame_s, rng=calibration_rng)
+    chip.bias_ok = bias_ok
+    return chip
+
+
+def _build_dna_layout(spec: DnaAssaySpec, layout_rng) -> tuple[ProbeLayout, DnaSequence | None]:
+    """Returns the spotted layout plus, for mismatch panels, the target
+    region the probes were designed against."""
+    if spec.panel == "mismatch":
+        region = DnaSequence.random(spec.probe_length, layout_rng)
+        perfect = region.reverse_complement()
+        probes = [Probe("match-0mm", perfect)]
+        for n_mm in spec.mismatch_counts:
+            probes.append(Probe(f"mismatch-{n_mm}mm", perfect.with_mismatches(n_mm, layout_rng)))
+        layout = ProbeLayout.tiled(
+            probes,
+            rows=spec.rows,
+            cols=spec.cols,
+            replicates=spec.replicates,
+            control_every=spec.control_every,
+        )
+        return layout, region
+    layout = ProbeLayout.random_panel(
+        spec.probe_count,
+        probe_length=spec.probe_length,
+        rows=spec.rows,
+        cols=spec.cols,
+        rng=layout_rng,
+        replicates=spec.replicates,
+        control_every=spec.control_every,
+    )
+    return layout, None
+
+
+def _build_dna_sample(spec: DnaAssaySpec, layout: ProbeLayout, region: DnaSequence | None) -> Sample:
+    if spec.panel == "mismatch":
+        assert region is not None
+        target = Target("reference-target", region, total_length=spec.target_length)
+        return Sample({target: spec.concentration})
+    probes = layout.probes()
+    subset = list(spec.target_subset) if spec.target_subset is not None else None
+    return Sample.for_probes(
+        probes, spec.concentration, target_length=spec.target_length, subset=subset
+    )
+
+
+def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict) -> ResultSet:
+    chip = inputs.get("chip")
+    if chip is None:
+        chip = runner._provision(
+            "dna_chip",
+            spec.chip_key(),
+            lambda: _build_dna_chip(spec, rngs["chip"], rngs["calibration"]),
+            cacheable="chip" not in runner._overridden and "calibration" not in runner._overridden,
+        )
+    cached_layout = runner._provision(
+        "dna_layout",
+        spec.layout_key(),
+        lambda: _build_dna_layout(spec, rngs["layout"]),
+        cacheable="layout" not in runner._overridden,
+        counter="layouts",
+    )
+    layout, region = cached_layout
+    sample = _build_dna_sample(spec, layout, region)
+    protocol = AssayProtocol(hybridization_s=spec.hybridization_s, wash_s=spec.wash_s)
+    assay = MicroarrayAssay(layout).run(sample, protocol)
+    counts = chip.measure_assay(assay, frame_s=spec.frame_s, rng=rngs["measure"])
+    estimates = chip.current_estimates(counts, frame_s=spec.frame_s)
+
+    sites = assay.sites
+    records = {
+        "row": np.asarray([s.row for s in sites], dtype=int),
+        "col": np.asarray([s.col for s in sites], dtype=int),
+        "probe": np.asarray([s.probe_name for s in sites], dtype=object),
+        "mismatches": np.asarray([s.best_match_mismatches for s in sites], dtype=int),
+        "is_match": np.asarray([s.is_match_site for s in sites], dtype=bool),
+        "occupancy_hyb": np.asarray([s.occupancy_after_hybridization for s in sites]),
+        "occupancy_wash": np.asarray([s.occupancy_after_wash for s in sites]),
+        "sensor_current_a": np.asarray([s.sensor_current for s in sites]),
+        "count": np.asarray([counts[s.row, s.col] for s in sites], dtype=int),
+        "current_estimate_a": np.asarray([estimates[s.row, s.col] for s in sites]),
+    }
+    metrics: dict[str, Any] = {
+        # bias_ok is stamped by _build_dna_chip; an injected chip
+        # (inputs={"chip": ...}) was configured by the caller.
+        "bias_ok": bool(getattr(chip, "bias_ok", True)),
+        "n_sites": len(sites),
+        "n_match_sites": int(records["is_match"].sum()),
+        "n_probe_sites": int(sum(1 for s in sites if s.probe_name)),
+    }
+    match = records["sensor_current_a"][records["is_match"]]
+    nonmatch = records["sensor_current_a"][
+        ~records["is_match"] & (records["probe"] != "").astype(bool)
+    ]
+    if len(match) and len(nonmatch):
+        metrics["median_match_current_a"] = float(np.median(match))
+        metrics["median_nonmatch_current_a"] = float(np.median(nonmatch))
+        metrics["discrimination_ratio"] = float(np.median(match) / np.median(nonmatch))
+    positive = records["current_estimate_a"][records["current_estimate_a"] > 0]
+    if len(positive):
+        metrics["current_span_decades"] = float(np.log10(positive.max() / positive.min()))
+    return runner._result(
+        spec,
+        record_name="site",
+        records=records,
+        metrics=metrics,
+        artifacts={
+            "chip": chip,
+            "layout": layout,
+            "assay": assay,
+            "sample": sample,
+            "counts": counts,
+            "current_estimates": estimates,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Neural recording
+# ---------------------------------------------------------------------------
+def _neural_streams(spec: NeuralRecordingSpec) -> dict[str, tuple]:
+    # Culture/recording hash only the physics facet: sweeping analysis
+    # knobs (threshold_sigma, tolerance_s) re-scores the *same*
+    # simulated culture and recording, keeping ROC-style comparisons
+    # paired.
+    return {
+        "chip": ("neuro", "chip", spec.chip_key()),
+        "culture": ("neuro", "culture", spec.physics_key()),
+        "record": ("neuro", "record", spec.physics_key()),
+    }
+
+
+def _build_neuro_chip(spec: NeuralRecordingSpec, chip_rng) -> NeuralRecordingChip:
+    chip = NeuralRecordingChip(
+        geometry=ArrayGeometry(spec.rows, spec.cols, spec.pitch_m), rng=chip_rng
+    )
+    chip.calibrate()
+    return chip
+
+
+def _execute_neural(
+    runner: "Runner", spec: NeuralRecordingSpec, rngs: dict, inputs: dict
+) -> ResultSet:
+    chip = inputs.get("chip")
+    if chip is None:
+        chip = runner._provision(
+            "neuro_chip",
+            spec.chip_key(),
+            lambda: _build_neuro_chip(spec, rngs["chip"]),
+            cacheable="chip" not in runner._overridden,
+        )
+    culture = inputs.get("culture")
+    if culture is None:
+        culture = Culture.random(
+            spec.n_neurons,
+            chip.geometry,
+            diameter_range=spec.diameter_range_m,
+            rng=rngs["culture"],
+        )
+    recording = chip.record_culture(
+        culture,
+        duration_s=spec.duration_s,
+        firing_rate_hz=spec.firing_rate_hz,
+        rng=rngs["record"],
+        use_hh=spec.use_hh,
+    )
+
+    columns: dict[str, list] = {
+        name: []
+        for name in (
+            "neuron",
+            "diameter_m",
+            "best_row",
+            "best_col",
+            "peak_v",
+            "true_spikes",
+            "detected_spikes",
+            "precision",
+            "recall",
+            "snr",
+        )
+    }
+    for neuron in culture.neurons:
+        truth = recording.ground_truth[neuron.index]
+        columns["neuron"].append(neuron.index)
+        columns["diameter_m"].append(neuron.diameter)
+        if not culture.pixels_for_neuron(neuron):
+            # Off-grid soma (possible at array edges): no trace to score.
+            columns["best_row"].append(-1)
+            columns["best_col"].append(-1)
+            columns["peak_v"].append(0.0)
+            columns["true_spikes"].append(len(truth))
+            columns["detected_spikes"].append(0)
+            columns["precision"].append(0.0)
+            columns["recall"].append(0.0)
+            columns["snr"].append(float("nan"))
+            continue
+        row, col = recording.best_pixel_for(neuron.index)
+        trace = recording.electrode_movie.pixel_trace(row, col)
+        detected = detect_spikes(trace, threshold_sigma=spec.threshold_sigma)
+        score = score_detection(detected, truth, tolerance_s=spec.tolerance_s)
+        columns["best_row"].append(row)
+        columns["best_col"].append(col)
+        columns["peak_v"].append(trace.peak_abs())
+        columns["true_spikes"].append(len(truth))
+        columns["detected_spikes"].append(len(detected))
+        columns["precision"].append(score.precision)
+        columns["recall"].append(score.recall)
+        columns["snr"].append(spike_snr(trace, truth) if len(truth) else float("nan"))
+
+    records = {
+        "neuron": np.asarray(columns["neuron"], dtype=int),
+        "diameter_m": np.asarray(columns["diameter_m"]),
+        "best_row": np.asarray(columns["best_row"], dtype=int),
+        "best_col": np.asarray(columns["best_col"], dtype=int),
+        "peak_v": np.asarray(columns["peak_v"]),
+        "true_spikes": np.asarray(columns["true_spikes"], dtype=int),
+        "detected_spikes": np.asarray(columns["detected_spikes"], dtype=int),
+        "precision": np.asarray(columns["precision"]),
+        "recall": np.asarray(columns["recall"]),
+        "snr": np.asarray(columns["snr"]),
+    }
+    # Precision is defined over neurons that detected something,
+    # recall over neurons that actually fired — matching the per-neuron
+    # DetectionScore denominators.
+    detected = records["detected_spikes"] > 0
+    fired = records["true_spikes"] > 0
+    metrics = {
+        "n_neurons": len(culture.neurons),
+        "coverage_fraction": float(culture.coverage_fraction()),
+        "noise_floor_v": float(chip.input_referred_noise_v()),
+        "frame_rate_hz": float(chip.scan.frame_rate_hz),
+        "channel_pixel_rate_hz": float(chip.scan.channel_pixel_rate_hz),
+        "aggregate_pixel_rate_hz": float(chip.scan.aggregate_pixel_rate_hz),
+        "total_true_spikes": int(records["true_spikes"].sum()),
+        "total_detected_spikes": int(records["detected_spikes"].sum()),
+        "mean_precision": float(records["precision"][detected].mean()) if detected.any() else 0.0,
+        "mean_recall": float(records["recall"][fired].mean()) if fired.any() else 0.0,
+    }
+    return runner._result(
+        spec,
+        record_name="neuron",
+        records=records,
+        metrics=metrics,
+        artifacts={"chip": chip, "culture": culture, "recording": recording},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Drug-screening funnel
+# ---------------------------------------------------------------------------
+def _screening_streams(spec: ScreeningSpec) -> dict[str, tuple]:
+    # The funnel stream hashes only the library facet: specs differing in
+    # `cmos` draw identical decision noise, giving paired comparisons.
+    return {
+        "library": ("screening", "library", spec.library_key()),
+        "funnel": ("screening", "funnel", spec.library_key()),
+    }
+
+
+def _execute_screening(
+    runner: "Runner", spec: ScreeningSpec, rngs: dict, inputs: dict
+) -> ResultSet:
+    from ..screening.funnel import ScreeningFunnel
+
+    library = inputs.get("library")
+    if library is None:
+        library = runner._provision(
+            "library",
+            spec.library_key(),
+            lambda: CompoundLibrary.generate(
+                size=spec.library_size, viable_rate=spec.viable_rate, rng=rngs["library"]
+            ),
+            cacheable="library" not in runner._overridden,
+            counter="libraries",
+        )
+    funnel = ScreeningFunnel(default_funnel_stages(cmos=spec.cmos))
+    result = funnel.run(library, rng=rngs["funnel"])
+
+    outcomes = result.outcomes
+    records = {
+        "stage": np.asarray([o.stage_name for o in outcomes], dtype=object),
+        "candidates_in": np.asarray([o.candidates_in for o in outcomes], dtype=int),
+        "candidates_out": np.asarray([o.candidates_out for o in outcomes], dtype=int),
+        "viable_in": np.asarray([o.viable_in for o in outcomes], dtype=int),
+        "viable_out": np.asarray([o.viable_out for o in outcomes], dtype=int),
+        "cost": np.asarray([o.cost for o in outcomes]),
+        "days": np.asarray([o.days for o in outcomes]),
+        "cost_per_datapoint": np.asarray([o.cost_per_datapoint for o in outcomes]),
+        "datapoints_per_day": np.asarray([o.datapoints_per_day for o in outcomes]),
+    }
+    metrics = {
+        "library_size": library.size,
+        "library_viable": library.viable_count(),
+        "survivors": result.survivors,
+        "surviving_viable": result.surviving_viable,
+        "total_cost": float(result.total_cost),
+        "total_days": float(result.total_days),
+        "monotone_cost_increase": bool(result.monotone_cost_increase()),
+        "monotone_throughput_decrease": bool(result.monotone_throughput_decrease()),
+    }
+    return runner._result(
+        spec,
+        record_name="stage",
+        records=records,
+        metrics=metrics,
+        artifacts={"funnel": result, "library": library},
+    )
+
+
+# ---------------------------------------------------------------------------
+# ADC transfer sweep
+# ---------------------------------------------------------------------------
+def _adc_streams(spec: AdcTransferSpec) -> dict[str, tuple]:
+    # Hash the sweep facet only: max_rel_error is an analysis knob and
+    # must not change the measured counts.
+    return {"measure": ("adc", "measure", spec.sweep_key())}
+
+
+def _execute_adc(runner: "Runner", spec: AdcTransferSpec, rngs: dict, inputs: dict) -> ResultSet:
+    adc = inputs.get("adc") or SawtoothAdc()
+    analysis = characterize_adc(
+        adc,
+        i_low=spec.i_low_a,
+        i_high=spec.i_high_a,
+        points_per_decade=spec.points_per_decade,
+        frame_s=spec.frame_s,
+        rng=rngs["measure"],
+        max_rel_error=spec.max_rel_error,
+    )
+    records = {
+        "current_a": np.asarray([r.current_a for r in analysis.rows]),
+        "frequency_hz": np.asarray([r.frequency_hz for r in analysis.rows]),
+        "ideal_frequency_hz": np.asarray([r.ideal_frequency_hz for r in analysis.rows]),
+        "count": np.asarray([r.count for r in analysis.rows], dtype=int),
+        "measured_frequency_hz": np.asarray([r.measured_frequency_hz for r in analysis.rows]),
+        "relative_error": np.asarray([r.relative_error for r in analysis.rows]),
+    }
+    metrics = {
+        "loglog_slope": float(analysis.loglog_slope),
+        "usable_low_a": float(analysis.usable_low_a),
+        "usable_high_a": float(analysis.usable_high_a),
+        "usable_decades": float(analysis.usable_decades),
+        "max_frequency_hz": float(adc.max_frequency()),
+    }
+    return runner._result(
+        spec,
+        record_name="sweep_point",
+        records=records,
+        metrics=metrics,
+        artifacts={"adc": adc, "analysis": analysis},
+    )
+
+
+register_workload("dna_assay", _dna_streams, _execute_dna)
+register_workload("neural_recording", _neural_streams, _execute_neural)
+register_workload("screening", _screening_streams, _execute_screening)
+register_workload("adc_transfer", _adc_streams, _execute_adc)

@@ -1,0 +1,94 @@
+"""Back-compat: legacy shims warn, and reproduce seed-era numbers.
+
+Each test drives the pre-Runner imperative call sequence by hand (the
+"old way", with its numbered seeds) and asserts the corresponding shim
+— which routes through the new Runner with stream overrides — produces
+the same numbers bit for bit.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import DnaMicroarrayChip, MicroarrayAssay, ProbeLayout, Sample
+from repro.chip import NeuralRecordingChip
+from repro.experiments import run_legacy_dna_assay, run_legacy_neural_recording
+from repro.neuro import ArrayGeometry, Culture
+from repro.screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_conventional
+from repro.screening.stages import default_funnel_stages
+
+
+def test_legacy_dna_assay_matches_imperative_flow():
+    chip = DnaMicroarrayChip(rng=1)
+    assert chip.configure_bias(0.45, -0.25)
+    chip.auto_calibrate(frame_s=0.05, rng=2)
+    layout = ProbeLayout.random_panel(4, probe_length=20, replicates=4, rng=3)
+    sample = Sample.for_probes(layout.probes(), concentration=1e-5, subset=[0, 1])
+    assay = MicroarrayAssay(layout).run(sample)
+    counts_old = chip.measure_assay(assay, frame_s=1.0, rng=4)
+
+    with pytest.deprecated_call():
+        result = run_legacy_dna_assay(
+            chip_rng=1, calibration_rng=2, layout_rng=3, measure_rng=4,
+            probe_count=4, replicates=4, subset=(0, 1),
+        )
+    np.testing.assert_array_equal(result.artifacts["counts"], counts_old)
+    assert result.kind == "dna_assay"
+    assert result.seeds["streams"]["measure"] == "override"
+
+
+def test_legacy_neural_recording_matches_imperative_flow():
+    geometry = ArrayGeometry(16, 16, 7.8e-6)
+    chip = NeuralRecordingChip(geometry=geometry, rng=1)
+    chip.calibrate()
+    culture = Culture.random(2, chip.geometry, diameter_range=(40e-6, 70e-6), rng=2)
+    recording_old = chip.record_culture(
+        culture, duration_s=0.05, firing_rate_hz=25.0, rng=3, use_hh=False
+    )
+
+    with pytest.deprecated_call():
+        result = run_legacy_neural_recording(
+            chip_rng=1, culture_rng=2, record_rng=3,
+            rows=16, cols=16, n_neurons=2, diameter_range=(40e-6, 70e-6),
+            duration_s=0.05, use_hh=False,
+        )
+    recording_new = result.artifacts["recording"]
+    np.testing.assert_array_equal(
+        recording_new.electrode_movie.frames, recording_old.electrode_movie.frames
+    )
+    for index, truth in recording_old.ground_truth.items():
+        np.testing.assert_array_equal(recording_new.ground_truth[index], truth)
+
+
+def test_compare_cmos_vs_conventional_warns_and_matches_seed_era():
+    library = CompoundLibrary.generate(size=2000, viable_rate=1e-3, rng=7)
+
+    # Seed-era semantics: one seed drawn from the rng, both funnels
+    # paired on it.
+    generator = np.random.default_rng(8)
+    seed = int(generator.integers(0, 2**32 - 1))
+    old_cmos = ScreeningFunnel(default_funnel_stages(cmos=True)).run(library, rng=seed)
+    old_conv = ScreeningFunnel(default_funnel_stages(cmos=False)).run(library, rng=seed)
+
+    with pytest.deprecated_call():
+        results = compare_cmos_vs_conventional(library, rng=8)
+
+    assert results["cmos"].outcomes == old_cmos.outcomes
+    assert results["conventional"].outcomes == old_conv.outcomes
+    assert results["cmos"].survivors == old_cmos.survivors
+    assert results["conventional"].total_cost == old_conv.total_cost
+
+
+def test_legacy_dna_defaults_are_the_documented_quickstart():
+    """The shim's defaults are exactly the rng=1..4 docstring flow."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        result = run_legacy_dna_assay(probe_count=4, replicates=4)
+    assert result.spec["probe_count"] == 4
+    assert result.spec["concentration"] == pytest.approx(1e-5)
+    assert result.spec["target_subset"] == [0, 1, 2, 3]
+    assert all(
+        result.seeds["streams"][name] == "override"
+        for name in ("chip", "calibration", "layout", "measure")
+    )
