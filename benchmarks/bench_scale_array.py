@@ -1,0 +1,154 @@
+"""Array-scale sweep — object vs vectorized backend (repro.engine).
+
+Sweeps the ``ArrayScaleSpec`` workload across array geometries (the
+16x8 seed chip up to the 128x128 neural-recording-class array) and chip
+batch sizes, timing both compute backends on the same deterministic
+1 pA - 100 nA current pattern:
+
+* ``end_to_end`` — fresh Runner: chip construction (mismatch draws,
+  periphery sampling) + digitisation;
+* ``measure`` — warm Runner: the chip is cached, so the record isolates
+  the A/D conversion hot path.
+
+Results go to ``BENCH_engine.json`` via ``benchmarks/_harness.py`` so
+the speedup trajectory is machine-readable; CI's perf-smoke job runs
+``--quick --assert-speedup 1.0`` and fails if the vectorized backend is
+ever slower than the object backend at 128x128.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scale_array.py [--quick] \
+        [--out BENCH_engine.json] [--assert-speedup 10]
+"""
+
+import argparse
+import sys
+
+from _harness import BenchSuite
+
+from repro.core import render_table, units
+from repro.experiments import ArrayScaleSpec, Runner
+
+FULL_SIZES = [(16, 8), (32, 32), (64, 64), (128, 128)]
+QUICK_SIZES = [(16, 8), (128, 128)]
+BATCHES = (8,)  # extra vectorized-only chip-batch points
+
+
+def run_scale_sweep(
+    sizes=FULL_SIZES,
+    batches=BATCHES,
+    frame_s: float = 0.1,
+    seed: int = 7,
+    suite: BenchSuite | None = None,
+) -> BenchSuite:
+    """Time both backends at every size; vectorized additionally at
+    larger chip batches (object batches there would dominate the run
+    for no extra information — the 1-chip pairing fixes the baseline)."""
+    suite = suite or BenchSuite("engine")
+    for rows, cols in sizes:
+        spec = ArrayScaleSpec(rows=rows, cols=cols, frame_s=frame_s)
+        for backend in ("object", "vectorized"):
+            runner = Runner(seed)
+            suite.time(
+                "end_to_end",
+                lambda: Runner(seed).run(spec, backend=backend),
+                backend=backend,
+                rows=rows,
+                cols=cols,
+                frame_s=frame_s,
+            )
+            runner.run(spec, backend=backend)  # warm the chip cache
+            suite.time(
+                "measure",
+                lambda: runner.run(spec, backend=backend),
+                backend=backend,
+                rows=rows,
+                cols=cols,
+                repeats=3,  # same best-of-N policy for both backends
+                frame_s=frame_s,
+            )
+        for n_chips in batches:
+            if n_chips == 1:
+                continue
+            batch_spec = spec.replace(n_chips=n_chips)
+            suite.time(
+                "end_to_end",
+                lambda: Runner(seed).run(batch_spec),
+                backend="vectorized",
+                rows=rows,
+                cols=cols,
+                n_chips=n_chips,
+                frame_s=frame_s,
+            )
+    return suite
+
+
+def render_speedups(suite: BenchSuite) -> str:
+    rows = [
+        (
+            label,
+            units.si_format(entry["object_s"], "s"),
+            units.si_format(entry["vectorized_s"], "s"),
+            f"{entry['speedup']:.1f}x",
+        )
+        for label, entry in suite.speedups().items()
+    ]
+    return render_table(
+        ["workload@size", "object", "vectorized", "speedup"],
+        rows,
+        title="Array-scale sweep: object vs vectorized backend",
+    )
+
+
+def bench_scale_array_sweep(benchmark):
+    """Pytest-benchmark entry: a reduced sweep that still pairs the
+    backends and checks the vectorized one wins at scale."""
+    suite = BenchSuite("engine")
+    benchmark.pedantic(
+        lambda: run_scale_sweep(sizes=[(16, 8), (32, 32)], frame_s=0.02, suite=suite),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_speedups(suite))
+    assert suite.speedup_at("measure", 32, 32) is not None
+    assert suite.speedup_at("measure", 32, 32) > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny sizes + short frame (CI smoke)")
+    parser.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
+    parser.add_argument("--frame", type=float, default=None, help="counting frame in seconds")
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless measure-path speedup at the largest size is >= X",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    frame_s = args.frame if args.frame is not None else (0.02 if args.quick else 0.1)
+    suite = run_scale_sweep(sizes=sizes, frame_s=frame_s)
+    print(render_speedups(suite))
+    path = suite.write(args.out)
+    print(f"wrote {path}")
+
+    if args.assert_speedup is not None:
+        rows, cols = sizes[-1]
+        speedup = suite.speedup_at("measure", rows, cols)
+        if speedup is None or speedup < args.assert_speedup:
+            print(
+                f"FAIL: measure speedup at {rows}x{cols} is "
+                f"{speedup if speedup is not None else 'missing'}, "
+                f"required >= {args.assert_speedup}"
+            )
+            return 2
+        print(f"OK: measure speedup at {rows}x{cols} is {speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,9 +27,22 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analysis, chip, core, devices, dna, electrochem, experiments, neuro, pixel, screening
+from . import (
+    analysis,
+    chip,
+    core,
+    devices,
+    dna,
+    electrochem,
+    engine,
+    experiments,
+    neuro,
+    pixel,
+    screening,
+)
+from .engine import VectorizedDnaChip
 from .chip import (
     ChipSpecs,
     DnaMicroarrayChip,
@@ -54,6 +67,7 @@ from .dna import (
 from .electrochem import InterdigitatedElectrode, RedoxCyclingSensor
 from .experiments import (
     AdcTransferSpec,
+    ArrayScaleSpec,
     DnaAssaySpec,
     ExperimentSpec,
     NeuralRecordingSpec,
@@ -76,6 +90,7 @@ from .screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_convent
 
 __all__ = [
     "AdcTransferSpec",
+    "ArrayScaleSpec",
     "AssayProtocol",
     "AssayResult",
     "CellChipJunction",
@@ -110,6 +125,7 @@ __all__ = [
     "StimulusProtocol",
     "Target",
     "Trace",
+    "VectorizedDnaChip",
     "analysis",
     "chip",
     "compare_cmos_vs_conventional",
@@ -118,6 +134,7 @@ __all__ = [
     "devices",
     "dna",
     "electrochem",
+    "engine",
     "experiments",
     "neuro",
     "perfect_target_for",

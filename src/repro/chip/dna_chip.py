@@ -39,6 +39,32 @@ from .serial_interface import (
 )
 
 
+#: Register address map of the DNA chip's serial protocol — the single
+#: source of truth shared with the vectorized backend's chip model.
+DNA_REGISTER_ADDRESSES = {
+    "generator_dac": 0x00,
+    "collector_dac": 0x01,
+    "frame_exponent": 0x02,
+    "calibration_enable": 0x03,
+    "reference_current_sel": 0x04,
+}
+
+
+def counter_chunk_bytes(counter_bits: int) -> int:
+    """Largest whole-counter payload that fits a <=255-byte frame."""
+    if counter_bits < 8 or counter_bits % 8:
+        raise ValueError("counter width must be a byte multiple for packing")
+    return 252 - (252 % (counter_bits // 8))
+
+
+def write_dna_register(link: SerialLink, registers: RegisterFile, name: str, value: int) -> None:
+    """One register write through the full serial stack — the protocol
+    shared by the object chip and its vectorized twin."""
+    frame = Frame(Command.WRITE_REG, DNA_REGISTER_ADDRESSES[name], bytes([value & 0xFF]))
+    received = link.transfer(frame)
+    registers.write(received.address, received.payload[0])
+
+
 @dataclass
 class ChipSpecs:
     """Name-plate data of the device (the Fig. 4 caption)."""
@@ -104,7 +130,10 @@ class DnaMicroarrayChip:
             counter_bits=self.specs.counter_bits,
         )
         self._configured = False
-        self._last_counts: list[int] = [0] * self.specs.sites
+        # Latest per-site counts, flat row-major — held as an ndarray so
+        # readout/serial paths index it instead of rebuilding list[int]
+        # copies of the rows x cols loop.
+        self._last_counts: np.ndarray = np.zeros(self.specs.sites, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -139,17 +168,7 @@ class DnaMicroarrayChip:
         return all_ok
 
     def _write_register(self, name: str, value: int) -> None:
-        """Register write through the full serial stack."""
-        spec_addr = {
-            "generator_dac": 0x00,
-            "collector_dac": 0x01,
-            "frame_exponent": 0x02,
-            "calibration_enable": 0x03,
-            "reference_current_sel": 0x04,
-        }[name]
-        frame = Frame(Command.WRITE_REG, spec_addr, bytes([value & 0xFF]))
-        received = self.link.transfer(frame)
-        self.registers.write(received.address, received.payload[0])
+        write_dna_register(self.link, self.registers, name, value)
 
     # ------------------------------------------------------------------
     # Auto-calibration
@@ -189,7 +208,7 @@ class DnaMicroarrayChip:
             counts[site.row, site.col] = pixel.measure_concentration(
                 site.surface_concentration, frame_s, rng=generator
             )
-        self._last_counts = [int(c) for c in counts.reshape(-1)]
+        self._last_counts = counts.reshape(-1).astype(np.int64)
         return counts
 
     def measure_currents(
@@ -207,21 +226,32 @@ class DnaMicroarrayChip:
                 counts[row, col] = pixel.convert_current(
                     float(currents[row, col]), frame_s, rng=generator
                 )
-        self._last_counts = [int(c) for c in counts.reshape(-1)]
+        self._last_counts = counts.reshape(-1).astype(np.int64)
         return counts
 
     def current_estimates(self, counts: np.ndarray, frame_s: float) -> np.ndarray:
         """Host-side conversion of counts to amperes with stored
-        per-pixel calibration."""
-        counts = np.asarray(counts)
+        per-pixel calibration.
+
+        Evaluated as one :mod:`repro.engine.kernels` call over the
+        gathered per-pixel parameters (same formula and operation order
+        as the former per-pixel loop, bit-identical results).
+        """
+        from ..engine import kernels
+
+        counts = np.trunc(np.asarray(counts))  # counts are whole pulses
         if counts.shape != (self.specs.rows, self.specs.cols):
             raise ValueError("count matrix shape mismatch")
-        estimates = np.zeros(counts.shape)
-        for row in range(self.specs.rows):
-            for col in range(self.specs.cols):
-                pixel = self.pixel_at(row, col)
-                estimates[row, col] = pixel.current_estimate(int(counts[row, col]), frame_s)
-        return estimates
+        if frame_s <= 0:
+            raise ValueError("frame must be positive")
+        cint_nominal = np.array(
+            [
+                pixel.adc.cint.capacitance_f / (1.0 + pixel.variation.cint_relative_error)
+                for pixel in self.pixels
+            ]
+        ).reshape(counts.shape)
+        gains = np.array([pixel.gain_correction for pixel in self.pixels]).reshape(counts.shape)
+        return kernels.host_current_estimate(counts, frame_s, cint_nominal, gains)
 
     # ------------------------------------------------------------------
     # Serial readout (the 6-pin data path)
@@ -231,9 +261,9 @@ class DnaMicroarrayChip:
         the bit-level link, unpack on the host side."""
         request = Frame(Command.READ_COUNTERS, 0x00)
         self.link.transfer(request)
-        payload = pack_counters(self._last_counts, self.specs.counter_bits)
+        payload = pack_counters(self._last_counts.tolist(), self.specs.counter_bits)
         # Large payloads are split into <=255-byte frames.
-        chunk = 252 - (252 % (self.specs.counter_bits // 8))
+        chunk = counter_chunk_bytes(self.specs.counter_bits)
         received = bytearray()
         for start in range(0, len(payload), chunk):
             part = payload[start : start + chunk]
@@ -249,8 +279,19 @@ class DnaMicroarrayChip:
         pixel.adc.leakage_a = 10e-12
 
     def dead_pixel_map(self) -> np.ndarray:
-        flags = np.zeros((self.specs.rows, self.specs.cols), dtype=bool)
-        for row in range(self.specs.rows):
-            for col in range(self.specs.cols):
-                flags[row, col] = self.pixel_at(row, col).is_dead()
-        return flags
+        from ..engine import kernels
+
+        leakage = np.array([pixel.adc.leakage_a for pixel in self.pixels])
+        return kernels.dead_pixel_mask(leakage).reshape(self.specs.rows, self.specs.cols)
+
+    # ------------------------------------------------------------------
+    # Vectorized-backend bridge
+    # ------------------------------------------------------------------
+    def vectorized(self) -> "object":
+        """This chip's drawn state wrapped as a
+        :class:`~repro.engine.vchip.VectorizedDnaChip` twin — same pixel
+        parameters, periphery and calibration, evaluated as array
+        kernels (see :mod:`repro.engine` for the parity contract)."""
+        from ..engine import VectorizedDnaChip
+
+        return VectorizedDnaChip.from_object_chip(self)

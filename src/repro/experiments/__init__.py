@@ -16,9 +16,10 @@ and always returns the uniform :class:`ResultSet`.
 
 from .compat import run_legacy_dna_assay, run_legacy_neural_recording
 from .results import ResultSet
-from .runner import Runner, RunnerStats
+from .runner import BACKENDS, Runner, RunnerStats
 from .specs import (
     AdcTransferSpec,
+    ArrayScaleSpec,
     DnaAssaySpec,
     ExperimentSpec,
     NeuralRecordingSpec,
@@ -32,6 +33,8 @@ from .workloads import register_workload, workload_for
 
 __all__ = [
     "AdcTransferSpec",
+    "ArrayScaleSpec",
+    "BACKENDS",
     "DnaAssaySpec",
     "ExperimentSpec",
     "NeuralRecordingSpec",

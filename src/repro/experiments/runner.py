@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..core.rng import RngLike, SeedTree, ensure_rng
 from .results import ResultSet
-from .specs import ExperimentSpec, experiment_type
+from .specs import BACKENDS, ExperimentSpec, experiment_type
 from .workloads import workload_for
 
 
@@ -66,13 +66,21 @@ class Runner:
         self.stats = RunnerStats()
         self._caches: dict[str, dict[str, Any]] = {}
         # Per-run context (single-threaded): which streams were
-        # explicitly overridden, and the provenance to stamp on results.
+        # explicitly overridden, the active compute backend, and the
+        # provenance to stamp on results.
         self._overridden: frozenset[str] = frozenset()
         self._current_seeds: dict[str, Any] = {}
+        self._active_backend: str = "object"
 
     @property
     def seed(self) -> int:
         return self.seed_tree.root
+
+    @property
+    def backend(self) -> str:
+        """The compute backend of the run currently executing
+        (``"object"`` outside a run) — what workloads dispatch on."""
+        return self._active_backend
 
     # ------------------------------------------------------------------
     # Public API
@@ -81,6 +89,7 @@ class Runner:
         self,
         spec: ExperimentSpec | str,
         *,
+        backend: Optional[str] = None,
         rng_overrides: Optional[dict[str, RngLike]] = None,
         inputs: Optional[dict[str, Any]] = None,
         **params: Any,
@@ -90,6 +99,14 @@ class Runner:
         ``spec`` may be a spec instance or a registered kind name plus
         field values (``runner.run("dna_assay", concentration=1e-6)``).
 
+        ``backend`` selects the compute backend (:data:`BACKENDS`):
+        ``"object"`` runs the per-pixel reference models, ``"vectorized"``
+        the :mod:`repro.engine` array kernels.  ``None`` defers to the
+        spec's own ``backend`` field when it has one (``ArrayScaleSpec``)
+        and otherwise means ``"object"``.  Random streams are backend-
+        independent, but the two backends *consume* them differently, so
+        equality across backends is to documented tolerance, not bitwise.
+
         ``rng_overrides`` replaces named random streams (see each
         workload's ``streams``) — the hook the legacy shims use to
         reproduce seed-era numbers exactly.  ``inputs`` injects
@@ -97,7 +114,17 @@ class Runner:
         override-built resources bypass the caches.
         """
         spec = self._coerce_spec(spec, params)
+        resolved_backend = backend if backend is not None else getattr(spec, "backend", "object")
+        if resolved_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {resolved_backend!r}; choose from {BACKENDS}"
+            )
         workload = workload_for(spec.kind)
+        if resolved_backend not in workload.backends:
+            raise ValueError(
+                f"workload {spec.kind!r} does not support backend "
+                f"{resolved_backend!r}; supported: {workload.backends}"
+            )
         paths = workload.streams(spec)
         overrides = rng_overrides or {}
         unknown = set(overrides) - set(paths)
@@ -120,11 +147,16 @@ class Runner:
                 for name, path in paths.items()
             },
         }
+        # Save-and-restore so a workload that re-enters run() (composite
+        # experiments) gets its outer backend back afterwards.
+        previous_backend = self._active_backend
+        self._active_backend = resolved_backend
         try:
             result = workload.execute(self, spec, rngs, inputs or {})
         finally:
             self._overridden = frozenset()
             self._current_seeds = {}
+            self._active_backend = previous_backend
         self.stats.runs += 1
         return result
 
@@ -132,12 +164,13 @@ class Runner:
         self,
         specs: Sequence[ExperimentSpec] | Iterable[ExperimentSpec],
         *,
+        backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
     ) -> list[ResultSet]:
         """Execute many specs, sharing chips/layouts/libraries via the
         caches.  Results come back in input order and are identical to
         running each spec alone (streams are position-independent)."""
-        return [self.run(spec, inputs=inputs) for spec in specs]
+        return [self.run(spec, backend=backend, inputs=inputs) for spec in specs]
 
     def clear_caches(self) -> None:
         self._caches.clear()

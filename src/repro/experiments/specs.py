@@ -19,6 +19,13 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, ClassVar, Optional
 
+#: Compute backends an experiment can run on.  ``"object"`` is the
+#: per-pixel reference model; ``"vectorized"`` routes array hot paths
+#: through :mod:`repro.engine` kernels.  Defined here (the import-cycle-
+#: free root of the experiments package) and consumed by the Runner,
+#: spec validation and workload registrations alike.
+BACKENDS = ("object", "vectorized")
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -335,3 +342,90 @@ class AdcTransferSpec(ExperimentSpec):
         data = self.to_dict()
         data.pop("max_rel_error")
         return json.dumps(data, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Array-scale sweep (the repro.engine workload)
+# ---------------------------------------------------------------------------
+@register_experiment("array_scale")
+@dataclass(frozen=True)
+class ArrayScaleSpec(ExperimentSpec):
+    """Digitise a deterministic current pattern on an arbitrary-geometry
+    DNA-chip array, batched over chip instances.
+
+    The workload behind ``benchmarks/bench_scale_array.py``: it scales
+    the Fig. 4 measurement loop from the 16x8 seed geometry to 128x128
+    and beyond, on either backend.  ``pattern`` selects the site
+    currents:
+
+    * ``"logspan"`` — log-spaced from ``i_low_a`` to ``i_high_a`` across
+      the sites (sweeps the dead-time-compressed top decade and the
+      quantisation-dominated bottom decade in one frame);
+    * ``"uniform"`` — every site at the decade midpoint
+      ``sqrt(i_low * i_high)``.
+
+    ``backend`` is the spec-level default; ``Runner.run(spec,
+    backend=...)`` overrides it.  ``mismatch`` picks the vectorized
+    parameter-draw mode (``"fast"`` or the object-paired ``"paired"``);
+    the object backend always draws paired by construction.
+    """
+
+    rows: int = 128
+    cols: int = 128
+    n_chips: int = 1
+    i_low_a: float = 1e-12
+    i_high_a: float = 100e-9
+    pattern: str = "logspan"
+    frame_s: float = 0.1
+    calibrate: bool = False
+    calibration_frame_s: float = 0.05
+    backend: str = "vectorized"
+    mismatch: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.n_chips < 1:
+            raise ValueError("need at least one chip in the batch")
+        if not 0 < self.i_low_a <= self.i_high_a:
+            raise ValueError("need 0 < i_low <= i_high")
+        if self.pattern not in ("logspan", "uniform"):
+            raise ValueError(f"unknown current pattern {self.pattern!r}")
+        if self.frame_s <= 0 or self.calibration_frame_s <= 0:
+            raise ValueError("counting frames must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.mismatch not in ("paired", "fast"):
+            raise ValueError(f"unknown mismatch mode {self.mismatch!r}")
+
+    def chip_key(self) -> str:
+        """The chip-configuration facet (geometry + calibration plan).
+
+        The backend deliberately does NOT participate: both backends
+        derive the same chip/calibration streams from this key (paired
+        mismatch draws), while the Runner keeps them in separate,
+        backend-named caches so built chips never cross over."""
+        return json.dumps(
+            {
+                "kind": "array_scale_chip",
+                "rows": self.rows,
+                "cols": self.cols,
+                "n_chips": self.n_chips,
+                "calibrate": self.calibrate,
+                "calibration_frame_s": self.calibration_frame_s,
+                "mismatch": self.mismatch,
+            },
+            sort_keys=True,
+        )
+
+    def site_currents(self):
+        """The deterministic per-site current matrix (rows x cols)."""
+        import numpy as np
+
+        sites = self.rows * self.cols
+        if self.pattern == "uniform":
+            level = float(np.sqrt(self.i_low_a * self.i_high_a))
+            return np.full((self.rows, self.cols), level)
+        return np.logspace(
+            np.log10(self.i_low_a), np.log10(self.i_high_a), sites
+        ).reshape(self.rows, self.cols)

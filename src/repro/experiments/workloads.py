@@ -30,6 +30,7 @@ from ..dna.assay import AssayProtocol, MicroarrayAssay
 from ..dna.sample import Sample
 from ..dna.sequences import DnaSequence, Probe, Target
 from ..dna.spotting import ProbeLayout
+from ..engine import VectorizedDnaChip, kernels
 from ..neuro.culture import ArrayGeometry, Culture
 from ..neuro.spike_detection import detect_spikes, score_detection, spike_snr
 from ..pixel.sawtooth_adc import SawtoothAdc
@@ -38,6 +39,7 @@ from ..screening.stages import default_funnel_stages
 from .results import ResultSet
 from .specs import (
     AdcTransferSpec,
+    ArrayScaleSpec,
     DnaAssaySpec,
     ExperimentSpec,
     NeuralRecordingSpec,
@@ -56,16 +58,25 @@ class Workload:
     kind: str
     streams: StreamsFn
     execute: ExecuteFn
+    #: Compute backends this workload actually dispatches on; the Runner
+    #: rejects requests for any other so "vectorized" can never silently
+    #: run object-model code.
+    backends: tuple[str, ...] = ("object",)
 
 
 WORKLOADS: dict[str, Workload] = {}
 
 
-def register_workload(kind: str, streams: StreamsFn, execute: ExecuteFn) -> None:
+def register_workload(
+    kind: str,
+    streams: StreamsFn,
+    execute: ExecuteFn,
+    backends: tuple[str, ...] = ("object",),
+) -> None:
     """Plug a new experiment kind into the Runner dispatch table."""
     if kind in WORKLOADS:
         raise ValueError(f"workload {kind!r} already registered")
-    WORKLOADS[kind] = Workload(kind=kind, streams=streams, execute=execute)
+    WORKLOADS[kind] = Workload(kind=kind, streams=streams, execute=execute, backends=backends)
 
 
 def workload_for(kind: str) -> Workload:
@@ -139,13 +150,31 @@ def _build_dna_sample(spec: DnaAssaySpec, layout: ProbeLayout, region: DnaSequen
     )
 
 
+def _build_dna_chip_vectorized(
+    spec: DnaAssaySpec, chip_rng, calibration_rng
+) -> VectorizedDnaChip:
+    """The engine-backed twin of :func:`_build_dna_chip`: same chip and
+    calibration streams, ``"paired"`` mismatch draws so the pixel
+    parameters are bit-identical to the object chip's."""
+    chip = VectorizedDnaChip(
+        ChipSpecs(rows=spec.rows, cols=spec.cols), rng=chip_rng, mismatch="paired"
+    )
+    bias_ok = chip.configure_bias(spec.v_generator, spec.v_collector)
+    if spec.calibrate:
+        chip.auto_calibrate(frame_s=spec.calibration_frame_s, rng=calibration_rng)
+    chip.bias_ok = bias_ok
+    return chip
+
+
 def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict) -> ResultSet:
+    vectorized = runner.backend == "vectorized"
     chip = inputs.get("chip")
     if chip is None:
+        build = _build_dna_chip_vectorized if vectorized else _build_dna_chip
         chip = runner._provision(
-            "dna_chip",
+            "dna_chip_vectorized" if vectorized else "dna_chip",
             spec.chip_key(),
-            lambda: _build_dna_chip(spec, rngs["chip"], rngs["calibration"]),
+            lambda: build(spec, rngs["chip"], rngs["calibration"]),
             cacheable="chip" not in runner._overridden and "calibration" not in runner._overridden,
         )
     cached_layout = runner._provision(
@@ -176,9 +205,10 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
         "current_estimate_a": np.asarray([estimates[s.row, s.col] for s in sites]),
     }
     metrics: dict[str, Any] = {
-        # bias_ok is stamped by _build_dna_chip; an injected chip
+        # bias_ok is stamped by the chip builders; an injected chip
         # (inputs={"chip": ...}) was configured by the caller.
         "bias_ok": bool(getattr(chip, "bias_ok", True)),
+        "backend": runner.backend,
         "n_sites": len(sites),
         "n_match_sites": int(records["is_match"].sum()),
         "n_probe_sites": int(sum(1 for s in sites if s.probe_name)),
@@ -447,7 +477,121 @@ def _execute_adc(runner: "Runner", spec: AdcTransferSpec, rngs: dict, inputs: di
     )
 
 
-register_workload("dna_assay", _dna_streams, _execute_dna)
+# ---------------------------------------------------------------------------
+# Array-scale sweep (the repro.engine workload)
+# ---------------------------------------------------------------------------
+def _array_scale_streams(spec: ArrayScaleSpec) -> dict[str, tuple]:
+    # Chip and calibration streams hash the chip facet (shared across
+    # pattern/frame sweeps); measurement the full spec.  The backend is
+    # deliberately absent from the facet: object and vectorized runs
+    # draw the same chip streams (paired comparisons) and are kept
+    # apart by the backend-named cache below instead.
+    return {
+        "chip": ("array_scale", "chip", spec.chip_key()),
+        "calibration": ("array_scale", "calibration", spec.chip_key()),
+        "measure": ("array_scale", "measure", spec.content_hash()),
+    }
+
+
+def _build_array_scale_chips(spec: ArrayScaleSpec, backend: str, chip_rng, calibration_rng):
+    """Either one VectorizedDnaChip batch or a list of object chips."""
+    chip_specs = ChipSpecs(rows=spec.rows, cols=spec.cols)
+    if backend == "vectorized":
+        chip = VectorizedDnaChip(
+            chip_specs, n_chips=spec.n_chips, rng=chip_rng, mismatch=spec.mismatch
+        )
+        if spec.calibrate:
+            chip.auto_calibrate(frame_s=spec.calibration_frame_s, rng=calibration_rng)
+        return chip
+    from ..core.rng import ensure_rng, spawn_children
+
+    generator = ensure_rng(chip_rng)
+    chip_rngs = [generator] if spec.n_chips == 1 else spawn_children(generator, spec.n_chips)
+    calibration = ensure_rng(calibration_rng)
+    chips = []
+    for rng in chip_rngs:
+        chip = DnaMicroarrayChip(chip_specs, rng=rng)
+        if spec.calibrate:
+            chip.auto_calibrate(frame_s=spec.calibration_frame_s, rng=calibration)
+        chips.append(chip)
+    return chips
+
+
+def _execute_array_scale(
+    runner: "Runner", spec: ArrayScaleSpec, rngs: dict, inputs: dict
+) -> ResultSet:
+    # run() already resolved the spec's backend field vs its override.
+    backend = runner.backend
+    chips = inputs.get("chip")
+    if chips is None:
+        chips = runner._provision(
+            f"array_scale_chip_{backend}",
+            spec.chip_key(),
+            lambda: _build_array_scale_chips(spec, backend, rngs["chip"], rngs["calibration"]),
+            cacheable="chip" not in runner._overridden and "calibration" not in runner._overridden,
+        )
+    currents = spec.site_currents()
+    if backend == "vectorized":
+        counts = chips.measure_currents(currents, frame_s=spec.frame_s, rng=rngs["measure"])
+        counts = counts.reshape(spec.n_chips, spec.rows, spec.cols)
+        dead = chips.dead_pixel_map().reshape(spec.n_chips, -1).sum(axis=1)
+        counter_bits = chips.specs.counter_bits
+        cint_nominal = chips.params.cint_nominal_f
+        swing_nominal = chips.params.swing_nominal_v
+    else:
+        measure_rng = rngs["measure"]
+        counts = np.stack(
+            [
+                chip.measure_currents(currents, frame_s=spec.frame_s, rng=measure_rng)
+                for chip in chips
+            ]
+        )
+        dead = np.asarray([int(chip.dead_pixel_map().sum()) for chip in chips])
+        counter_bits = chips[0].specs.counter_bits
+        pixel = chips[0].pixels[0]
+        cint_nominal = pixel.adc.cint.capacitance_f / (1.0 + pixel.variation.cint_relative_error)
+        swing_nominal = pixel.adc.comparator.threshold_v
+
+    full_scale = (1 << counter_bits) - 1
+    flat = counts.reshape(spec.n_chips, -1)
+    records = {
+        "chip": np.arange(spec.n_chips, dtype=int),
+        "mean_count": flat.mean(axis=1),
+        "median_count": np.median(flat, axis=1),
+        "min_count": flat.min(axis=1).astype(int),
+        "max_count": flat.max(axis=1).astype(int),
+        "zero_sites": (flat == 0).sum(axis=1).astype(int),
+        "saturated_sites": (flat >= full_scale).sum(axis=1).astype(int),
+        "dead_pixels": dead.astype(int),
+    }
+    ideal = kernels.ideal_frequency(currents, cint_nominal, swing_nominal) * spec.frame_s
+    # Dead-time compression at the highest-current site (the top of the
+    # logspan decade; the shared midpoint for pattern="uniform").
+    top_site = int(np.argmax(currents.reshape(-1)))
+    metrics = {
+        "backend": backend,
+        "rows": spec.rows,
+        "cols": spec.cols,
+        "n_chips": spec.n_chips,
+        "sites_total": int(spec.n_chips * spec.rows * spec.cols),
+        "mean_count": float(flat.mean()),
+        "total_counts": int(flat.sum()),
+        "zero_site_fraction": float((flat == 0).mean()),
+        "top_site_compression": float(flat[:, top_site].mean() / ideal.reshape(-1)[top_site]),
+    }
+    return runner._result(
+        spec,
+        record_name="chip",
+        records=records,
+        metrics=metrics,
+        artifacts={"chip": chips, "counts": counts, "currents": currents},
+    )
+
+
+register_workload("dna_assay", _dna_streams, _execute_dna, backends=("object", "vectorized"))
 register_workload("neural_recording", _neural_streams, _execute_neural)
 register_workload("screening", _screening_streams, _execute_screening)
 register_workload("adc_transfer", _adc_streams, _execute_adc)
+register_workload(
+    "array_scale", _array_scale_streams, _execute_array_scale, backends=("object", "vectorized")
+)

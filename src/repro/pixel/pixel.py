@@ -23,6 +23,11 @@ from ..electrochem.redox_cycling import RedoxCyclingSensor
 from .counter import PixelCounter
 from .sawtooth_adc import SawtoothAdc
 
+#: Leakage level above which a pixel counts as dead — it exceeds the
+#: smallest measurable sensor current, so the ADC can never fire.
+#: Shared with the vectorized backend (repro.engine.kernels).
+DEAD_PIXEL_LEAKAGE_A = 1e-12
+
 
 @dataclass
 class PixelVariation:
@@ -149,4 +154,4 @@ class DnaSensorPixel:
     def is_dead(self) -> bool:
         """Failure-injection hook: a pixel whose leakage exceeds the
         smallest measurable current can never fire."""
-        return self.adc.leakage_a >= 1e-12
+        return self.adc.leakage_a >= DEAD_PIXEL_LEAKAGE_A

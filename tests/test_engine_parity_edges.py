@@ -1,0 +1,170 @@
+"""Kernel/object parity at the transfer-characteristic edges.
+
+The three regimes the ISSUE singles out:
+
+* the dead-time-compressed top decade (100 nA), where tau_cmp +
+  tau_delay eats a visible fraction of every cycle;
+* the quantisation-dominated bottom decade (1 pA, ~10 Hz), where the
+  counting frame resolves only a handful of pulses;
+* leakage at or above the signal current, where the pixel never fires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.units import ns
+from repro.devices.comparator import Comparator
+from repro.engine import VectorizedDnaChip, kernels
+from repro.pixel.sawtooth_adc import SawtoothAdc
+
+PHASES = [0.0, 0.31, 0.77, 1.0]
+
+
+def noisy_adc(noise_rms_v=0.002, leakage_a=2e-15):
+    return SawtoothAdc(
+        comparator=Comparator(threshold_v=1.0, delay_s=50 * ns, noise_rms_v=noise_rms_v),
+        leakage_a=leakage_a,
+    )
+
+
+def kernel_kwargs(adc, with_noise=False):
+    kw = {
+        "cint_f": adc.cint.capacitance_f,
+        "swing_v": adc.swing_v,
+        "leakage_a": adc.leakage_a,
+        "comparator_delay_s": adc.comparator.delay_s,
+        "tau_delay_s": adc.tau_delay_s,
+    }
+    if with_noise:
+        kw["noise_rms_v"] = adc.comparator.noise_rms_v
+    return kw
+
+
+class TestTopDecadeDeadTime:
+    """100 nA: ~1 MHz operation, dead time compresses the top decade."""
+
+    CURRENTS = np.logspace(-8, -7, 9)  # 10 nA .. 100 nA
+
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_noiseless_counts_bitwise(self, phase):
+        adc = noisy_adc(noise_rms_v=0.0)
+        counts = kernels.count_in_frame(
+            self.CURRENTS, 0.5, start_phase=phase, **kernel_kwargs(adc)
+        )
+        expected = [adc.count_in_frame(float(i), 0.5, start_phase=phase) for i in self.CURRENTS]
+        assert counts.tolist() == expected
+
+    def test_compression_against_ideal_line(self):
+        """At 100 nA the fixed dead time must cost a visible fraction of
+        every cycle — and exactly the same fraction in both models."""
+        adc = noisy_adc(noise_rms_v=0.0)
+        kw = kernel_kwargs(adc)
+        measured = kernels.frequency(100e-9, *kw.values())
+        ideal = kernels.ideal_frequency(100e-9, adc.cint.capacitance_f, adc.swing_v)
+        compression = measured / ideal
+        assert compression == pytest.approx(adc.frequency(100e-9) / adc.ideal_frequency(100e-9))
+        ramp = adc.ramp_time(100e-9)
+        assert compression == pytest.approx(ramp / (ramp + adc.dead_time()))
+        assert compression < 0.92  # the top decade is visibly compressed
+        assert kernels.frequency(100e-9, *kw.values()) < adc.max_frequency()
+
+    def test_noisy_counts_within_jitter_budget(self):
+        adc = noisy_adc()
+        kw = kernel_kwargs(adc)
+        sigma = kernels.count_noise_sigma(
+            self.CURRENTS, 1.0, **kw, noise_rms_v=adc.comparator.noise_rms_v
+        )
+        noiseless = kernels.count_in_frame(self.CURRENTS, 1.0, start_phase=0.5, **kw)
+        rng = np.random.default_rng(21)
+        object_counts = np.asarray(
+            [adc.count_in_frame(float(i), 1.0, rng=rng) for i in self.CURRENTS]
+        )
+        vec_counts = kernels.count_in_frame(
+            self.CURRENTS, 1.0, rng=22, **kernel_kwargs(adc, with_noise=True)
+        )
+        budget = 1 + np.ceil(8 * sigma)
+        assert np.all(np.abs(object_counts - noiseless) <= budget)
+        assert np.all(np.abs(vec_counts - noiseless) <= budget)
+
+
+class TestBottomDecadeQuantization:
+    """1 pA: ~10 Hz sawtooth; the count quantisation dominates."""
+
+    CURRENTS = np.logspace(-12, -11, 9)  # 1 pA .. 10 pA
+
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_noiseless_counts_bitwise(self, phase):
+        adc = noisy_adc(noise_rms_v=0.0)
+        counts = kernels.count_in_frame(
+            self.CURRENTS, 1.0, start_phase=phase, **kernel_kwargs(adc)
+        )
+        expected = [adc.count_in_frame(float(i), 1.0, start_phase=phase) for i in self.CURRENTS]
+        assert counts.tolist() == expected
+        assert max(expected) <= 110  # genuinely quantisation-dominated
+
+    def test_quantization_dominates_jitter(self):
+        """In the bottom decade the +-1 count quantisation step dwarfs
+        the accumulated comparator jitter — the regime where the
+        vectorized Gaussian model and the object event loop may differ
+        by at most the quantisation step itself."""
+        adc = noisy_adc()
+        sigma = kernels.count_noise_sigma(
+            self.CURRENTS, 1.0, **kernel_kwargs(adc), noise_rms_v=adc.comparator.noise_rms_v
+        )
+        assert np.all(sigma < 0.05)
+
+    def test_noisy_event_loop_vs_gaussian_within_one_step(self):
+        adc = noisy_adc()
+        noiseless = kernels.count_in_frame(
+            self.CURRENTS, 1.0, start_phase=0.5, **kernel_kwargs(adc)
+        )
+        rng = np.random.default_rng(31)
+        object_counts = np.asarray(
+            [adc.count_in_frame(float(i), 1.0, rng=rng) for i in self.CURRENTS]
+        )
+        vec_counts = kernels.count_in_frame(
+            self.CURRENTS, 1.0, rng=32, **kernel_kwargs(adc, with_noise=True)
+        )
+        # Quantisation (phase) accounts for 1 count; jitter < 0.05.
+        assert np.all(np.abs(object_counts - noiseless) <= 2)
+        assert np.all(np.abs(vec_counts - noiseless) <= 2)
+
+    def test_ten_hertz_at_one_picoamp(self):
+        """The module docstring's anchor point, on both backends."""
+        adc = noisy_adc(noise_rms_v=0.0)
+        kw = kernel_kwargs(adc)
+        assert kernels.frequency(1e-12, *kw.values()) == pytest.approx(10.0, rel=0.01)
+        assert adc.frequency(1e-12) == pytest.approx(10.0, rel=0.01)
+
+
+class TestLeakageDominated:
+    """Leakage >= signal: the pixel can never reach the threshold."""
+
+    def test_exact_zero_counts_both_models(self):
+        adc = noisy_adc(noise_rms_v=0.0, leakage_a=10e-12)
+        currents = np.array([1e-13, 5e-12, 10e-12])  # all at/below the floor
+        counts = kernels.count_in_frame(currents, 10.0, start_phase=0.9, **kernel_kwargs(adc))
+        expected = [adc.count_in_frame(float(i), 10.0, start_phase=0.9) for i in currents]
+        assert counts.tolist() == expected == [0, 0, 0]
+
+    def test_mixed_array_only_live_sites_fire(self):
+        adc = noisy_adc(noise_rms_v=0.0)
+        currents = np.array([1e-15, 2e-15, 1e-9])  # two below floor, one live
+        counts = kernels.count_in_frame(currents, 1.0, start_phase=0.0, **kernel_kwargs(adc))
+        assert counts[0] == counts[1] == 0
+        assert counts[2] > 0
+
+    def test_ramp_infinite_frequency_zero(self):
+        adc = noisy_adc(leakage_a=10e-12)
+        kw = kernel_kwargs(adc)
+        assert np.isinf(kernels.ramp_time(5e-12, adc.cint.capacitance_f, adc.swing_v, 10e-12))
+        assert kernels.frequency(5e-12, *kw.values()) == 0.0
+
+    def test_vectorized_chip_dead_pixel_matches_object_semantics(self):
+        chip = VectorizedDnaChip(rng=25)
+        chip.configure_bias(0.45, -0.25)
+        chip.inject_dead_pixel(3, 3)
+        counts = chip.measure_currents(np.full((16, 8), 5e-12), frame_s=1.0, rng=8)
+        assert counts[3, 3] == 0
+        assert counts[0, 0] > 0
+        assert chip.dead_pixel_map()[3, 3]

@@ -1,0 +1,268 @@
+"""VectorizedDnaChip vs DnaMicroarrayChip — the backend parity contract.
+
+Paired construction must be bit-identical; deterministic host-side math
+bit-identical; stochastic counting within the start-phase + jitter
+budget documented in repro.engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip.dna_chip import ChipSpecs, DnaMicroarrayChip
+from repro.core.rng import spawn_children
+from repro.dna import MicroarrayAssay, ProbeLayout, Sample
+from repro.engine import PixelArrayParams, VectorizedDnaChip, kernels
+
+
+def count_budget(chip, currents, frame_s):
+    """Documented cross-backend tolerance: 1 count of start-phase
+    quantisation + the accumulated cycle jitter envelope."""
+    sigma = kernels.count_noise_sigma(
+        currents,
+        frame_s,
+        chip.params.cint_f,
+        chip.params.swing_v,
+        chip.params.leakage_a,
+        chip.params.comparator_delay_s,
+        chip.params.tau_delay_s,
+        chip.params.noise_rms_v,
+    )
+    return 1 + np.ceil(8 * np.squeeze(sigma))
+
+
+class TestPairedConstruction:
+    def test_pixel_parameters_bitwise(self):
+        obj = DnaMicroarrayChip(rng=42)
+        vec = VectorizedDnaChip(rng=42)
+        np.testing.assert_array_equal(
+            vec.params.cint_f.reshape(-1), [p.adc.cint.capacitance_f for p in obj.pixels]
+        )
+        np.testing.assert_array_equal(
+            vec.params.comparator_offset_v.reshape(-1),
+            [p.adc.comparator.offset_v for p in obj.pixels],
+        )
+        np.testing.assert_array_equal(
+            vec.params.leakage_a.reshape(-1), [p.adc.leakage_a for p in obj.pixels]
+        )
+        np.testing.assert_array_equal(
+            vec.params.swing_v.reshape(-1), [p.adc.swing_v for p in obj.pixels]
+        )
+
+    def test_periphery_bitwise(self):
+        obj = DnaMicroarrayChip(rng=43)
+        vec = VectorizedDnaChip(rng=43)
+        np.testing.assert_array_equal(
+            vec.reference_trees[0].branch_currents(), obj.reference_tree.branch_currents()
+        )
+        assert vec.generator_dacs[0].code_for_voltage(0.45) == obj.generator_dac.code_for_voltage(0.45)
+        assert vec.collector_dacs[0].code_for_voltage(-0.25) == obj.collector_dac.code_for_voltage(-0.25)
+
+    def test_batch_pairs_with_spawned_object_chips(self):
+        specs = ChipSpecs(rows=8, cols=4)
+        root = 77
+        vec = VectorizedDnaChip(specs, n_chips=3, rng=root)
+        children = spawn_children(np.random.default_rng(root), 3)
+        for index, child in enumerate(children):
+            obj = DnaMicroarrayChip(specs, rng=child)
+            np.testing.assert_array_equal(
+                vec.params.cint_f[index].reshape(-1),
+                [p.adc.cint.capacitance_f for p in obj.pixels],
+            )
+            np.testing.assert_array_equal(
+                vec.reference_trees[index].branch_currents(),
+                obj.reference_tree.branch_currents(),
+            )
+
+    def test_fast_mode_deterministic_with_spread(self):
+        a = VectorizedDnaChip(ChipSpecs(rows=32, cols=32), rng=5, mismatch="fast")
+        b = VectorizedDnaChip(ChipSpecs(rows=32, cols=32), rng=5, mismatch="fast")
+        np.testing.assert_array_equal(a.params.cint_f, b.params.cint_f)
+        rel = a.params.cint_relative_error
+        assert 0.010 < rel.std() < 0.020  # sigma_cint_rel = 0.015
+        assert np.all(a.params.leakage_a >= 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            VectorizedDnaChip(n_chips=0)
+        with pytest.raises(ValueError):
+            VectorizedDnaChip(mismatch="psychic")
+        with pytest.raises(ValueError):
+            PixelArrayParams.draw(0, 8, rng=1)
+
+
+class TestConfigurationAndCalibration:
+    def test_bias_configuration_parity(self):
+        obj = DnaMicroarrayChip(rng=5)
+        vec = VectorizedDnaChip(rng=5)
+        assert obj.configure_bias(0.45, -0.25) == vec.configure_bias(0.45, -0.25) is True
+        # Collector above the redox potential: cycling impossible.
+        assert obj.configure_bias(0.45, 0.45) == vec.configure_bias(0.45, 0.45) is False
+        assert vec.registers.read("generator_dac") > 0
+
+    def test_auto_calibrate_matches_within_quantisation(self):
+        obj = DnaMicroarrayChip(rng=21)
+        vec = VectorizedDnaChip(rng=21)
+        obj.configure_bias(0.45, -0.25)
+        vec.configure_bias(0.45, -0.25)
+        corr_obj = obj.auto_calibrate(frame_s=0.05, rng=2)
+        corr_vec = vec.auto_calibrate(frame_s=0.05, rng=2)
+        assert corr_vec.shape == corr_obj.shape
+        np.testing.assert_allclose(corr_vec, corr_obj, rtol=2e-3)
+
+    def test_calibration_improves_estimates_vectorized(self):
+        """The object-model acceptance test, replayed on the engine."""
+        chip = VectorizedDnaChip(rng=21)
+        chip.configure_bias(0.45, -0.25)
+        currents = np.full((16, 8), 2e-9)
+        est_raw = chip.current_estimates(chip.measure_currents(currents, 1.0, rng=1), 1.0)
+        err_raw = np.abs(est_raw - 2e-9) / 2e-9
+        chip.auto_calibrate(frame_s=0.1, rng=2)
+        est_cal = chip.current_estimates(chip.measure_currents(currents, 1.0, rng=3), 1.0)
+        err_cal = np.abs(est_cal - 2e-9) / 2e-9
+        assert np.median(err_cal) < np.median(err_raw)
+        assert np.median(err_cal) < 0.01
+
+
+class TestMeasurement:
+    def test_counts_within_documented_budget(self):
+        obj = DnaMicroarrayChip(rng=42)
+        vec = VectorizedDnaChip(rng=42)
+        currents = np.logspace(-12, -7, 128).reshape(16, 8)
+        counts_obj = obj.measure_currents(currents, frame_s=0.5, rng=7)
+        counts_vec = vec.measure_currents(currents, frame_s=0.5, rng=7)
+        budget = count_budget(vec, currents, 0.5)
+        assert np.all(np.abs(counts_obj - counts_vec) <= budget)
+
+    def test_counts_monotone_in_current(self):
+        chip = VectorizedDnaChip(rng=22)
+        lo = chip.measure_currents(np.full((16, 8), 1e-10), frame_s=0.5, rng=4)
+        hi = chip.measure_currents(np.full((16, 8), 1e-9), frame_s=0.5, rng=5)
+        assert np.all(hi > lo)
+
+    def test_shape_validation(self):
+        chip = VectorizedDnaChip(rng=1)
+        with pytest.raises(ValueError):
+            chip.measure_currents(np.zeros((4, 4)))
+        layout = ProbeLayout.random_panel(4, rows=4, cols=4, rng=1)
+        sample = Sample.for_probes(layout.probes(), 1e-6)
+        assay = MicroarrayAssay(layout).run(sample)
+        with pytest.raises(ValueError):
+            chip.measure_assay(assay)
+        with pytest.raises(ValueError):
+            chip.current_estimates(np.zeros((4, 4)), 1.0)
+
+    def test_batched_measurement_shapes(self):
+        chip = VectorizedDnaChip(ChipSpecs(rows=8, cols=4), n_chips=3, rng=9, mismatch="fast")
+        currents = np.full((8, 4), 1e-9)
+        counts = chip.measure_currents(currents, frame_s=0.2, rng=1)
+        assert counts.shape == (3, 8, 4)
+        assert np.all(counts > 0)
+        estimates = chip.current_estimates(counts, 0.2)
+        assert estimates.shape == (3, 8, 4)
+        # A single grid against the batch uses every chip's calibration.
+        grid_estimates = chip.current_estimates(counts[0], 0.2)
+        assert grid_estimates.shape == (3, 8, 4)
+        np.testing.assert_array_equal(grid_estimates[0], estimates[0])
+        # Chip instances differ (independent mismatch), so their counts do.
+        assert not np.array_equal(counts[0], counts[1])
+
+    def test_misbiased_chip_reads_background_only(self):
+        chip = VectorizedDnaChip(rng=6)
+        chip.configure_bias(0.45, 0.45)  # invalid bias
+        counts = chip.measure_concentrations(np.full((16, 8), 1e-3), frame_s=1.0, rng=2)
+        # Background (~0.5 pA) over 1 s: a handful of counts at most.
+        assert counts.max() <= 10
+
+    def test_arbitrary_geometry_128x128(self):
+        chip = VectorizedDnaChip(ChipSpecs(rows=128, cols=128), rng=3, mismatch="fast")
+        currents = np.logspace(-12, -7, 128 * 128).reshape(128, 128)
+        counts = chip.measure_currents(currents, frame_s=0.05, rng=4)
+        assert counts.shape == (128, 128)
+        assert counts.max() > 0
+        assert counts.dtype == np.int64
+
+
+class TestHostSideParity:
+    def test_current_estimates_bitwise_via_twin(self):
+        obj = DnaMicroarrayChip(rng=30)
+        obj.configure_bias(0.45, -0.25)
+        obj.auto_calibrate(frame_s=0.05, rng=1)
+        counts = obj.measure_currents(np.full((16, 8), 1e-9), frame_s=0.5, rng=2)
+        twin = obj.vectorized()
+        np.testing.assert_array_equal(
+            twin.current_estimates(counts, 0.5), obj.current_estimates(counts, 0.5)
+        )
+
+    def test_current_estimates_truncate_fractional_counts(self):
+        """Counts are whole pulses: float inputs truncate exactly as the
+        seed-era per-pixel loop's int() did."""
+        obj = DnaMicroarrayChip(rng=33)
+        twin = obj.vectorized()
+        fractional = np.full((16, 8), 3.7)
+        whole = np.full((16, 8), 3.0)
+        np.testing.assert_array_equal(
+            obj.current_estimates(fractional, 0.1), obj.current_estimates(whole, 0.1)
+        )
+        np.testing.assert_array_equal(
+            twin.current_estimates(fractional, 0.1), twin.current_estimates(whole, 0.1)
+        )
+
+    def test_twin_carries_state(self):
+        obj = DnaMicroarrayChip(rng=31)
+        obj.configure_bias(0.45, -0.25)
+        obj.inject_dead_pixel(2, 5)
+        obj.measure_currents(np.full((16, 8), 1e-9), frame_s=0.2, rng=3)
+        twin = obj.vectorized()
+        np.testing.assert_array_equal(twin.dead_pixel_map(), obj.dead_pixel_map())
+        assert twin.read_counters_serial() == obj.read_counters_serial()
+
+    def test_twin_never_mutates_source_chip(self):
+        obj = DnaMicroarrayChip(rng=32)
+        obj.configure_bias(0.45, -0.25)
+        register_state = obj.registers.dump()
+        transcript_length = len(obj.link.transcript)
+        twin = obj.vectorized()
+        twin.configure_bias(0.45, 0.45)  # invalid bias on the twin only
+        assert obj.pixels[0].sensor.bias_ok  # source sensors untouched
+        twin.configure_bias(0.45, -0.25)
+        twin.auto_calibrate(frame_s=0.05, rng=1)
+        twin.measure_currents(np.full((16, 8), 1e-9), frame_s=0.2, rng=2)
+        twin.read_counters_serial()
+        twin.inject_dead_pixel(0, 0)
+        assert obj.registers.dump() == register_state
+        assert len(obj.link.transcript) == transcript_length
+        assert not obj.dead_pixel_map()[0, 0]
+        assert obj.pixels[0].gain_correction == 1.0
+
+    def test_serial_roundtrip_single_chip(self):
+        chip = VectorizedDnaChip(rng=23)
+        counts = chip.measure_currents(np.full((16, 8), 1e-9), frame_s=0.2, rng=6)
+        host = chip.read_counters_serial()
+        assert host == [int(c) for c in counts.reshape(-1)]
+        assert len(host) == 128
+
+    def test_serial_roundtrip_batch(self):
+        chip = VectorizedDnaChip(ChipSpecs(rows=8, cols=4), n_chips=2, rng=24, mismatch="fast")
+        counts = chip.measure_currents(np.full((8, 4), 1e-9), frame_s=0.2, rng=6)
+        host = chip.read_counters_serial()
+        assert isinstance(host, list) and len(host) == 2
+        for index in range(2):
+            assert host[index] == [int(c) for c in counts[index].reshape(-1)]
+
+    def test_sub_byte_counter_width_raises_cleanly(self):
+        from repro.chip.dna_chip import counter_chunk_bytes
+
+        for bits in (4, 12):
+            with pytest.raises(ValueError, match="byte multiple"):
+                counter_chunk_bytes(bits)
+        chip = VectorizedDnaChip(ChipSpecs(rows=2, cols=2, counter_bits=4), rng=1)
+        with pytest.raises(ValueError, match="byte multiple"):
+            chip.read_counters_serial()
+
+    def test_counter_saturation_with_narrow_counter(self):
+        specs = ChipSpecs(counter_bits=8)
+        chip = VectorizedDnaChip(specs, rng=2)
+        counts = chip.measure_currents(np.full((16, 8), 50e-9), frame_s=1.0, rng=3)
+        assert counts.max() == 255
+        # Saturated counts still cross the serial link intact.
+        assert chip.read_counters_serial() == [int(c) for c in counts.reshape(-1)]
