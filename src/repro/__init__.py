@@ -27,10 +27,11 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import (
     analysis,
+    campaigns,
     chip,
     core,
     devices,
@@ -42,6 +43,7 @@ from . import (
     pixel,
     screening,
 )
+from .campaigns import CampaignResult, CampaignSpec, run_campaign
 from .engine import VectorizedDnaChip
 from .chip import (
     ChipSpecs,
@@ -93,6 +95,8 @@ __all__ = [
     "ArrayScaleSpec",
     "AssayProtocol",
     "AssayResult",
+    "CampaignResult",
+    "CampaignSpec",
     "CellChipJunction",
     "ChipSpecs",
     "CompoundLibrary",
@@ -127,6 +131,7 @@ __all__ = [
     "Trace",
     "VectorizedDnaChip",
     "analysis",
+    "campaigns",
     "chip",
     "compare_cmos_vs_conventional",
     "core",
@@ -139,6 +144,7 @@ __all__ = [
     "neuro",
     "perfect_target_for",
     "pixel",
+    "run_campaign",
     "score_detection",
     "screening",
     "units",

@@ -1,0 +1,160 @@
+"""Campaigns: declarative sweeps, parallel executors, streaming stores.
+
+The paper's results are all *campaigns*, not single runs — Fig. 4's
+concentration series, Fig. 6's chip-to-chip Monte Carlo, the screening
+funnel's compound sweeps.  This package is the batch-orchestration
+layer over :mod:`repro.experiments`:
+
+* :class:`CampaignSpec` (``spec.py``) — a frozen, serializable sweep:
+  base spec + ``grid`` (cartesian product) / ``zip`` (lockstep) axes +
+  seed-varied ``replicates``;
+* :class:`Plan` (``plan.py``) — the compiled form: every point explicit,
+  each carrying a Runner root seed derived stably from
+  ``(campaign seed, replicate)`` so results never depend on point
+  position, execution order or worker count;
+* executors (``executors.py``) — ``serial`` / ``thread`` / ``process``,
+  parity-tested bit-identical per point;
+* stores (``store.py``) — in-memory, or JSONL-on-disk with a
+  ``manifest.json`` (provenance, point index, wall time per run) so
+  million-point sweeps never hold every ResultSet in RAM;
+* reports (``report.py``) — per-point metrics tables for the CLI.
+
+Use::
+
+    from repro.campaigns import CampaignSpec, run_campaign
+    from repro.experiments import DnaAssaySpec
+
+    campaign = CampaignSpec(
+        base=DnaAssaySpec(probe_count=4, replicates=4, target_subset=(0, 1)),
+        grid={"concentration": (1e-7, 1e-6, 1e-5)},
+        replicates=4,                       # chip-to-chip Monte Carlo
+    )
+    result = run_campaign(campaign, seed=1, executor="process")
+    print(result.table())
+
+or, from a Runner / the shell::
+
+    Runner(seed=1).run_campaign(campaign, executor="thread", workers=8)
+    # python -m repro sweep --campaign campaign.json --executor process
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Optional, Union
+
+from .executors import (
+    EXECUTORS,
+    Executor,
+    PointOutcome,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .plan import Plan, PlanPoint
+from .report import manifest_summary, metrics_table, report_rows
+from .spec import CampaignSpec, campaign_from_dict, replicate_seed
+from .store import (
+    MANIFEST_SCHEMA,
+    STORES,
+    CampaignResult,
+    JsonlResultStore,
+    MemoryResultStore,
+    ResultStore,
+    make_store,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "MANIFEST_SCHEMA",
+    "STORES",
+    "CampaignResult",
+    "CampaignSpec",
+    "Executor",
+    "JsonlResultStore",
+    "MemoryResultStore",
+    "Plan",
+    "PlanPoint",
+    "PointOutcome",
+    "ProcessExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "campaign_from_dict",
+    "make_executor",
+    "make_store",
+    "manifest_summary",
+    "metrics_table",
+    "replicate_seed",
+    "report_rows",
+    "run_campaign",
+]
+
+
+def run_campaign(
+    campaign: Union[CampaignSpec, Mapping[str, Any]],
+    *,
+    seed: int = 0,
+    executor: Union[str, Executor] = "serial",
+    workers: Optional[int] = None,
+    store: Union[None, str, ResultStore] = None,
+    out: Optional[str] = None,
+    overwrite: bool = False,
+    backend: Optional[str] = None,
+    inputs: Optional[dict[str, Any]] = None,
+) -> CampaignResult:
+    """Compile ``campaign``, stream it through an executor into a store,
+    and return the :class:`CampaignResult`.
+
+    ``campaign`` may be a :class:`CampaignSpec` or its ``to_dict()``
+    payload.  ``executor`` is a name from :data:`EXECUTORS` or an
+    instance; ``store`` a name from :data:`STORES` (``"jsonl"`` needs
+    ``out``; ``overwrite`` permits replacing a finalized campaign
+    directory), a :class:`ResultStore`, or ``None`` for in-memory.
+    ``backend`` overrides the campaign's own ``backend`` field (and
+    ``None`` defers to it, then to each spec's default).  Results are
+    bit-identical across executors and worker counts; only wall times
+    and completion order differ.
+    """
+    if not isinstance(campaign, CampaignSpec):
+        campaign = CampaignSpec.from_dict(campaign)
+    resolved_backend = backend if backend is not None else campaign.backend
+    plan = campaign.compile(seed)
+    chosen = make_executor(executor, workers=workers)
+    # Every setup error — executor arguments (validated eagerly in
+    # run()) and the backend — must fire before make_store touches the
+    # filesystem: an overwrite=True run must not destroy an old
+    # campaign and then die on a bad argument.
+    from ..experiments.workloads import validate_backend
+
+    for kind in plan.kinds():
+        validate_backend(kind, resolved_backend)
+    outcomes = chosen.run(plan, backend=resolved_backend, inputs=inputs)
+    sink = make_store(store, out=out, overwrite=overwrite)
+    start = time.perf_counter()
+    for outcome in outcomes:
+        sink.add(outcome)
+    total_wall_s = time.perf_counter() - start
+    from .. import __version__
+
+    point_meta = {meta["point"]: meta for meta in sink.point_metas()}
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "name": campaign.name,
+        "campaign": campaign.to_dict(),
+        "seed": int(seed),
+        "version": __version__,
+        "backend": resolved_backend,
+        "executor": chosen.name,
+        "workers": getattr(chosen, "workers", 1),
+        "store": sink.name,
+        "n_points": len(plan),
+        "total_wall_s": total_wall_s,
+        "points": [
+            point_meta[point.index] if point.index in point_meta else point.describe()
+            for point in plan
+        ],
+    }
+    sink.finalize(manifest)
+    return CampaignResult(plan=plan, store=sink, manifest=manifest)

@@ -1,0 +1,310 @@
+"""Pluggable campaign executors: serial, thread pool, process pool.
+
+An executor turns a :class:`~repro.campaigns.plan.Plan` into a stream of
+:class:`PointOutcome` — one per completed run, possibly out of plan
+order.  All three built-ins honour the SeedTree contract: a point's
+result depends only on ``(point.seed, point.spec, backend)``, never on
+which worker ran it, in what order, or how many workers there are, so
+``serial``, ``thread`` and ``process`` are bit-identical per point (the
+parity tests in ``tests/test_campaign_executors.py`` enforce this).
+
+* :class:`SerialExecutor` — runs in the calling thread, one Runner per
+  distinct point seed; the only executor that accepts a shared
+  ``runner_factory`` (how ``Runner.run_batch`` executes a plan on an
+  existing Runner, preserving its caches/stats/artifacts).
+* :class:`ThreadExecutor` — a thread pool; each worker thread owns its
+  own Runner clones.  NumPy kernels release the GIL poorly for the
+  object backend, so expect ~1× there; useful when runs block on I/O or
+  to overlap vectorized kernels.  Injected ``inputs`` values are shared
+  by reference across threads: only *read-only* substrates (e.g. a
+  compound library) are safe — a stateful chip would be mutated
+  concurrently; inject those with the serial executor.
+* :class:`ProcessExecutor` — a process pool; each worker process owns
+  cloned Runners keyed by point seed.  Specs travel as their
+  ``to_dict()`` payloads and results come back artifact-free (rich
+  model objects stay in the worker).  The throughput choice for CPU-
+  bound campaigns on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Executor as _PoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Union
+
+from ..experiments.results import ResultSet
+from ..experiments.runner import Runner
+from ..experiments.specs import spec_from_dict
+from .plan import Plan, PlanPoint
+
+#: Names accepted by :func:`make_executor` (and the CLI's ``--executor``).
+EXECUTORS = ("serial", "thread", "process")
+
+RunnerFactory = Callable[[int], Runner]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One completed plan point: the result plus its wall time."""
+
+    point: PlanPoint
+    result: ResultSet
+    wall_s: float
+
+
+def _check_workers(workers: Optional[int]) -> int:
+    """``None`` means all cores; anything below 1 is an operator error,
+    not something to clamp silently."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class Executor:
+    """Interface: stream PointOutcomes for a Plan."""
+
+    name: str = "base"
+
+    def run(
+        self,
+        plan: Plan,
+        *,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        runner_factory: Optional[RunnerFactory] = None,
+    ) -> Iterator[PointOutcome]:
+        raise NotImplementedError
+
+
+#: Per-worker bound on cached Runners (each holds built chips/layouts).
+#: A campaign has one distinct seed per replicate, so without a bound a
+#: 10k-replicate Monte Carlo would pin 10k calibrated chips per worker.
+#: Eviction only costs a rebuild (results are seed-pure), never changes
+#: numbers.
+MAX_CACHED_RUNNERS = 16
+
+
+def _cached_runner(
+    runners: "OrderedDict[int, Runner]", factory: RunnerFactory, seed: int
+) -> Runner:
+    """LRU fetch-or-clone bounded at :data:`MAX_CACHED_RUNNERS`."""
+    runner = runners.get(seed)
+    if runner is None:
+        runner = runners[seed] = factory(seed)
+    else:
+        runners.move_to_end(seed)
+    while len(runners) > MAX_CACHED_RUNNERS:
+        runners.popitem(last=False)
+    return runner
+
+
+def _stream_pool(
+    pool: _PoolExecutor, submit: Callable[[PlanPoint], Any], plan: Plan, workers: int
+) -> Iterator[Any]:
+    """Submit plan points with a bounded in-flight window and yield
+    future results as they complete.
+
+    Submitting everything upfront would let completed-but-unconsumed
+    Futures pin their ResultSets (workers outpacing the single store
+    consumer), growing RAM with campaign size.  A window of a few
+    multiples of the worker count keeps every worker busy while the
+    backlog — and its memory — stays flat.
+    """
+    window = max(4, workers * 4)
+    points = iter(plan)
+    pending: set = set()
+    while True:
+        while len(pending) < window:
+            point = next(points, None)
+            if point is None:
+                break
+            pending.add(submit(point))
+        if not pending:
+            break
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            yield future.result()
+
+
+def _run_point(
+    runners: "OrderedDict[int, Runner]",
+    factory: RunnerFactory,
+    point: PlanPoint,
+    backend: Optional[str],
+    inputs: Optional[dict[str, Any]],
+) -> PointOutcome:
+    """Shared inner loop: fetch-or-clone the Runner for the point's
+    seed, execute, time."""
+    runner = _cached_runner(runners, factory, point.seed)
+    start = time.perf_counter()
+    result = runner.run(point.spec, backend=backend, inputs=inputs)
+    return PointOutcome(point=point, result=result, wall_s=time.perf_counter() - start)
+
+
+class SerialExecutor(Executor):
+    """Run every point in the calling thread, in plan order."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers not in (None, 1):
+            raise ValueError("the serial executor has exactly one worker")
+        self.workers = 1
+
+    def run(
+        self,
+        plan: Plan,
+        *,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        runner_factory: Optional[RunnerFactory] = None,
+    ) -> Iterator[PointOutcome]:
+        factory = runner_factory or Runner
+        runners: "OrderedDict[int, Runner]" = OrderedDict()
+        for point in plan:
+            yield _run_point(runners, factory, point, backend, inputs)
+
+
+class ThreadExecutor(Executor):
+    """Run points on a thread pool; each thread owns its Runners."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = _check_workers(workers)
+
+    def run(
+        self,
+        plan: Plan,
+        *,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        runner_factory: Optional[RunnerFactory] = None,
+    ) -> Iterator[PointOutcome]:
+        # Validate eagerly, NOT inside the generator: run_campaign must
+        # see bad arguments before any store touches the filesystem.
+        if runner_factory is not None:
+            # Runner carries per-run mutable state (_active_backend,
+            # _overridden, provenance); a factory handing threads a
+            # shared instance would race on it silently.
+            raise ValueError(
+                "the thread executor owns per-thread Runners; a shared "
+                "runner_factory is only meaningful with the serial executor"
+            )
+        return self._iter(plan, backend, inputs)
+
+    def _iter(
+        self,
+        plan: Plan,
+        backend: Optional[str],
+        inputs: Optional[dict[str, Any]],
+    ) -> Iterator[PointOutcome]:
+        factory: RunnerFactory = Runner
+        local = threading.local()
+
+        def task(point: PlanPoint) -> PointOutcome:
+            runners = getattr(local, "runners", None)
+            if runners is None:
+                runners = local.runners = OrderedDict()
+            return _run_point(runners, factory, point, backend, inputs)
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            yield from _stream_pool(
+                pool, lambda point: pool.submit(task, point), plan, self.workers
+            )
+
+
+# Per-process Runner clones, keyed by point seed.  Module-level so the
+# cache survives across tasks dispatched to the same worker process;
+# bounded like the in-process caches.
+_WORKER_RUNNERS: "OrderedDict[int, Runner]" = OrderedDict()
+
+
+def _process_worker(payload: tuple) -> tuple[int, float, ResultSet]:
+    """Top-level (picklable) task body for :class:`ProcessExecutor`."""
+    index, seed, spec_dict, backend = payload
+    runner = _cached_runner(_WORKER_RUNNERS, Runner, seed)
+    spec = spec_from_dict(spec_dict)
+    start = time.perf_counter()
+    result = runner.run(spec, backend=backend)
+    wall_s = time.perf_counter() - start
+    # Artifacts (chips, cultures, ...) stay in the worker: only the
+    # columnar result crosses the process boundary.
+    return index, wall_s, result.without_artifacts()
+
+
+class ProcessExecutor(Executor):
+    """Run points on a process pool of cloned Runners."""
+
+    name = "process"
+
+    def __init__(
+        self, workers: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        self.workers = _check_workers(workers)
+        self.start_method = start_method
+
+    def run(
+        self,
+        plan: Plan,
+        *,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        runner_factory: Optional[RunnerFactory] = None,
+    ) -> Iterator[PointOutcome]:
+        # Validate eagerly, NOT inside the generator: run_campaign must
+        # see bad arguments before any store touches the filesystem.
+        if inputs:
+            raise ValueError(
+                "in-memory `inputs` substrates cannot cross process boundaries; "
+                "use the serial or thread executor to inject pre-built objects"
+            )
+        if runner_factory is not None:
+            raise ValueError("the process executor always clones fresh Runners per worker")
+        return self._iter(plan, backend)
+
+    def _iter(self, plan: Plan, backend: Optional[str]) -> Iterator[PointOutcome]:
+        by_index = {point.index: point for point in plan}
+        context = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
+
+            def submit(point: PlanPoint):
+                return pool.submit(
+                    _process_worker, (point.index, point.seed, point.spec.to_dict(), backend)
+                )
+
+            for index, wall_s, result in _stream_pool(pool, submit, plan, self.workers):
+                yield PointOutcome(point=by_index[index], result=result, wall_s=wall_s)
+
+
+def make_executor(
+    executor: Union[str, Executor], workers: Optional[int] = None
+) -> Executor:
+    """Resolve an executor name (or pass an instance through).
+
+    ``workers`` configures a *named* executor; combining it with an
+    already-configured instance is a conflict, not a silent no-op.
+    """
+    if isinstance(executor, Executor):
+        if workers is not None and getattr(executor, "workers", workers) != workers:
+            raise ValueError(
+                f"workers={workers} conflicts with the provided {executor.name} "
+                f"executor instance (workers={executor.workers}); configure the "
+                f"instance instead"
+            )
+        return executor
+    if executor == "serial":
+        return SerialExecutor(workers)
+    if executor == "thread":
+        return ThreadExecutor(workers)
+    if executor == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")

@@ -1,0 +1,95 @@
+"""The compiled form of a campaign: an explicit, ordered list of runs.
+
+A :class:`Plan` is what executors actually consume — every axis already
+expanded, every point carrying its own spec, replicate index and derived
+Runner root seed.  Because a point's result is a pure function of
+``(point.seed, point.spec, backend)``, a Plan can be partitioned across
+threads, processes or machines in any order and still reassemble into
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+from ..experiments.specs import ExperimentSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spec import CampaignSpec
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One scheduled run: position, spec, replicate, Runner root seed."""
+
+    index: int
+    spec: ExperimentSpec
+    replicate: int
+    seed: int
+    #: The axis fields this point overrides on the campaign base spec —
+    #: the columns a report table shows.
+    assignment: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, Any]:
+        """The manifest entry for this point (result-independent half).
+
+        Assignment values are JSON-normalised (tuples become lists) so
+        in-memory metadata compares equal to metadata reloaded from a
+        JSONL store."""
+        return {
+            "point": self.index,
+            "kind": self.spec.kind,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "assignment": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in self.assignment.items()
+            },
+            "spec_hash": self.spec.content_hash(),
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered tuple of :class:`PlanPoint` plus its provenance."""
+
+    points: tuple[PlanPoint, ...]
+    campaign: Optional["CampaignSpec"] = None
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[PlanPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> PlanPoint:
+        return self.points[index]
+
+    @classmethod
+    def for_specs(
+        cls, specs: Sequence[ExperimentSpec] | Iterable[ExperimentSpec], seed: int = 0
+    ) -> "Plan":
+        """An ad-hoc plan from an explicit spec list — every point at
+        replicate 0 under ``seed`` (the ``run_batch`` shim's shape)."""
+        points = tuple(
+            PlanPoint(index=i, spec=spec, replicate=0, seed=int(seed))
+            for i, spec in enumerate(specs)
+        )
+        return cls(points=points, seed=int(seed))
+
+    def kinds(self) -> list[str]:
+        """Distinct experiment kinds in the plan, in first-seen order."""
+        seen: list[str] = []
+        for point in self.points:
+            if point.spec.kind not in seen:
+                seen.append(point.spec.kind)
+        return seen
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [point.describe() for point in self.points]
+
+    def summary(self) -> str:
+        kinds = "+".join(self.kinds()) or "empty"
+        return f"<Plan {len(self)} points ({kinds}), seed={self.seed}>"

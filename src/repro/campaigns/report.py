@@ -1,0 +1,96 @@
+"""Campaign reporting: per-point metrics tables and manifest summaries.
+
+Built on :mod:`repro.core.tables` so CLI output matches the benchmark
+tables' look.  Reports are driven entirely by what the store holds —
+each point's axis assignment, replicate, wall time and scalar metrics —
+so a campaign reloaded from a ``JsonlResultStore`` directory reports
+identically to one still in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from ..core.tables import render_kv, render_table
+from .store import CampaignResult, ResultStore
+
+
+def _store_of(source: Union[CampaignResult, ResultStore]) -> ResultStore:
+    return source.store if isinstance(source, CampaignResult) else source
+
+
+def report_rows(
+    source: Union[CampaignResult, ResultStore],
+    metrics: Optional[Sequence[str]] = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """``(headers, rows)`` for the per-point table, ordered by point.
+
+    Columns: point, replicate, every axis field that appears in any
+    point's assignment, wall time, then the requested metrics
+    (defaulting to the scalar metrics shared by every point, in the
+    first point's order).
+
+    Built entirely from :meth:`ResultStore.point_metas` — per-point
+    metadata carries the scalar metrics, so no record payload is ever
+    deserialized for a report.
+    """
+    store = _store_of(source)
+    metas = sorted(store.point_metas(), key=lambda meta: meta["point"])
+    if not metas:
+        return ["point"], []
+    axis_names: list[str] = []
+    for meta in metas:
+        for name in meta.get("assignment", {}):
+            if name not in axis_names:
+                axis_names.append(name)
+    if metrics is None:
+        # Sorted, not insertion order: JSONL lines store metrics with
+        # sorted keys, so this keeps live and reloaded tables identical.
+        first_metrics = metas[0].get("metrics", {})
+        metrics = sorted(
+            name
+            for name in first_metrics
+            if all(name in meta.get("metrics", {}) for meta in metas[1:])
+        )
+    headers = ["point", "replicate", *axis_names, "wall_s", *metrics]
+    rows = []
+    for meta in metas:
+        assignment = meta.get("assignment", {})
+        point_metrics = meta.get("metrics", {})
+        rows.append(
+            [
+                meta["point"],
+                meta.get("replicate", 0),
+                *[assignment.get(name, "") for name in axis_names],
+                float(meta.get("wall_s", 0.0)),
+                *[point_metrics.get(name, "") for name in metrics],
+            ]
+        )
+    return headers, rows
+
+
+def metrics_table(
+    source: Union[CampaignResult, ResultStore],
+    metrics: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """The aligned per-point metrics table the CLI prints."""
+    headers, rows = report_rows(source, metrics=metrics)
+    if not rows:
+        return title or "(no stored results)"
+    return render_table(headers, rows, title=title)
+
+
+def manifest_summary(manifest: dict[str, Any]) -> str:
+    """Key/value header block for ``repro report``."""
+    pairs = [
+        ("name", manifest.get("name") or "(unnamed)"),
+        ("kind", manifest.get("campaign", {}).get("base", {}).get("kind", "?")),
+        ("points", manifest.get("n_points", "?")),
+        ("seed", manifest.get("seed", "?")),
+        ("executor", f"{manifest.get('executor', '?')} ×{manifest.get('workers', '?')}"),
+        ("backend", manifest.get("backend") or "(spec default)"),
+        ("total wall", f"{float(manifest.get('total_wall_s', 0.0)):.3g} s"),
+        ("version", manifest.get("version", "?")),
+    ]
+    return render_kv("campaign", pairs)

@@ -1,0 +1,312 @@
+"""The ``repro`` command line — run specs and campaigns from JSON.
+
+Four subcommands wrap the experiment front door::
+
+    repro kinds                               # registered experiment kinds
+    repro run    --spec examples/specs/dna_assay.json [--backend vectorized]
+    repro sweep  --campaign campaign.json --executor process --out results/
+    repro sweep  --spec base.json --grid concentration=1e-7,1e-6,1e-5 \\
+                 --replicates 4 --store jsonl --out results/
+    repro report --store results/ --metrics discrimination_ratio
+
+``run`` executes one spec and prints its scalar metrics (``--json`` for
+the full ResultSet payload).  ``sweep`` builds a
+:class:`~repro.campaigns.spec.CampaignSpec` — either loaded whole from
+``--campaign`` or assembled from ``--spec`` plus ``--grid``/``--zip``/
+``--replicates`` flags — picks backend/executor/store from flags, and
+prints the per-point metrics table.  ``report`` reloads a finished
+JSONL campaign directory and prints the same table without re-running
+anything.
+
+Installed as a console script (``repro``) and runnable as
+``python -m repro`` from a plain checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from .campaigns import (
+    EXECUTORS,
+    STORES,
+    CampaignSpec,
+    JsonlResultStore,
+    make_executor,
+    make_store,
+    manifest_summary,
+    metrics_table,
+    run_campaign,
+)
+from .core.tables import render_kv
+from .experiments import (
+    BACKENDS,
+    Runner,
+    experiment_kinds,
+    spec_from_dict,
+    validate_backend,
+)
+
+
+def _load_json(path: str) -> Any:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"repro: no such file: {path}")
+    except OSError as error:  # directory, permissions, ...
+        raise SystemExit(f"repro: cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"repro: {path} is not valid JSON: {error}")
+
+
+def _parse_value(token: str) -> Any:
+    """Axis/field values: JSON literals when they parse, strings otherwise."""
+    try:
+        return json.loads(token)
+    except json.JSONDecodeError:
+        return token
+
+
+def _split_values(text: str) -> list[str]:
+    """Split on top-level commas only, so JSON list and string values
+    work: ``"[1,2],[1,2,3]"`` -> ``["[1,2]", "[1,2,3]"]`` and commas
+    inside quoted strings never split."""
+    items: list[str] = []
+    depth, start = 0, 0
+    in_string = False
+    escaped = False
+    for i, char in enumerate(text):
+        if in_string:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+        elif char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        elif char == "," and depth == 0:
+            items.append(text[start:i])
+            start = i + 1
+    items.append(text[start:])
+    return items
+
+
+def _parse_axis(option: str, tokens: Sequence[str]) -> dict[str, tuple]:
+    """``field=v1,v2,...`` (repeatable) -> {field: (v1, v2, ...)}.
+
+    Values are JSON literals when they parse (including lists for
+    tuple-valued spec fields, split only on top-level commas) and
+    strings otherwise.
+    """
+    axes: dict[str, tuple] = {}
+    for token in tokens:
+        name, sep, values = token.partition("=")
+        if not sep or not name or not values:
+            raise SystemExit(f"repro: {option} expects field=v1,v2,..., got {token!r}")
+        if name in axes:
+            raise SystemExit(f"repro: duplicate {option} axis {name!r}")
+        axes[name] = tuple(_parse_value(item) for item in _split_values(values))
+    return axes
+
+
+def _metrics_list(option_value: Optional[str]) -> Optional[list[str]]:
+    if option_value is None:
+        return None
+    return [name.strip() for name in option_value.split(",") if name.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_kinds(args: argparse.Namespace) -> int:
+    for kind in experiment_kinds():
+        print(kind)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = spec_from_dict(_load_json(args.spec))
+        validate_backend(spec.kind, args.backend)
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"repro: {error}")
+    runner = Runner(seed=args.seed)
+    result = runner.run(spec, backend=args.backend)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(result.summary())
+    print(render_kv("metrics", sorted(result.metrics.items())))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Setup (campaign construction, executor/store resolution) fails
+    # with clean one-line messages; errors raised *during* execution
+    # are real bugs and keep their tracebacks.
+    try:
+        if args.campaign:
+            builder_flags = [
+                flag
+                for flag, value in (
+                    ("--spec", args.spec),
+                    ("--grid", args.grid),
+                    ("--zip", args.zip),
+                    ("--replicates", args.replicates != 1),
+                    ("--name", args.name),
+                )
+                if value
+            ]
+            if builder_flags:
+                raise SystemExit(
+                    f"repro: --campaign already defines the sweep; "
+                    f"drop {', '.join(builder_flags)} or build the campaign from --spec"
+                )
+            campaign = CampaignSpec.from_dict(_load_json(args.campaign))
+        else:
+            if not args.spec:
+                raise SystemExit("repro: sweep needs --campaign or --spec")
+            campaign = CampaignSpec(
+                base=spec_from_dict(_load_json(args.spec)),
+                grid=_parse_axis("--grid", args.grid),
+                zip=_parse_axis("--zip", args.zip),
+                replicates=args.replicates,
+                name=args.name,
+            )
+        # Per-point spec validation (axis values hitting each spec's
+        # __post_init__) and backend-workload support fire first — with
+        # clean messages, and before make_store can touch (with
+        # --force, truncate) the out directory.
+        campaign.compile(args.seed)
+        validate_backend(
+            campaign.base.kind,
+            args.backend if args.backend is not None else campaign.backend,
+        )
+        executor = make_executor(args.executor, workers=args.workers)
+        store = make_store(args.store, out=args.out, overwrite=args.force)
+    except (FileExistsError, KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"repro: {error}")
+    result = run_campaign(
+        campaign,
+        seed=args.seed,
+        executor=executor,
+        store=store,
+        backend=args.backend,
+    )
+    metrics = _metrics_list(args.metrics)
+    if args.json:
+        print(json.dumps(result.manifest, indent=2, sort_keys=True))
+        return 0
+    print(manifest_summary(result.manifest))
+    print()
+    print(result.table(metrics=metrics))
+    if args.out:
+        print(f"\nresults stored under {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        store = JsonlResultStore.load(args.store)
+    except FileNotFoundError as error:
+        raise SystemExit(f"repro: {error}")
+    except json.JSONDecodeError as error:  # before ValueError: its subclass
+        raise SystemExit(f"repro: {args.store} holds corrupt campaign records: {error}")
+    except ValueError as error:  # e.g. manifest schema mismatch
+        raise SystemExit(f"repro: {error}")
+    if args.json:
+        print(json.dumps(store.manifest or {}, indent=2, sort_keys=True))
+        return 0
+    if store.manifest:
+        print(manifest_summary(store.manifest))
+        print()
+    print(metrics_table(store, metrics=_metrics_list(args.metrics)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run CMOS-biosensor experiment specs and campaigns from JSON.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    kinds = sub.add_parser("kinds", help="list registered experiment kinds")
+    kinds.set_defaults(func=_cmd_kinds)
+
+    run = sub.add_parser("run", help="execute one spec JSON and print its metrics")
+    run.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file")
+    run.add_argument("--seed", type=int, default=0, help="Runner root seed (default 0)")
+    run.add_argument("--backend", choices=BACKENDS, default=None, help="compute backend")
+    run.add_argument("--json", action="store_true", help="print the full ResultSet JSON")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a declarative campaign")
+    sweep.add_argument("--campaign", help="path to a CampaignSpec JSON file")
+    sweep.add_argument("--spec", help="base ExperimentSpec JSON (with --grid/--zip)")
+    sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="cartesian-product axis (repeatable)",
+    )
+    sweep.add_argument(
+        "--zip",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="lockstep axis (repeatable, equal lengths)",
+    )
+    sweep.add_argument("--replicates", type=int, default=1, help="seed-varied repeats per point")
+    sweep.add_argument("--name", default="", help="campaign name for the manifest")
+    sweep.add_argument("--seed", type=int, default=0, help="campaign root seed (default 0)")
+    sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
+    sweep.add_argument("--workers", type=int, default=None, help="worker count (default: cores)")
+    sweep.add_argument("--store", choices=STORES, default=None, help="result store")
+    sweep.add_argument("--out", default=None, help="directory for the jsonl store")
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --out to replace a directory holding a finalized campaign",
+    )
+    sweep.add_argument("--backend", choices=BACKENDS, default=None, help="compute backend")
+    sweep.add_argument("--metrics", default=None, help="comma-separated metric columns")
+    sweep.add_argument("--json", action="store_true", help="print the manifest JSON instead")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser("report", help="re-print the table of a stored campaign")
+    report.add_argument("--store", required=True, help="campaign directory (jsonl store)")
+    report.add_argument("--metrics", default=None, help="comma-separated metric columns")
+    report.add_argument("--json", action="store_true", help="print the manifest JSON instead")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro report ... | head` is normal usage; die quietly.  Point
+        # stdout at devnull so interpreter shutdown doesn't re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

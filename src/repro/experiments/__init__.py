@@ -15,7 +15,7 @@ and always returns the uniform :class:`ResultSet`.
 """
 
 from .compat import run_legacy_dna_assay, run_legacy_neural_recording
-from .results import ResultSet
+from .results import ResultSet, stack_metrics
 from .runner import BACKENDS, Runner, RunnerStats
 from .specs import (
     AdcTransferSpec,
@@ -29,7 +29,7 @@ from .specs import (
     register_experiment,
     spec_from_dict,
 )
-from .workloads import register_workload, workload_for
+from .workloads import register_workload, validate_backend, workload_for
 
 __all__ = [
     "AdcTransferSpec",
@@ -49,5 +49,7 @@ __all__ = [
     "run_legacy_dna_assay",
     "run_legacy_neural_recording",
     "spec_from_dict",
+    "stack_metrics",
+    "validate_backend",
     "workload_for",
 ]

@@ -32,7 +32,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from ..core.rng import RngLike, SeedTree, ensure_rng
 from .results import ResultSet
 from .specs import BACKENDS, ExperimentSpec, experiment_type
-from .workloads import workload_for
+from .workloads import validate_backend, workload_for
 
 
 @dataclass
@@ -111,20 +111,16 @@ class Runner:
         workload's ``streams``) — the hook the legacy shims use to
         reproduce seed-era numbers exactly.  ``inputs`` injects
         pre-built substrates (e.g. ``{"library": lib}``); injected or
-        override-built resources bypass the caches.
+        override-built resources bypass the caches.  The mapping itself
+        is copied per run — a workload can never mutate the caller's
+        dict, and batched runs cannot leak entries into each other —
+        while the injected *values* are intentionally shared by
+        reference.
         """
         spec = self._coerce_spec(spec, params)
         resolved_backend = backend if backend is not None else getattr(spec, "backend", "object")
-        if resolved_backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {resolved_backend!r}; choose from {BACKENDS}"
-            )
+        validate_backend(spec.kind, resolved_backend)
         workload = workload_for(spec.kind)
-        if resolved_backend not in workload.backends:
-            raise ValueError(
-                f"workload {spec.kind!r} does not support backend "
-                f"{resolved_backend!r}; supported: {workload.backends}"
-            )
         paths = workload.streams(spec)
         overrides = rng_overrides or {}
         unknown = set(overrides) - set(paths)
@@ -152,7 +148,8 @@ class Runner:
         previous_backend = self._active_backend
         self._active_backend = resolved_backend
         try:
-            result = workload.execute(self, spec, rngs, inputs or {})
+            # Shallow copy: per-run input isolation (values shared).
+            result = workload.execute(self, spec, rngs, dict(inputs or {}))
         finally:
             self._overridden = frozenset()
             self._current_seeds = {}
@@ -169,8 +166,71 @@ class Runner:
     ) -> list[ResultSet]:
         """Execute many specs, sharing chips/layouts/libraries via the
         caches.  Results come back in input order and are identical to
-        running each spec alone (streams are position-independent)."""
-        return [self.run(spec, backend=backend, inputs=inputs) for spec in specs]
+        running each spec alone (streams are position-independent).
+
+        Since the campaign redesign this is a thin shim over
+        :mod:`repro.campaigns`: the spec list compiles to a
+        :class:`~repro.campaigns.plan.Plan` executed in-place on *this*
+        Runner by the serial executor, so caches, stats and artifacts
+        behave exactly as before.  Each spec sees its own shallow copy
+        of ``inputs`` (see :meth:`run`).
+        """
+        from ..campaigns.executors import SerialExecutor
+        from ..campaigns.plan import Plan
+
+        plan = Plan.for_specs(specs, seed=self.seed)
+        results: list[Optional[ResultSet]] = [None] * len(plan)
+        executor = SerialExecutor()
+        for outcome in executor.run(
+            plan, backend=backend, inputs=inputs, runner_factory=lambda seed: self
+        ):
+            results[outcome.point.index] = outcome.result
+        return results  # type: ignore[return-value]
+
+    def run_campaign(
+        self,
+        campaign: "Any",
+        *,
+        executor: "Any" = "serial",
+        workers: Optional[int] = None,
+        store: "Any" = None,
+        out: Optional[Any] = None,
+        overwrite: bool = False,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+    ) -> "Any":
+        """Execute a :class:`~repro.campaigns.spec.CampaignSpec` rooted
+        at this Runner's seed and return the
+        :class:`~repro.campaigns.store.CampaignResult`.
+
+        Convenience front door for :func:`repro.campaigns.run_campaign`
+        — see there for executor/store/backend semantics.  Replicate 0
+        of every point runs under this Runner's root seed, so a
+        1-replicate campaign point is bit-identical to ``self.run(spec)``
+        (executors own their workers' Runner clones; this Runner's
+        caches are not consulted).
+        """
+        from ..campaigns import run_campaign
+
+        return run_campaign(
+            campaign,
+            seed=self.seed,
+            executor=executor,
+            workers=workers,
+            store=store,
+            out=out,
+            overwrite=overwrite,
+            backend=backend,
+            inputs=inputs,
+        )
+
+    def clone(self, seed: Optional[int] = None) -> "Runner":
+        """A fresh Runner with the same root seed (or ``seed``) and empty
+        caches/stats.  Convenience for callers fanning work out by hand;
+        equivalent to what the campaign executors build per worker
+        (``Runner(point.seed)``), and bit-identical to this Runner on
+        the same specs because streams depend only on (root, path)."""
+        return Runner(seed=self.seed if seed is None else seed)
 
     def clear_caches(self) -> None:
         self._caches.clear()

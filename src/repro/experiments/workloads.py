@@ -88,6 +88,29 @@ def workload_for(kind: str) -> Workload:
         ) from None
 
 
+def validate_backend(kind: str, backend: "str | None") -> None:
+    """Raise unless ``backend`` is known and supported by ``kind``
+    (``None`` — defer to defaults — always passes).
+
+    The one definition of this check: Runner.run, run_campaign and the
+    CLI all route through it, so error wording cannot drift, and
+    callers that create resources (result stores on disk) can validate
+    *first*.
+    """
+    if backend is None:
+        return
+    from .specs import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    workload = workload_for(kind)
+    if backend not in workload.backends:
+        raise ValueError(
+            f"workload {kind!r} does not support backend "
+            f"{backend!r}; supported: {workload.backends}"
+        )
+
+
 # ---------------------------------------------------------------------------
 # DNA microarray assay
 # ---------------------------------------------------------------------------

@@ -1,0 +1,132 @@
+"""ResultSet dtype-faithful serialization and concat/merge helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AdcTransferSpec,
+    DnaAssaySpec,
+    NeuralRecordingSpec,
+    ResultSet,
+    Runner,
+    ScreeningSpec,
+    stack_metrics,
+)
+
+SMALL_SPECS = [
+    DnaAssaySpec(probe_count=4, replicates=4, target_subset=(0, 1)),
+    NeuralRecordingSpec(
+        rows=16, cols=16, n_neurons=2, diameter_range_m=(40e-6, 70e-6),
+        duration_s=0.05, use_hh=False,
+    ),
+    ScreeningSpec(library_size=2000),
+    AdcTransferSpec(points_per_decade=2),
+]
+
+
+# ---------------------------------------------------------------------------
+# Dtype fidelity round-trip (all four workload kinds)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.kind)
+def test_round_trip_preserves_dtypes_and_values(spec):
+    result = Runner(seed=2).run(spec)
+    back = ResultSet.from_json(result.to_json())
+    assert back.records.keys() == result.records.keys()
+    for name, column in result.records.items():
+        assert back.records[name].dtype == column.dtype, name
+        np.testing.assert_array_equal(back.records[name], column, err_msg=name)
+    assert back.metrics == result.metrics
+    # Stability under a second round-trip (what the JSONL store relies on).
+    assert back.to_json() == result.to_json()
+
+
+def test_object_and_narrow_dtypes_survive():
+    """The regression this guards: np.asarray on load used to flip the
+    probe-name column from object to '<U..' and narrow ints to int64."""
+    result = ResultSet(
+        kind="x", spec={"kind": "x"}, seeds={"root": 0}, version="0",
+        records={
+            "name": np.asarray(["a", "bb", ""], dtype=object),
+            "small": np.asarray([1, 2, 3], dtype=np.int8),
+            "single": np.asarray([0.5, 1.5, 2.5], dtype=np.float32),
+            "flag": np.asarray([True, False, True]),
+        },
+    )
+    back = ResultSet.from_json(result.to_json())
+    assert back.records["name"].dtype == object
+    assert back.records["small"].dtype == np.int8
+    assert back.records["single"].dtype == np.float32
+    assert back.records["flag"].dtype == bool
+    naive = np.asarray(json.loads(result.to_json())["records"]["name"])
+    assert naive.dtype != object  # the old behaviour really was lossy
+
+
+def test_payloads_without_dtypes_still_load():
+    result = Runner(seed=2).run(SMALL_SPECS[3])
+    payload = json.loads(result.to_json())
+    del payload["dtypes"]
+    back = ResultSet.from_dict(payload)
+    np.testing.assert_array_equal(back.column("count"), result.column("count"))
+
+
+def test_without_artifacts_drops_only_artifacts():
+    result = Runner(seed=2).run(SMALL_SPECS[0])
+    assert result.artifacts
+    bare = result.without_artifacts()
+    assert bare.artifacts == {}
+    assert bare.to_json() == result.to_json()
+    assert result.artifacts  # original untouched
+
+
+# ---------------------------------------------------------------------------
+# concat / stack_metrics
+# ---------------------------------------------------------------------------
+def test_concat_stacks_records_with_point_column():
+    runner = Runner(seed=4)
+    spec = SMALL_SPECS[0]
+    results = runner.run_batch([spec.replace(concentration=c) for c in (1e-7, 1e-6)])
+    combined = ResultSet.concat(results)
+    assert combined.n_records == sum(r.n_records for r in results)
+    np.testing.assert_array_equal(
+        combined.column("point"), np.repeat([0, 1], results[0].n_records)
+    )
+    np.testing.assert_array_equal(
+        combined.column("count"),
+        np.concatenate([r.column("count") for r in results]),
+    )
+    assert combined.column("count").dtype == results[0].column("count").dtype
+    assert combined.metrics == {"n_sources": 2, "n_records": combined.n_records}
+    assert combined.seeds == {"roots": [4]}
+
+    plain = ResultSet.concat(results, point_column=None)
+    assert "point" not in plain.records
+
+
+def test_concat_error_cases():
+    runner = Runner(seed=4)
+    dna = runner.run(SMALL_SPECS[0])
+    adc = runner.run(SMALL_SPECS[3])
+    with pytest.raises(ValueError, match="zero ResultSets"):
+        ResultSet.concat([])
+    with pytest.raises(ValueError, match="cannot concat kinds"):
+        ResultSet.concat([dna, adc])
+    with pytest.raises(ValueError, match="collides"):
+        ResultSet.concat([dna, dna], point_column="count")
+
+
+def test_stack_metrics_defaults_to_common_scalars():
+    runner = Runner(seed=4)
+    spec = SMALL_SPECS[0]
+    results = runner.run_batch(
+        [spec.replace(concentration=c) for c in (1e-7, 1e-6, 1e-5)]
+    )
+    stacked = stack_metrics(results)
+    assert stacked["n_sites"].tolist() == [128, 128, 128]
+    ratios = stack_metrics(results, names=["discrimination_ratio"])
+    assert (np.diff(ratios["discrimination_ratio"]) > 0).all()
+    with pytest.raises(KeyError, match="missing"):
+        stack_metrics(results, names=["nope"])
+    with pytest.raises(ValueError):
+        stack_metrics([])

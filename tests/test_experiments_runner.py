@@ -187,3 +187,100 @@ def test_resultset_rejects_ragged_columns():
             kind="x", spec={}, seeds={}, version="0",
             records={"a": np.zeros(3), "b": np.zeros(2)},
         )
+
+
+# ---------------------------------------------------------------------------
+# RunnerStats / clear_caches instrumentation
+# ---------------------------------------------------------------------------
+def test_runner_stats_count_reuse_across_a_concentration_sweep():
+    runner = Runner(seed=1)
+    assert runner.stats.as_dict() == {
+        "runs": 0, "chips_built": 0, "chips_reused": 0,
+        "layouts_built": 0, "layouts_reused": 0,
+        "libraries_built": 0, "libraries_reused": 0,
+    }
+    sweep = [SMALL_DNA.replace(concentration=c) for c in (1e-8, 1e-7, 1e-6, 1e-5)]
+    runner.run_batch(sweep)
+    assert runner.stats.runs == 4
+    assert runner.stats.chips_built == 1 and runner.stats.chips_reused == 3
+    assert runner.stats.layouts_built == 1 and runner.stats.layouts_reused == 3
+    assert runner.stats.libraries_built == 0
+    # as_dict is a live snapshot of the dataclass fields.
+    assert runner.stats.as_dict()["chips_reused"] == 3
+
+
+def test_clear_caches_forces_rebuilds_but_not_different_results():
+    runner = Runner(seed=1)
+    first = runner.run(SMALL_DNA)
+    runner.clear_caches()
+    second = runner.run(SMALL_DNA)
+    assert runner.stats.chips_built == 2  # cache invalidation really rebuilt
+    assert runner.stats.chips_reused == 0
+    assert runner.stats.layouts_built == 2
+    assert second.artifacts["chip"] is not first.artifacts["chip"]
+    # Streams derive from (root, path), so the rebuild is bit-identical.
+    np.testing.assert_array_equal(first.column("count"), second.column("count"))
+
+
+def test_clone_shares_seed_but_nothing_else():
+    runner = Runner(seed=8)
+    original = runner.run(SMALL_DNA)
+    clone = runner.clone()
+    assert clone is not runner
+    assert clone.seed == 8
+    assert clone.stats.runs == 0 and not clone._caches
+    np.testing.assert_array_equal(
+        clone.run(SMALL_DNA).column("count"), original.column("count")
+    )
+    assert runner.clone(seed=9).seed == 9
+
+
+# ---------------------------------------------------------------------------
+# Per-spec input isolation
+# ---------------------------------------------------------------------------
+def test_run_batch_isolates_inputs_per_spec(monkeypatch):
+    """A workload mutating its `inputs` dict must see a fresh copy per
+    run and never touch the caller's mapping."""
+    import dataclasses as _dc
+
+    from repro.experiments import workloads as _workloads
+
+    original = _workloads.WORKLOADS["adc_transfer"]
+    seen: list[int] = []
+
+    def mutating_execute(runner, spec, rngs, inputs):
+        inputs["leak"] = inputs.get("leak", 0) + 1
+        seen.append(inputs["leak"])
+        return original.execute(runner, spec, rngs, inputs)
+
+    monkeypatch.setitem(
+        _workloads.WORKLOADS,
+        "adc_transfer",
+        _dc.replace(original, execute=mutating_execute),
+    )
+    caller_inputs = {"frame": "shared"}
+    specs = [AdcTransferSpec(points_per_decade=2), AdcTransferSpec(points_per_decade=3)]
+    Runner(seed=1).run_batch(specs, inputs=caller_inputs)
+    assert caller_inputs == {"frame": "shared"}  # caller dict untouched
+    assert seen == [1, 1]  # each spec saw a clean copy, no cross-spec leak
+
+
+def test_run_copies_inputs_even_for_single_runs(monkeypatch):
+    import dataclasses as _dc
+
+    from repro.experiments import workloads as _workloads
+
+    original = _workloads.WORKLOADS["adc_transfer"]
+
+    def mutating_execute(runner, spec, rngs, inputs):
+        inputs.clear()
+        return original.execute(runner, spec, rngs, inputs)
+
+    monkeypatch.setitem(
+        _workloads.WORKLOADS,
+        "adc_transfer",
+        _dc.replace(original, execute=mutating_execute),
+    )
+    caller_inputs = {"keep": 1}
+    Runner(seed=1).run(AdcTransferSpec(points_per_decade=2), inputs=caller_inputs)
+    assert caller_inputs == {"keep": 1}
