@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import (
     analysis,
@@ -39,6 +39,7 @@ from . import (
     electrochem,
     engine,
     experiments,
+    inference,
     neuro,
     pixel,
     screening,
@@ -77,6 +78,7 @@ from .experiments import (
     Runner,
     ScreeningSpec,
 )
+from .inference import AnalysisReport, analyze
 from .neuro import (
     CellChipJunction,
     Culture,
@@ -92,6 +94,7 @@ from .screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_convent
 
 __all__ = [
     "AdcTransferSpec",
+    "AnalysisReport",
     "ArrayScaleSpec",
     "AssayProtocol",
     "AssayResult",
@@ -131,6 +134,7 @@ __all__ = [
     "Trace",
     "VectorizedDnaChip",
     "analysis",
+    "analyze",
     "campaigns",
     "chip",
     "compare_cmos_vs_conventional",
@@ -141,6 +145,7 @@ __all__ = [
     "electrochem",
     "engine",
     "experiments",
+    "inference",
     "neuro",
     "perfect_target_for",
     "pixel",

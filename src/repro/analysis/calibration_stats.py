@@ -26,6 +26,12 @@ class CalibrationReport:
     improvement: float
     saturated_fraction_uncalibrated: float
     saturated_fraction_calibrated: float
+    #: Wilson 95% intervals on the saturated fractions (they are
+    #: binomial proportions over n_pixels finite pixels — a 24x24 test
+    #: array says much less than a 128x128 one, and the CI shows it).
+    n_pixels: int = 0
+    saturated_ci_uncalibrated: tuple[float, float] = (float("nan"), float("nan"))
+    saturated_ci_calibrated: tuple[float, float] = (float("nan"), float("nan"))
 
     def as_rows(self) -> list[tuple[str, float, float]]:
         return [
@@ -63,16 +69,22 @@ def calibration_report(
     # stage offset calibration that follows pixel calibration ("the
     # subsequent current gain stages also undergo a calibration
     # procedure"); only the pixel-to-pixel spread hits the rails.
-    sat_unc = float(np.mean(np.abs(uncal_v - np.median(uncal_v)) * chain_gain > rail_v))
-    sat_cal = float(np.mean(np.abs(cal_v - np.median(cal_v)) * chain_gain > rail_v))
+    n_pixels = int(uncal_v.size)
+    sat_unc_n = int(np.sum(np.abs(uncal_v - np.median(uncal_v)) * chain_gain > rail_v))
+    sat_cal_n = int(np.sum(np.abs(cal_v - np.median(cal_v)) * chain_gain > rail_v))
     sigma_unc_v = float(np.std(uncal_v))
     sigma_cal_v = float(np.std(cal_v))
+    from ..inference.yield_stats import wilson_interval
+
     return CalibrationReport(
         uncalibrated_sigma_a=float(np.std(uncal)),
         calibrated_sigma_a=float(np.std(cal)),
         uncalibrated_sigma_v=sigma_unc_v,
         calibrated_sigma_v=sigma_cal_v,
         improvement=sigma_unc_v / sigma_cal_v if sigma_cal_v > 0 else float("inf"),
-        saturated_fraction_uncalibrated=sat_unc,
-        saturated_fraction_calibrated=sat_cal,
+        saturated_fraction_uncalibrated=sat_unc_n / n_pixels,
+        saturated_fraction_calibrated=sat_cal_n / n_pixels,
+        n_pixels=n_pixels,
+        saturated_ci_uncalibrated=wilson_interval(sat_unc_n, n_pixels),
+        saturated_ci_calibrated=wilson_interval(sat_cal_n, n_pixels),
     )

@@ -1,10 +1,14 @@
 """Campaign reporting: per-point metrics tables and manifest summaries.
 
-Built on :mod:`repro.core.tables` so CLI output matches the benchmark
-tables' look.  Reports are driven entirely by what the store holds —
-each point's axis assignment, replicate, wall time and scalar metrics —
-so a campaign reloaded from a ``JsonlResultStore`` directory reports
-identically to one still in memory.
+Since the inference subsystem landed, the table construction lives in
+:mod:`repro.inference.tabulate` (the same :class:`CampaignFrame` the
+statistical analyses consume) — this module is the campaign-facing
+facade that renders those rows with :mod:`repro.core.tables` so CLI
+output matches the benchmark tables' look.  Reports are driven entirely
+by what the store holds — each point's axis assignment, replicate, wall
+time and scalar metrics — so a campaign reloaded from a
+``JsonlResultStore`` directory reports identically to one still in
+memory.
 """
 
 from __future__ import annotations
@@ -12,11 +16,8 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, Union
 
 from ..core.tables import render_kv, render_table
+from ..inference.tabulate import report_rows as _frame_report_rows
 from .store import CampaignResult, ResultStore
-
-
-def _store_of(source: Union[CampaignResult, ResultStore]) -> ResultStore:
-    return source.store if isinstance(source, CampaignResult) else source
 
 
 def report_rows(
@@ -27,46 +28,13 @@ def report_rows(
 
     Columns: point, replicate, every axis field that appears in any
     point's assignment, wall time, then the requested metrics
-    (defaulting to the scalar metrics shared by every point, in the
-    first point's order).
-
-    Built entirely from :meth:`ResultStore.point_metas` — per-point
+    (defaulting to the scalar metrics shared by every point, sorted).
+    Delegates to :func:`repro.inference.tabulate.report_rows`, which is
+    built entirely from :meth:`ResultStore.point_metas` — per-point
     metadata carries the scalar metrics, so no record payload is ever
     deserialized for a report.
     """
-    store = _store_of(source)
-    metas = sorted(store.point_metas(), key=lambda meta: meta["point"])
-    if not metas:
-        return ["point"], []
-    axis_names: list[str] = []
-    for meta in metas:
-        for name in meta.get("assignment", {}):
-            if name not in axis_names:
-                axis_names.append(name)
-    if metrics is None:
-        # Sorted, not insertion order: JSONL lines store metrics with
-        # sorted keys, so this keeps live and reloaded tables identical.
-        first_metrics = metas[0].get("metrics", {})
-        metrics = sorted(
-            name
-            for name in first_metrics
-            if all(name in meta.get("metrics", {}) for meta in metas[1:])
-        )
-    headers = ["point", "replicate", *axis_names, "wall_s", *metrics]
-    rows = []
-    for meta in metas:
-        assignment = meta.get("assignment", {})
-        point_metrics = meta.get("metrics", {})
-        rows.append(
-            [
-                meta["point"],
-                meta.get("replicate", 0),
-                *[assignment.get(name, "") for name in axis_names],
-                float(meta.get("wall_s", 0.0)),
-                *[point_metrics.get(name, "") for name in metrics],
-            ]
-        )
-    return headers, rows
+    return _frame_report_rows(source, metrics=metrics)
 
 
 def metrics_table(

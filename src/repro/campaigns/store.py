@@ -78,6 +78,13 @@ class ResultStore:
                 return result
         raise KeyError(f"no stored result for point {point}")
 
+    def load_point(self, point: int) -> ResultSet:
+        """The streaming read API's point accessor: one point's
+        ResultSet without materialising any other point.  Disk-backed
+        stores implement :meth:`result_for` with an O(1) seek, so
+        analyses can random-access a campaign far larger than RAM."""
+        return self.result_for(point)
+
 
 _SCALARS = (bool, int, float, str)
 
@@ -344,6 +351,18 @@ class CampaignResult:
 
     def result_for(self, point: int) -> ResultSet:
         return self.store.result_for(point)
+
+    def load_point(self, point: int) -> ResultSet:
+        return self.store.load_point(point)
+
+    def analyze(self, analysis: Any = None, **overrides: Any) -> Any:
+        """Run a statistical analysis over this campaign's store and
+        return the :class:`~repro.inference.report.AnalysisReport` —
+        see :func:`repro.inference.analyze` for the ``analysis``
+        argument (``None`` infers one from the campaign's shape)."""
+        from ..inference import analyze
+
+        return analyze(self, analysis, **overrides)
 
     @property
     def total_wall_s(self) -> float:

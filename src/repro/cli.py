@@ -1,13 +1,14 @@
 """The ``repro`` command line — run specs and campaigns from JSON.
 
-Four subcommands wrap the experiment front door::
+Five subcommands wrap the experiment front door::
 
     repro kinds                               # registered experiment kinds
     repro run    --spec examples/specs/dna_assay.json [--backend vectorized]
     repro sweep  --campaign campaign.json --executor process --out results/
     repro sweep  --spec base.json --grid concentration=1e-7,1e-6,1e-5 \\
                  --replicates 4 --store jsonl --out results/
-    repro report --store results/ --metrics discrimination_ratio
+    repro report  --store results/ --metrics discrimination_ratio
+    repro analyze results/ [--analysis dose_response] [--json | --markdown]
 
 ``run`` executes one spec and prints its scalar metrics (``--json`` for
 the full ResultSet payload).  ``sweep`` builds a
@@ -16,7 +17,11 @@ the full ResultSet payload).  ``sweep`` builds a
 ``--replicates`` flags — picks backend/executor/store from flags, and
 prints the per-point metrics table.  ``report`` reloads a finished
 JSONL campaign directory and prints the same table without re-running
-anything.
+anything.  ``analyze`` runs a registered statistical analysis
+(:mod:`repro.inference`) over a stored campaign — dose–response fits
+with LoD and bootstrap CIs, detection ROC, chip-yield statistics — and
+emits the report as text, markdown or JSON; reports are bit-identical
+however the campaign was executed.
 
 Installed as a console script (``repro``) and runnable as
 ``python -m repro`` from a plain checkout.
@@ -215,14 +220,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    try:
-        store = JsonlResultStore.load(args.store)
-    except FileNotFoundError as error:
-        raise SystemExit(f"repro: {error}")
-    except json.JSONDecodeError as error:  # before ValueError: its subclass
-        raise SystemExit(f"repro: {args.store} holds corrupt campaign records: {error}")
-    except ValueError as error:  # e.g. manifest schema mismatch
-        raise SystemExit(f"repro: {error}")
+    store = _load_campaign_store(args.store)
     if args.json:
         print(json.dumps(store.manifest or {}, indent=2, sort_keys=True))
         return 0
@@ -230,6 +228,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(manifest_summary(store.manifest))
         print()
     print(metrics_table(store, metrics=_metrics_list(args.metrics)))
+    return 0
+
+
+def _load_campaign_store(path: str) -> JsonlResultStore:
+    try:
+        return JsonlResultStore.load(path)
+    except FileNotFoundError as error:
+        raise SystemExit(f"repro: {error}")
+    except json.JSONDecodeError as error:  # before ValueError: its subclass
+        raise SystemExit(f"repro: {path} holds corrupt campaign records: {error}")
+    except ValueError as error:  # e.g. manifest schema mismatch
+        raise SystemExit(f"repro: {error}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .inference import analysis_from_dict, analysis_kinds, analyze
+
+    if args.list:
+        for kind in analysis_kinds():
+            print(kind)
+        return 0
+    if not args.store:
+        raise SystemExit("repro: analyze needs a campaign directory (or --list)")
+    store = _load_campaign_store(args.store)
+    overrides = {}
+    for token in args.set:
+        name, sep, value = token.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"repro: --set expects field=value, got {token!r}")
+        overrides[name] = _parse_value(value)
+    try:
+        if args.spec:
+            if args.analysis:
+                raise SystemExit("repro: pass --analysis or --spec, not both")
+            analysis = analysis_from_dict(_load_json(args.spec))
+            report = analyze(store, analysis, **overrides)
+        else:
+            report = analyze(store, args.analysis, **overrides)
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"repro: {error}")
+    if args.json:
+        rendered = report.to_json(indent=2) + "\n"
+    elif args.markdown:
+        rendered = report.to_markdown()
+    else:
+        rendered = report.to_text() + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"analysis written to {args.out}")
+        return 0
+    print(rendered, end="")
     return 0
 
 
@@ -292,6 +341,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics", default=None, help="comma-separated metric columns")
     report.add_argument("--json", action="store_true", help="print the manifest JSON instead")
     report.set_defaults(func=_cmd_report)
+
+    analyze = sub.add_parser(
+        "analyze", help="run a statistical analysis over a stored campaign"
+    )
+    analyze.add_argument(
+        "store", nargs="?", default=None, help="campaign directory (jsonl store)"
+    )
+    analyze.add_argument(
+        "--analysis",
+        default=None,
+        help="analysis kind (default: inferred from the campaign; see --list)",
+    )
+    analyze.add_argument("--spec", help="path to a full AnalysisSpec JSON file")
+    analyze.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override an analysis spec field (repeatable)",
+    )
+    analyze.add_argument("--list", action="store_true", help="list registered analysis kinds")
+    analyze.add_argument("--json", action="store_true", help="emit the report as JSON")
+    analyze.add_argument("--markdown", action="store_true", help="emit the report as markdown")
+    analyze.add_argument("--out", default=None, help="write the report to a file instead of stdout")
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -7,6 +7,7 @@ from .hybridization import (
     ProbeSiteState,
 )
 from .quantification import (
+    EXTRAPOLATION_MODES,
     CalibrationCurve,
     CalibrationPoint,
     ConcentrationEstimator,
@@ -23,6 +24,7 @@ __all__ = [
     "CalibrationPoint",
     "ConcentrationEstimator",
     "DEFAULT_KINETICS",
+    "EXTRAPOLATION_MODES",
     "QuantificationResult",
     "DnaSequence",
     "HybridizationKinetics",

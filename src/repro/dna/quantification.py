@@ -29,15 +29,36 @@ class CalibrationPoint:
     median_count: float
 
 
+#: What :meth:`CalibrationCurve.concentration_for_count` does with a
+#: count outside the calibrated window: pin to the edge standard
+#: (``"clamp"``, the historical behaviour, now explicit), refuse
+#: (``"raise"``), or extend the fitted log-log line (``"fit"``).
+EXTRAPOLATION_MODES = ("clamp", "raise", "fit")
+
+
 @dataclass
 class CalibrationCurve:
-    """Monotone count-vs-concentration curve with log-log interpolation."""
+    """Monotone count-vs-concentration curve with log-log interpolation.
+
+    Inside the calibrated window the curve interpolates through the
+    standards exactly; outside it, ``extrapolation`` decides (see
+    :data:`EXTRAPOLATION_MODES`).  The global log-log *fit* behind the
+    ``"fit"`` mode comes from
+    :func:`repro.inference.doseresponse.loglinear_fit` — the one
+    log-linear regression in the library.
+    """
 
     points: list[CalibrationPoint]
+    extrapolation: str = "clamp"
 
     def __post_init__(self) -> None:
         if len(self.points) < 2:
             raise ValueError("calibration needs at least two standards")
+        if self.extrapolation not in EXTRAPOLATION_MODES:
+            raise ValueError(
+                f"unknown extrapolation mode {self.extrapolation!r}; "
+                f"choose from {EXTRAPOLATION_MODES}"
+            )
         concs = [p.concentration for p in self.points]
         if any(b <= a for a, b in zip(concs, concs[1:])):
             raise ValueError("standards must have strictly increasing concentrations")
@@ -51,10 +72,49 @@ class CalibrationCurve:
     def range(self) -> tuple[float, float]:
         return (self.points[0].concentration, self.points[-1].concentration)
 
-    def concentration_for_count(self, count: float) -> float:
-        """Invert the curve (log-log linear interpolation, clamped)."""
+    @property
+    def count_range(self) -> tuple[float, float]:
+        return (self.points[0].median_count, self.points[-1].median_count)
+
+    def fit(self):
+        """The global log-log regression of the standards:
+        ``log10(count) = a + b·log10(concentration)``, with covariance
+        (an :class:`~repro.inference.doseresponse.LogLinearFit`)."""
+        from ..inference.doseresponse import loglinear_fit
+
+        return loglinear_fit(
+            [p.concentration for p in self.points],
+            [p.median_count for p in self.points],
+            log_y=True,
+        )
+
+    def concentration_for_count(self, count: float, extrapolation: str | None = None) -> float:
+        """Invert the curve (log-log linear interpolation inside the
+        calibrated count window).
+
+        Out-of-range counts follow ``extrapolation`` (defaulting to the
+        curve's own mode): ``"clamp"`` returns the edge standard's
+        concentration, ``"raise"`` raises ``ValueError``, ``"fit"``
+        extends the fitted log-log line.  A non-positive count is 0.0
+        in every mode (an empty spot is below any calibration).
+        """
+        mode = self.extrapolation if extrapolation is None else extrapolation
+        if mode not in EXTRAPOLATION_MODES:
+            raise ValueError(
+                f"unknown extrapolation mode {mode!r}; choose from {EXTRAPOLATION_MODES}"
+            )
         if count <= 0:
             return 0.0
+        low, high = self.count_range
+        if not low <= count <= high:
+            if mode == "raise":
+                raise ValueError(
+                    f"count {count:g} outside the calibrated window "
+                    f"[{low:g}, {high:g}]; re-measure a diluted/concentrated "
+                    f"sample or use extrapolation='clamp'/'fit'"
+                )
+            if mode == "fit":
+                return float(np.asarray(self.fit().invert(count)).item())
         log_counts = np.log10([p.median_count for p in self.points])
         log_concs = np.log10([p.concentration for p in self.points])
         log_c = np.interp(np.log10(count), log_counts, log_concs)

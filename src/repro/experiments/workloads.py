@@ -236,14 +236,29 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
         "n_match_sites": int(records["is_match"].sum()),
         "n_probe_sites": int(sum(1 for s in sites if s.probe_name)),
     }
-    match = records["sensor_current_a"][records["is_match"]]
-    nonmatch = records["sensor_current_a"][
-        ~records["is_match"] & (records["probe"] != "").astype(bool)
-    ]
+    match_mask = records["is_match"]
+    nonmatch_mask = ~match_mask & (records["probe"] != "").astype(bool)
+    match = records["sensor_current_a"][match_mask]
+    nonmatch = records["sensor_current_a"][nonmatch_mask]
     if len(match) and len(nonmatch):
         metrics["median_match_current_a"] = float(np.median(match))
         metrics["median_nonmatch_current_a"] = float(np.median(nonmatch))
         metrics["discrimination_ratio"] = float(np.median(match) / np.median(nonmatch))
+        # Spot-to-spot spreads: the nonmatch sigma is the per-chip blank
+        # noise the 3σ-LoD criterion in repro.inference rests on.
+        metrics["match_current_sigma_a"] = (
+            float(match.std(ddof=1)) if len(match) > 1 else 0.0
+        )
+        metrics["nonmatch_current_sigma_a"] = (
+            float(nonmatch.std(ddof=1)) if len(nonmatch) > 1 else 0.0
+        )
+        # The *measured* twins (post ADC + calibration + counting noise):
+        # chemistry currents are deterministic per layout, so replicate
+        # spread — what a dose–response CI is about — only shows here.
+        match_est = records["current_estimate_a"][match_mask]
+        nonmatch_est = records["current_estimate_a"][nonmatch_mask]
+        metrics["median_match_estimate_a"] = float(np.median(match_est))
+        metrics["median_nonmatch_estimate_a"] = float(np.median(nonmatch_est))
     positive = records["current_estimate_a"][records["current_estimate_a"] > 0]
     if len(positive):
         metrics["current_span_decades"] = float(np.log10(positive.max() / positive.min()))

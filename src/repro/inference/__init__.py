@@ -1,0 +1,134 @@
+"""Statistical inference over campaign results.
+
+The layer between :mod:`repro.campaigns` and a scientific answer: the
+paper's headline results are statistical claims (a calibration curve
+with a limit of detection, a match/mismatch separation, a chip-yield
+distribution), and this package computes them — with uncertainty — from
+any stored campaign::
+
+    from repro.inference import analyze
+
+    report = analyze("fig4-campaign/")          # a JSONL campaign dir
+    print(report.to_text())                     # or .to_markdown() / .to_json()
+    print(report.scalars["lod"])                # 3σ-blank limit of detection
+
+Sub-modules, usable standalone:
+
+* :mod:`~repro.inference.bootstrap` — seeded, vectorized resampling:
+  CIs for any scalar statistic, bit-reproducible anywhere;
+* :mod:`~repro.inference.doseresponse` — log-linear and Hill/Langmuir
+  dose–response fits with covariance, LoD/LoQ/dynamic range;
+* :mod:`~repro.inference.detection` — ROC/AUC hybridization calling
+  and threshold selection at a target false-positive rate;
+* :mod:`~repro.inference.yield_stats` — pass/fail yield with Wilson
+  intervals, dead-pixel rates, per-chip spread;
+* :mod:`~repro.inference.tabulate` — columnar access to stores (the
+  campaign report tables are built on it);
+* :mod:`~repro.inference.specs` — the ``AnalysisSpec`` registry that
+  makes analyses declarative and CLI-addressable, mirroring
+  :mod:`repro.experiments.specs`.
+"""
+
+from .bootstrap import (
+    STATISTICS,
+    BootstrapCI,
+    bootstrap_ci,
+    normal_ppf,
+    resample_statistics,
+)
+from .detection import (
+    OperatingPoint,
+    RocCurve,
+    SeparationStats,
+    auc_score,
+    bootstrap_auc,
+    match_mismatch_scores,
+    operating_point,
+    roc_curve,
+    separation_stats,
+)
+from .doseresponse import (
+    MODELS,
+    DoseResponse,
+    HillFit,
+    LogLinearFit,
+    LoglinearBootstrap,
+    analyze_dose_response,
+    bootstrap_loglinear,
+    hill_fit,
+    loglinear_fit,
+)
+from .report import AnalysisReport, ReportTable
+from .specs import (
+    AnalysisSpec,
+    DetectionAnalysis,
+    DoseResponseAnalysis,
+    YieldAnalysis,
+    analysis_from_dict,
+    analysis_kinds,
+    analysis_type,
+    analyze,
+    default_analysis_for,
+    register_analysis,
+)
+from .tabulate import CampaignFrame, report_rows
+from .yield_stats import (
+    CRITERIA,
+    DeadPixelStats,
+    SpreadStats,
+    YieldStats,
+    apply_criterion,
+    dead_pixel_stats,
+    pass_fail_yield,
+    spread,
+    wilson_interval,
+)
+
+__all__ = [
+    "CRITERIA",
+    "MODELS",
+    "STATISTICS",
+    "AnalysisReport",
+    "AnalysisSpec",
+    "BootstrapCI",
+    "CampaignFrame",
+    "DeadPixelStats",
+    "DetectionAnalysis",
+    "DoseResponse",
+    "DoseResponseAnalysis",
+    "HillFit",
+    "LogLinearFit",
+    "LoglinearBootstrap",
+    "OperatingPoint",
+    "ReportTable",
+    "RocCurve",
+    "SeparationStats",
+    "SpreadStats",
+    "YieldAnalysis",
+    "YieldStats",
+    "analysis_from_dict",
+    "analysis_kinds",
+    "analysis_type",
+    "analyze",
+    "analyze_dose_response",
+    "apply_criterion",
+    "auc_score",
+    "bootstrap_auc",
+    "bootstrap_ci",
+    "bootstrap_loglinear",
+    "dead_pixel_stats",
+    "default_analysis_for",
+    "hill_fit",
+    "loglinear_fit",
+    "match_mismatch_scores",
+    "normal_ppf",
+    "operating_point",
+    "pass_fail_yield",
+    "register_analysis",
+    "report_rows",
+    "resample_statistics",
+    "roc_curve",
+    "separation_stats",
+    "spread",
+    "wilson_interval",
+]

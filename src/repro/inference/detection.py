@@ -1,0 +1,235 @@
+"""Hybridization calling: match/mismatch separation, ROC and thresholds.
+
+The chip's qualitative claim ("matching sites light up, mismatched
+sites don't") becomes quantitative here: per-spot scores split into a
+match population and a mismatch/background population, an ROC curve
+over every possible calling threshold, the AUC as the single-number
+separability, and the operating threshold at a target false-positive
+rate — the number an assay protocol would actually ship with.
+
+All curve construction is vectorized (one sort), and the AUC bootstrap
+resamples both populations in one ``(B, n)`` block with ranks computed
+per row — no Python-level loop over resamples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import SeedTree
+
+# NumPy 2 renamed trapz -> trapezoid; the package floor is 1.22.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def _as_scores(values, name: str) -> np.ndarray:
+    scores = np.asarray(values, dtype=float).ravel()
+    if len(scores) == 0:
+        raise ValueError(f"{name} scores are empty")
+    return scores
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """TPR/FPR over descending score thresholds (prepended (0, 0))."""
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+    auc: float
+    n_pos: int
+    n_neg: int
+
+
+def roc_curve(pos_scores, neg_scores) -> RocCurve:
+    """The ROC of "call hybridized when score >= threshold".
+
+    One stable descending sort over the pooled scores; tied scores
+    collapse to a single operating point so the curve never cuts
+    through a tie.  The trapezoidal area equals the Mann–Whitney AUC of
+    :func:`auc_score`.
+    """
+    pos = _as_scores(pos_scores, "positive")
+    neg = _as_scores(neg_scores, "negative")
+    scores = np.concatenate([pos, neg])
+    labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
+    order = np.argsort(-scores, kind="stable")
+    scores = scores[order]
+    labels = labels[order]
+    tps = np.cumsum(labels)
+    fps = np.cumsum(1.0 - labels)
+    # Keep only the last index of each run of equal scores.
+    distinct = np.append(np.diff(scores) != 0, True)
+    tpr = np.concatenate([[0.0], tps[distinct] / len(pos)])
+    fpr = np.concatenate([[0.0], fps[distinct] / len(neg)])
+    thresholds = np.concatenate([[float("inf")], scores[distinct]])
+    auc = float(_trapezoid(tpr, fpr))
+    return RocCurve(
+        thresholds=thresholds, fpr=fpr, tpr=tpr, auc=auc, n_pos=len(pos), n_neg=len(neg)
+    )
+
+
+def auc_score(pos_scores, neg_scores) -> float:
+    """Mann–Whitney AUC with exact tie handling (averaged ranks)."""
+    pos = _as_scores(pos_scores, "positive")
+    neg = _as_scores(neg_scores, "negative")
+    scores = np.concatenate([pos, neg])
+    # Tie-averaged ranks: rank runs of equal values by their mean rank.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    boundaries = np.concatenate(
+        [[0], np.nonzero(np.diff(sorted_scores))[0] + 1, [len(scores)]]
+    )
+    base = np.arange(1, len(scores) + 1, dtype=float)
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        base[start:stop] = base[start:stop].mean()
+    ranks[order] = base
+    rank_sum = float(ranks[: len(pos)].sum())
+    u = rank_sum - len(pos) * (len(pos) + 1) / 2.0
+    return u / (len(pos) * len(neg))
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """The calling threshold chosen at a target false-positive rate."""
+
+    threshold: float
+    fpr: float
+    tpr: float
+    target_fpr: float
+
+
+def operating_point(roc: RocCurve, target_fpr: float = 0.01) -> OperatingPoint:
+    """Highest-sensitivity point with ``fpr <= target_fpr``.
+
+    The ROC is stepwise, so this is the last curve vertex not past the
+    target; the returned ``fpr`` is the rate actually achieved there
+    (<= target, possibly 0).
+    """
+    if not 0.0 <= target_fpr <= 1.0:
+        raise ValueError("target_fpr must lie in [0, 1]")
+    eligible = np.nonzero(roc.fpr <= target_fpr)[0]
+    index = int(eligible[-1])  # fpr is non-decreasing; last one is best
+    return OperatingPoint(
+        threshold=float(roc.thresholds[index]),
+        fpr=float(roc.fpr[index]),
+        tpr=float(roc.tpr[index]),
+        target_fpr=float(target_fpr),
+    )
+
+
+@dataclass(frozen=True)
+class SeparationStats:
+    """Distribution-level separation between match and mismatch spots."""
+
+    n_match: int
+    n_mismatch: int
+    median_match: float
+    median_mismatch: float
+    median_ratio: float
+    d_prime: float
+    auc: float
+
+
+def separation_stats(pos_scores, neg_scores) -> SeparationStats:
+    pos = _as_scores(pos_scores, "positive")
+    neg = _as_scores(neg_scores, "negative")
+    median_pos = float(np.median(pos))
+    median_neg = float(np.median(neg))
+    pooled = 0.5 * (pos.var(ddof=1) if len(pos) > 1 else 0.0) + 0.5 * (
+        neg.var(ddof=1) if len(neg) > 1 else 0.0
+    )
+    d_prime = (
+        float((pos.mean() - neg.mean()) / math.sqrt(pooled)) if pooled > 0 else float("inf")
+    )
+    return SeparationStats(
+        n_match=len(pos),
+        n_mismatch=len(neg),
+        median_match=median_pos,
+        median_mismatch=median_neg,
+        median_ratio=median_pos / median_neg if median_neg > 0 else float("inf"),
+        d_prime=d_prime,
+        auc=auc_score(pos, neg),
+    )
+
+
+def bootstrap_auc(
+    pos_scores,
+    neg_scores,
+    *,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+    label: tuple = (),
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the AUC, vectorized across resamples.
+
+    Both populations resample independently; per-resample AUC comes
+    from rank sums computed row-wise over the whole block (ties broken
+    by sort order — scores here are continuous currents, where exact
+    ties only occur for duplicated values, which resampling preserves
+    on both sides).
+    """
+    pos = _as_scores(pos_scores, "positive")
+    neg = _as_scores(neg_scores, "negative")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    rng = SeedTree(int(seed)).generator(
+        "inference", "detection", "auc-bootstrap", len(pos), len(neg), int(n_resamples), *label
+    )
+    n_pos, n_neg = len(pos), len(neg)
+    m = n_pos + n_neg
+    # Both index matrices are drawn up front (so the stream never
+    # depends on block size); only the rank workspace is row-blocked to
+    # stay within the bootstrap engine's memory budget.
+    pos_idx = rng.integers(0, n_pos, size=(int(n_resamples), n_pos))
+    neg_idx = rng.integers(0, n_neg, size=(int(n_resamples), n_neg))
+    from .bootstrap import MAX_BLOCK_ELEMENTS
+
+    block_rows = max(1, MAX_BLOCK_ELEMENTS // m)
+    aucs: list[np.ndarray] = []
+    for start in range(0, int(n_resamples), block_rows):
+        stop = min(start + block_rows, int(n_resamples))
+        combined = np.concatenate(
+            [pos[pos_idx[start:stop]], neg[neg_idx[start:stop]]], axis=1
+        )
+        order = np.argsort(combined, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(ranks, order, np.arange(1, m + 1)[None, :], axis=1)
+        rank_sum = ranks[:, :n_pos].sum(axis=1).astype(float)
+        aucs.append((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+    distribution = np.concatenate(aucs)
+    alpha = 1.0 - confidence
+    low, high = np.quantile(distribution, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return (float(low), float(high))
+
+
+def match_mismatch_scores(
+    result, score_column: str = "sensor_current_a"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``dna_assay`` ResultSet's spots into (match, mismatch)
+    score arrays.
+
+    Matches are the perfectly complementary sites; the negative
+    population is every *probe-bearing* non-match site (mismatched or
+    unaddressed probes) — empty control/background spots carry no probe
+    and belong to neither population.
+    """
+    records = result.records if hasattr(result, "records") else result
+    try:
+        scores = np.asarray(records[score_column], dtype=float)
+        is_match = np.asarray(records["is_match"], dtype=bool)
+        probe = np.asarray(records["probe"], dtype=object)
+    except KeyError as error:
+        raise KeyError(
+            f"result lacks column {error.args[0]!r}; detection needs "
+            f"{score_column!r}, 'is_match' and 'probe' columns"
+        ) from None
+    has_probe = np.asarray([bool(name) for name in probe])
+    return scores[is_match], scores[~is_match & has_probe]

@@ -1,0 +1,550 @@
+"""Dose–response model fits and calibration-curve statistics.
+
+The Fig. 4 concentration series is, statistically, a calibration curve:
+response vs concentration, a model fit with parameter covariance, and
+the derived quantities a sensor datasheet reports — limit of detection
+(3σ-blank criterion), limit of quantification (10σ), and dynamic range.
+Two models cover the paper's regimes:
+
+* **log-linear** — ``response = a + b·log10(c)`` (or ``log10(response)``
+  when ``log_y``, the power-law form the chip's count-vs-concentration
+  curve follows below saturation).  Closed-form least squares with
+  exact covariance — and therefore *vectorizable across bootstrap
+  resamples* (see :func:`bootstrap_loglinear`).
+* **Hill / Langmuir** — ``r = bottom + (top-bottom)·cⁿ/(Kⁿ+cⁿ)``,
+  the saturating binding isotherm (Langmuir is ``n = 1``), fitted by a
+  damped Gauss–Newton (Levenberg–Marquardt) loop in pure NumPy.
+
+Everything here is deterministic given its inputs; the only random
+element, the resampling in :func:`bootstrap_loglinear`, routes through
+the same seeded generator scheme as :mod:`repro.inference.bootstrap`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.rng import SeedTree
+
+LN10 = math.log(10.0)
+
+
+# ---------------------------------------------------------------------------
+# Log-linear model (closed form)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogLinearFit:
+    """``u = intercept + slope · log10(x)`` with ``u`` either the raw
+    response or ``log10(response)`` (``log_y``)."""
+
+    intercept: float
+    slope: float
+    log_y: bool
+    intercept_se: float
+    slope_se: float
+    covariance: tuple[tuple[float, float], tuple[float, float]]
+    r_squared: float
+    rmse: float  # residual std (fit space), ddof = 2
+    n_points: int
+
+    def predict(self, x) -> np.ndarray:
+        """Model response at concentration ``x`` (response space)."""
+        x = np.asarray(x, dtype=float)
+        u = self.intercept + self.slope * np.log10(x)
+        return np.power(10.0, u) if self.log_y else u
+
+    def invert(self, y) -> np.ndarray:
+        """Concentration producing response ``y`` (NaN where the model
+        cannot produce ``y``, e.g. non-positive ``y`` under ``log_y``)."""
+        y = np.asarray(y, dtype=float)
+        if self.log_y:
+            u = np.where(y > 0, np.log10(np.where(y > 0, y, 1.0)), np.nan)
+        else:
+            u = y
+        if self.slope == 0.0:
+            return np.full_like(u, np.nan)
+        return np.power(10.0, (u - self.intercept) / self.slope)
+
+    def residuals(self, x, y) -> np.ndarray:
+        """Fit-space residuals of ``(x, y)`` against the model."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        u = np.log10(y) if self.log_y else y
+        return u - (self.intercept + self.slope * np.log10(x))
+
+
+def loglinear_fit(x, y, *, log_y: bool = False) -> LogLinearFit:
+    """Least-squares ``u = a + b·log10(x)`` with parameter covariance.
+
+    ``x`` must be strictly positive (it is a concentration axis); under
+    ``log_y`` so must ``y``.  Needs at least two distinct ``x`` values;
+    standard errors need at least three points (they are 0.0 at exactly
+    two, where the fit is an interpolation with no residual).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    if np.any(x <= 0):
+        raise ValueError("concentrations must be strictly positive")
+    if log_y and np.any(y <= 0):
+        raise ValueError("log_y requires strictly positive responses")
+    t = np.log10(x)
+    u = np.log10(y) if log_y else y
+    t_mean = t.mean()
+    sxx = float(np.sum((t - t_mean) ** 2))
+    if sxx == 0.0:
+        raise ValueError("need at least two distinct x values")
+    slope = float(np.sum((t - t_mean) * (u - u.mean())) / sxx)
+    intercept = float(u.mean() - slope * t_mean)
+    residuals = u - (intercept + slope * t)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((u - u.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    dof = len(x) - 2
+    sigma2 = ss_res / dof if dof > 0 else 0.0
+    var_slope = sigma2 / sxx
+    var_intercept = sigma2 * (1.0 / len(x) + t_mean**2 / sxx)
+    cov_ab = -sigma2 * t_mean / sxx
+    return LogLinearFit(
+        intercept=intercept,
+        slope=slope,
+        log_y=log_y,
+        intercept_se=math.sqrt(var_intercept),
+        slope_se=math.sqrt(var_slope),
+        covariance=((var_intercept, cov_ab), (cov_ab, var_slope)),
+        r_squared=r_squared,
+        rmse=math.sqrt(sigma2),
+        n_points=len(x),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hill / Langmuir model (Levenberg–Marquardt)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class HillFit:
+    """``r = bottom + (top-bottom) · xⁿ / (Kⁿ + xⁿ)`` (``K`` = EC50)."""
+
+    bottom: float
+    top: float
+    ec50: float
+    hill_n: float
+    param_se: tuple[float, float, float, float]  # (bottom, top, ec50, n)
+    r_squared: float
+    rmse: float
+    n_points: int
+    converged: bool
+    n_iter: int
+
+    def predict(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        s = np.power(self.ec50 / x, self.hill_n)
+        return self.bottom + (self.top - self.bottom) / (1.0 + s)
+
+    def invert(self, y) -> np.ndarray:
+        """Concentration at response ``y`` (NaN outside (bottom, top))."""
+        y = np.asarray(y, dtype=float)
+        span_ok = (y > min(self.bottom, self.top)) & (y < max(self.bottom, self.top))
+        frac = np.where(span_ok, (y - self.bottom) / (self.top - y), np.nan)
+        return self.ec50 * np.power(frac, 1.0 / self.hill_n)
+
+    @property
+    def span(self) -> float:
+        return self.top - self.bottom
+
+
+def _hill_model_and_jacobian(theta: np.ndarray, x: np.ndarray):
+    bottom, top, log_k, n = theta
+    s = np.power(10.0**log_k / x, n)  # (K/x)^n
+    inv = 1.0 / (1.0 + s)
+    f = bottom + (top - bottom) * inv
+    span = top - bottom
+    d_bottom = s * inv
+    d_top = inv
+    d_logk = -span * n * s * LN10 * inv**2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_ratio = np.log(10.0**log_k / x)
+    d_n = -span * s * log_ratio * inv**2
+    return f, np.column_stack([d_bottom, d_top, d_logk, d_n])
+
+
+def hill_fit(
+    x,
+    y,
+    *,
+    fix_hill_n: Optional[float] = None,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+) -> HillFit:
+    """Fit the Hill equation by Levenberg–Marquardt (pure NumPy).
+
+    ``fix_hill_n=1.0`` pins the cooperativity to the Langmuir isotherm.
+    Initialisation is data-driven (bottom/top from the response range,
+    EC50 from the geometric mid of the concentration span); covariance
+    is the usual ``σ² (JᵀJ)⁻¹`` at the optimum.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if np.any(x <= 0):
+        raise ValueError("concentrations must be strictly positive")
+    free = [0, 1, 2] if fix_hill_n is not None else [0, 1, 2, 3]
+    if len(x) < len(free) + 1:
+        raise ValueError(f"need at least {len(free) + 1} points for a Hill fit")
+    y_lo, y_hi = float(y.min()), float(y.max())
+    if y_hi == y_lo:
+        raise ValueError("responses are constant; nothing to fit")
+    theta = np.array(
+        [
+            y_lo,
+            y_hi,
+            0.5 * (np.log10(x.min()) + np.log10(x.max())),
+            1.0 if fix_hill_n is None else float(fix_hill_n),
+        ]
+    )
+    f, jac = _hill_model_and_jacobian(theta, x)
+    ssr = float(np.sum((y - f) ** 2))
+    lam = 1e-3
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        residual = y - f
+        j_free = jac[:, free]
+        jtj = j_free.T @ j_free
+        jtr = j_free.T @ residual
+        try:
+            step = np.linalg.solve(jtj + lam * np.diag(np.diag(jtj)) + 1e-300 * np.eye(len(free)), jtr)
+        except np.linalg.LinAlgError:
+            lam *= 10.0
+            continue
+        trial = theta.copy()
+        trial[free] += step
+        # Keep the exponent physical; reject absurd EC50 excursions.
+        trial[3] = float(np.clip(trial[3], 0.05, 10.0))
+        f_trial, jac_trial = _hill_model_and_jacobian(trial, x)
+        ssr_trial = float(np.sum((y - f_trial) ** 2))
+        if np.isfinite(ssr_trial) and ssr_trial <= ssr:
+            improvement = ssr - ssr_trial
+            theta, f, jac, ssr = trial, f_trial, jac_trial, ssr_trial
+            lam = max(lam / 3.0, 1e-12)
+            if improvement <= tol * (ssr + tol):
+                converged = True
+                break
+        else:
+            lam *= 5.0
+            if lam > 1e12:
+                break
+    dof = len(x) - len(free)
+    sigma2 = ssr / dof if dof > 0 else 0.0
+    j_free = jac[:, free]
+    try:
+        cov_free = sigma2 * np.linalg.inv(j_free.T @ j_free)
+        se = np.sqrt(np.clip(np.diag(cov_free), 0.0, None))
+    except np.linalg.LinAlgError:
+        se = np.full(len(free), np.nan)
+    se_full = np.zeros(4)
+    se_full[free] = se
+    bottom, top, log_k, n = theta
+    ec50 = float(10.0**log_k)
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return HillFit(
+        bottom=float(bottom),
+        top=float(top),
+        ec50=ec50,
+        hill_n=float(n),
+        param_se=(
+            float(se_full[0]),
+            float(se_full[1]),
+            float(ec50 * LN10 * se_full[2]),  # log10-K SE mapped to K
+            float(se_full[3]),
+        ),
+        r_squared=1.0 - ssr / ss_tot if ss_tot > 0 else 1.0,
+        rmse=math.sqrt(sigma2),
+        n_points=len(x),
+        converged=converged,
+        n_iter=iteration,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The full dose–response analysis
+# ---------------------------------------------------------------------------
+MODELS = ("loglinear", "loglog", "hill", "langmuir")
+
+
+@dataclass(frozen=True)
+class DoseResponse:
+    """A fitted calibration curve plus its detection figures of merit."""
+
+    model: str
+    fit: Union[LogLinearFit, HillFit]
+    blank_mean: float
+    blank_sigma: float
+    blank_n: int
+    blank_source: str  # "blank" | "zero-concentration" | "fit-residual"
+    lod_sigma: float
+    loq_sigma: float
+    lod: float
+    loq: float
+    range_low: float
+    range_high: float
+    dynamic_range_decades: float
+
+    @property
+    def increasing(self) -> bool:
+        if isinstance(self.fit, LogLinearFit):
+            return self.fit.slope > 0
+        return self.fit.top > self.fit.bottom
+
+
+def _critical_concentration(fit, blank_mean: float, delta: float) -> float:
+    """Concentration whose model response sits ``delta`` above (below,
+    for falling curves) the blank — NaN when the model never gets
+    there."""
+    if isinstance(fit, LogLinearFit):
+        direction = 1.0 if fit.slope > 0 else -1.0
+    else:
+        direction = 1.0 if fit.top > fit.bottom else -1.0
+    value = float(np.asarray(fit.invert(blank_mean + direction * delta)).item())
+    return value if math.isfinite(value) and value > 0 else float("nan")
+
+
+def analyze_dose_response(
+    concentrations,
+    responses,
+    *,
+    model: str = "loglinear",
+    blank_responses=None,
+    lod_sigma: float = 3.0,
+    loq_sigma: float = 10.0,
+) -> DoseResponse:
+    """Fit a dose–response model and derive LoD / LoQ / dynamic range.
+
+    Zero-concentration points are excluded from the fit and — when no
+    explicit ``blank_responses`` are given — serve as the blank pool for
+    the 3σ criterion.  With neither blanks nor zero-dose points, the
+    blank level falls back to the model response at the lowest measured
+    dose with the fit-space RMSE as its σ (flagged ``"fit-residual"``).
+    """
+    x = np.asarray(concentrations, dtype=float).ravel()
+    y = np.asarray(responses, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError("concentrations and responses must have equal length")
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {MODELS}")
+    if lod_sigma <= 0 or loq_sigma < lod_sigma:
+        raise ValueError("need 0 < lod_sigma <= loq_sigma")
+    positive = x > 0
+    x_fit, y_fit = x[positive], y[positive]
+    if len(x_fit) < 2:
+        raise ValueError("need at least two positive-concentration points")
+
+    if model in ("hill", "langmuir"):
+        fit: Union[LogLinearFit, HillFit] = hill_fit(
+            x_fit, y_fit, fix_hill_n=1.0 if model == "langmuir" else None
+        )
+    else:
+        fit = loglinear_fit(x_fit, y_fit, log_y=(model == "loglog"))
+
+    if blank_responses is not None:
+        blanks = np.asarray(blank_responses, dtype=float).ravel()
+        source = "blank"
+    elif np.any(~positive):
+        blanks = y[~positive]
+        source = "zero-concentration"
+    else:
+        blanks = np.asarray([])
+        source = "fit-residual"
+    if source == "fit-residual" or len(blanks) < 2:
+        # Model response at the lowest dose, σ from the fit residuals
+        # mapped back to response space at that point.
+        low_response = float(np.asarray(fit.predict(x_fit.min())).item())
+        if isinstance(fit, LogLinearFit) and fit.log_y:
+            sigma = low_response * (10.0**fit.rmse - 1.0)
+        else:
+            sigma = fit.rmse
+        if len(blanks) >= 1:
+            blank_mean = float(blanks.mean())
+            blank_n = len(blanks)
+        else:
+            blank_mean, blank_n = low_response, 0
+            source = "fit-residual"
+        blank_sigma = float(sigma)
+    else:
+        blank_mean = float(blanks.mean())
+        blank_sigma = float(blanks.std(ddof=1))
+        blank_n = len(blanks)
+
+    lod = _critical_concentration(fit, blank_mean, lod_sigma * blank_sigma)
+    loq = _critical_concentration(fit, blank_mean, loq_sigma * blank_sigma)
+    range_low = loq if math.isfinite(loq) else lod
+    if not math.isfinite(range_low):
+        range_low = float(x_fit.min())
+    range_low = max(range_low, 0.0)
+    if isinstance(fit, HillFit):
+        # Saturation end: 90% of the fitted span.
+        range_high = float(
+            np.asarray(fit.invert(fit.bottom + 0.9 * (fit.top - fit.bottom))).item()
+        )
+        if not math.isfinite(range_high):
+            range_high = float(x_fit.max())
+    else:
+        range_high = float(x_fit.max())
+    decades = (
+        math.log10(range_high / range_low)
+        if range_low > 0 and range_high > range_low
+        else 0.0
+    )
+    return DoseResponse(
+        model=model,
+        fit=fit,
+        blank_mean=blank_mean,
+        blank_sigma=blank_sigma,
+        blank_n=blank_n,
+        blank_source=source,
+        lod_sigma=float(lod_sigma),
+        loq_sigma=float(loq_sigma),
+        lod=lod,
+        loq=loq,
+        range_low=range_low,
+        range_high=range_high,
+        dynamic_range_decades=decades,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized pairs bootstrap (log-linear models only — closed form)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoglinearBootstrap:
+    """Percentile CIs from a vectorized pairs bootstrap of the fit."""
+
+    slope: tuple[float, float]
+    intercept: tuple[float, float]
+    lod: tuple[float, float]
+    n_valid: int  # resamples with a well-posed fit and reachable LoD
+    n_resamples: int
+    confidence: float
+    seed: int
+
+
+def bootstrap_loglinear(
+    concentrations,
+    responses,
+    *,
+    log_y: bool = False,
+    blank_responses=None,
+    lod_sigma: float = 3.0,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+    label: tuple = (),
+) -> LoglinearBootstrap:
+    """Pairs-bootstrap the log-linear calibration — slope, intercept and
+    LoD intervals — with every resample's fit computed in closed form
+    across the whole ``(B, n)`` block at once.
+
+    ``(x, y)`` pairs are resampled jointly; blanks are resampled
+    independently, so the LoD distribution carries both the curve
+    uncertainty and the blank-level uncertainty.  The blank pool
+    mirrors :func:`analyze_dose_response` exactly: explicit
+    ``blank_responses`` first, else zero-concentration points, else the
+    per-resample fit-residual σ — so the CI always brackets the same
+    LoD definition the point estimate used.  Degenerate resamples (a
+    single distinct dose, an unreachable critical level) are dropped
+    from the quantiles and counted out of ``n_valid``.
+    """
+    x = np.asarray(concentrations, dtype=float).ravel()
+    y = np.asarray(responses, dtype=float).ravel()
+    keep = x > 0
+    if blank_responses is None and np.any(~keep):
+        blank_responses = y[~keep]
+    x, y = x[keep], y[keep]
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two positive-concentration points")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    t = np.log10(x)
+    u = np.log10(y) if log_y else y
+    rng = SeedTree(int(seed)).generator(
+        "inference", "doseresponse", "pairs-bootstrap", n, int(n_resamples), *label
+    )
+    idx = rng.integers(0, n, size=(int(n_resamples), n))
+    tb, ub = t[idx], u[idx]
+    t_mean = tb.mean(axis=1, keepdims=True)
+    u_mean = ub.mean(axis=1, keepdims=True)
+    sxx = np.sum((tb - t_mean) ** 2, axis=1)
+    sxy = np.sum((tb - t_mean) * (ub - u_mean), axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(sxx > 0, sxy / np.where(sxx > 0, sxx, 1.0), np.nan)
+    intercept = u_mean.ravel() - slope * t_mean.ravel()
+
+    blanks = (
+        np.asarray(blank_responses, dtype=float).ravel()
+        if blank_responses is not None
+        else np.asarray([])
+    )
+    if len(blanks) >= 2:
+        bidx = rng.integers(0, len(blanks), size=(int(n_resamples), len(blanks)))
+        bb = blanks[bidx]
+        blank_mean = bb.mean(axis=1)
+        blank_sigma = bb.std(axis=1, ddof=1)
+    else:
+        # Residual-σ fallback, recomputed per resample — the same split
+        # analyze_dose_response makes: a single blank still anchors the
+        # level, only its σ comes from the fit residuals.
+        dof = max(n - 2, 1)
+        resid = ub - (intercept[:, None] + slope[:, None] * tb)
+        rmse = np.sqrt(np.sum(resid**2, axis=1) / dof)
+        low_u = intercept + slope * t.min()
+        if log_y:
+            low_response = 10.0**low_u
+            blank_mean = low_response
+            blank_sigma = low_response * (10.0**rmse - 1.0)
+        else:
+            blank_mean = low_u
+            blank_sigma = rmse
+        if len(blanks) == 1:
+            blank_mean = np.full(int(n_resamples), blanks.mean())
+
+    direction = np.where(slope > 0, 1.0, -1.0)
+    y_crit = blank_mean + direction * lod_sigma * blank_sigma
+    if log_y:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u_crit = np.where(y_crit > 0, np.log10(np.where(y_crit > 0, y_crit, 1.0)), np.nan)
+    else:
+        u_crit = y_crit
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lod = np.power(10.0, (u_crit - intercept) / slope)
+    lod = np.where(np.isfinite(lod) & (lod > 0), lod, np.nan)
+
+    alpha = 1.0 - confidence
+    quantiles = (alpha / 2.0, 1.0 - alpha / 2.0)
+
+    def _ci(values: np.ndarray) -> tuple[float, float]:
+        finite = values[np.isfinite(values)]
+        if len(finite) == 0:
+            return (float("nan"), float("nan"))
+        lo, hi = np.quantile(finite, quantiles)
+        return (float(lo), float(hi))
+
+    return LoglinearBootstrap(
+        slope=_ci(slope),
+        intercept=_ci(intercept),
+        lod=_ci(lod),
+        n_valid=int(np.isfinite(lod).sum()),
+        n_resamples=int(n_resamples),
+        confidence=float(confidence),
+        seed=int(seed),
+    )

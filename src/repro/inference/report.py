@@ -1,0 +1,139 @@
+"""The uniform analysis report: scalars + tables, JSON/markdown/text.
+
+Every analysis returns one :class:`AnalysisReport` — the analysis spec
+that produced it, a provenance block about the source campaign, a flat
+``scalars`` mapping (the headline numbers), and ordered tables.  The
+three renderings serve the three consumers: ``to_dict``/``to_json`` for
+machines (deterministic: sorted keys, floats via repr, NaN/inf mapped
+to null so the payload is strict JSON), ``to_markdown`` for docs and
+PRs, ``to_text`` for the terminal (via :mod:`repro.core.tables`, so
+``repro analyze`` output matches the rest of the CLI).
+
+Reports deliberately carry **no wall-clock or executor fields**: a
+report is a pure function of the stored campaign data and the analysis
+spec, so the same campaign analysed twice — or run serial vs process,
+stored in memory vs JSONL — yields byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.tables import format_cell, render_kv, render_table
+
+
+def _json_safe(value: Any) -> Any:
+    """Plain-python, strict-JSON-serializable copy of ``value``."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return value
+
+
+def _md_cell(value: Any) -> str:
+    text = format_cell(value) if not isinstance(value, str) else value
+    return text.replace("|", "\\|")
+
+
+@dataclass
+class ReportTable:
+    """One titled table of an analysis report."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [_json_safe(row) for row in self.rows],
+        }
+
+    def to_text(self) -> str:
+        if not self.rows:
+            return f"{self.title}\n(no rows)"
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.headers) + " |")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_md_cell(cell) for cell in row) + " |")
+        return "\n".join(lines)
+
+
+@dataclass
+class AnalysisReport:
+    """What every analysis spec's ``run`` hands back."""
+
+    kind: str
+    analysis: dict[str, Any]  # the spec's to_dict()
+    source: dict[str, Any]  # campaign provenance (no wall times)
+    scalars: dict[str, Any] = field(default_factory=dict)
+    tables: list[ReportTable] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-analysis/1",
+            "kind": self.kind,
+            "analysis": _json_safe(self.analysis),
+            "source": _json_safe(self.source),
+            "scalars": _json_safe(self.scalars),
+            "tables": [table.to_dict() for table in self.tables],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, allow_nan=False)
+
+    def to_text(self) -> str:
+        blocks = [render_kv(f"analysis: {self.kind}", sorted(self.source.items()))]
+        if self.scalars:
+            blocks.append(render_kv("results", list(self.scalars.items())))
+        for table in self.tables:
+            blocks.append(table.to_text())
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)
+
+    def to_markdown(self) -> str:
+        lines = [f"## Analysis: {self.kind}", ""]
+        if self.source:
+            for key in sorted(self.source):
+                lines.append(f"- **{key}**: {_md_cell(self.source[key])}")
+            lines.append("")
+        if self.scalars:
+            lines.append("### Results")
+            lines.append("")
+            lines.append("| quantity | value |")
+            lines.append("| --- | --- |")
+            for key, value in self.scalars.items():
+                lines.append(f"| {key} | {_md_cell(value)} |")
+            lines.append("")
+        for table in self.tables:
+            lines.append(table.to_markdown())
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"> {note}")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def summary(self) -> str:
+        return (
+            f"<AnalysisReport {self.kind}: {len(self.scalars)} scalars, "
+            f"{len(self.tables)} tables>"
+        )

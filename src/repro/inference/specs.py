@@ -1,0 +1,592 @@
+"""Declarative analysis specifications — registered alongside experiments.
+
+An :class:`AnalysisSpec` is to a stored campaign what an
+:class:`~repro.experiments.specs.ExperimentSpec` is to a Runner: a
+frozen, serializable description of *what to compute*, with the same
+``kind`` registry / ``to_dict`` / ``from_dict`` machinery, so analyses
+travel as JSON through the CLI exactly like experiment specs do.  Three
+kinds ship:
+
+* ``dose_response`` — calibration-curve fit over a concentration axis
+  with LoD / LoQ / dynamic range and bootstrap CIs (Fig. 4);
+* ``detection`` — per-spot hybridization calling: match/mismatch
+  separation, ROC/AUC, threshold at a target false-positive rate
+  (Fig. 2's discrimination claim, made operational);
+* ``yield`` — chip-level Monte-Carlo aggregation: pass/fail yield with
+  Wilson intervals, metric spread, dead-pixel rates (Fig. 6).
+
+``analyze(source, analysis)`` is the front door: it accepts a
+:class:`~repro.campaigns.store.CampaignResult`, any ResultStore, or a
+campaign directory path, resolves the analysis (explicitly, or by
+inspecting the campaign via :func:`default_analysis_for`), and returns
+an :class:`~repro.inference.report.AnalysisReport`.  Reports are pure
+functions of (stored data, analysis spec) — bit-identical across
+repeated runs, executors and store backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Optional
+
+import numpy as np
+
+from . import detection as _detection
+from . import doseresponse as _doseresponse
+from . import yield_stats as _yield
+from .bootstrap import bootstrap_ci
+from .report import AnalysisReport, ReportTable
+from .tabulate import CampaignFrame
+
+# ---------------------------------------------------------------------------
+# Registry (mirrors repro.experiments.specs)
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, type["AnalysisSpec"]] = {}
+
+
+def register_analysis(kind: str) -> Callable[[type], type]:
+    """Class decorator: register an analysis spec class under ``kind``."""
+
+    def decorate(cls: type) -> type:
+        if not issubclass(cls, AnalysisSpec):
+            raise TypeError(f"{cls.__name__} is not an AnalysisSpec")
+        existing = _REGISTRY.get(kind)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"analysis kind {kind!r} already registered to {existing.__name__}")
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return decorate
+
+
+def analysis_kinds() -> list[str]:
+    """All registered analysis kinds, sorted."""
+    return sorted(_REGISTRY)
+
+
+def analysis_type(kind: str) -> type["AnalysisSpec"]:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis kind {kind!r}; registered kinds: {analysis_kinds()}"
+        ) from None
+
+
+def analysis_from_dict(data: dict[str, Any]) -> "AnalysisSpec":
+    """Rebuild any registered analysis from its ``to_dict()`` payload."""
+    if "kind" not in data:
+        raise ValueError("analysis dict needs a 'kind' entry")
+    return analysis_type(data["kind"]).from_dict(data)
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Common serialization machinery for all analysis kinds."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AnalysisSpec":
+        payload = dict(data)
+        kind = payload.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise ValueError(f"{cls.__name__} cannot load kind {kind!r}")
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown fields for {cls.__name__}: {sorted(unknown)}")
+        coerced = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in payload.items()
+        }
+        return cls(**coerced)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def replace(self, **changes: Any) -> "AnalysisSpec":
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def run(self, source: Any) -> AnalysisReport:
+        """Analyse a CampaignResult / ResultStore and return the report."""
+        raise NotImplementedError
+
+
+def _source_block(store: Any, frame: CampaignFrame) -> dict[str, Any]:
+    """Campaign provenance for the report header.
+
+    Deliberately excludes executor, worker count and wall times: a
+    report must be byte-identical however the campaign was executed.
+    """
+    manifest = getattr(store, "manifest", None) or {}
+    block: dict[str, Any] = {
+        "name": manifest.get("name", ""),
+        "kind": "+".join(frame.kinds()) or "?",
+        "n_points": frame.n_points,
+    }
+    if "seed" in manifest:
+        block["seed"] = manifest["seed"]
+    if "version" in manifest:
+        block["version"] = manifest["version"]
+    return block
+
+
+def _fmt(value: float) -> float:
+    """Round-trip-stable plain float for report scalars."""
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# dose_response
+# ---------------------------------------------------------------------------
+@register_analysis("dose_response")
+@dataclass(frozen=True)
+class DoseResponseAnalysis(AnalysisSpec):
+    """Calibration-curve fit over a concentration axis (Fig. 4).
+
+    ``response`` is the per-point scalar metric regressed on ``axis``;
+    ``blank`` (when present in the store) is the per-point background
+    metric whose spread sets the 3σ-blank LoD criterion — for DNA
+    assays the mismatched-spot current is exactly that built-in blank.
+    ``model`` is one of :data:`~repro.inference.doseresponse.MODELS`;
+    the log-linear family also gets vectorized pairs-bootstrap CIs on
+    slope and LoD (Hill fits report parameter SEs instead).
+    """
+
+    axis: str = "concentration"
+    response: str = "median_match_estimate_a"
+    blank: str = "median_nonmatch_estimate_a"
+    model: str = "loglog"
+    lod_sigma: float = 3.0
+    loq_sigma: float = 10.0
+    n_resamples: int = 2000
+    confidence: float = 0.95
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in _doseresponse.MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}; choose from {_doseresponse.MODELS}"
+            )
+        if self.n_resamples < 1:
+            raise ValueError("n_resamples must be >= 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+
+    def run(self, source: Any) -> AnalysisReport:
+        frame = CampaignFrame.from_store(source)
+        if frame.n_points == 0:
+            raise ValueError("store holds no results to analyse")
+        x = np.asarray(frame.axis(self.axis), dtype=float)
+        y = frame.metric(self.response)
+        blanks = frame.metric(self.blank) if self.blank and frame.has_metric(self.blank) else None
+        result = _doseresponse.analyze_dose_response(
+            x,
+            y,
+            model=self.model,
+            blank_responses=blanks,
+            lod_sigma=self.lod_sigma,
+            loq_sigma=self.loq_sigma,
+        )
+        fit = result.fit
+        scalars: dict[str, Any] = {
+            "model": result.model,
+            "n_points": int(len(x)),
+            "response_metric": self.response,
+            "r_squared": _fmt(fit.r_squared),
+            "rmse": _fmt(fit.rmse),
+            "blank_mean": _fmt(result.blank_mean),
+            "blank_sigma": _fmt(result.blank_sigma),
+            "blank_source": result.blank_source,
+            "lod": _fmt(result.lod),
+            "loq": _fmt(result.loq),
+            "range_low": _fmt(result.range_low),
+            "range_high": _fmt(result.range_high),
+            "dynamic_range_decades": _fmt(result.dynamic_range_decades),
+        }
+        notes: list[str] = []
+        if isinstance(fit, _doseresponse.HillFit):
+            scalars.update(
+                {
+                    "hill_bottom": _fmt(fit.bottom),
+                    "hill_top": _fmt(fit.top),
+                    "hill_ec50": _fmt(fit.ec50),
+                    "hill_n": _fmt(fit.hill_n),
+                    "hill_ec50_se": _fmt(fit.param_se[2]),
+                    "hill_converged": bool(fit.converged),
+                }
+            )
+            notes.append(
+                "bootstrap LoD intervals are computed for log-linear models only; "
+                "Hill fits report parameter standard errors"
+            )
+        else:
+            scalars.update(
+                {
+                    "slope": _fmt(fit.slope),
+                    "slope_se": _fmt(fit.slope_se),
+                    "intercept": _fmt(fit.intercept),
+                    "intercept_se": _fmt(fit.intercept_se),
+                }
+            )
+            boot = _doseresponse.bootstrap_loglinear(
+                x,
+                y,
+                log_y=fit.log_y,
+                blank_responses=blanks,
+                lod_sigma=self.lod_sigma,
+                n_resamples=self.n_resamples,
+                confidence=self.confidence,
+                seed=self.seed,
+            )
+            scalars.update(
+                {
+                    "slope_ci_low": _fmt(boot.slope[0]),
+                    "slope_ci_high": _fmt(boot.slope[1]),
+                    "lod_ci_low": _fmt(boot.lod[0]),
+                    "lod_ci_high": _fmt(boot.lod[1]),
+                    "bootstrap_n_valid": boot.n_valid,
+                    "bootstrap_n_resamples": boot.n_resamples,
+                }
+            )
+
+        rows: list[list[Any]] = []
+        for position, (dose, indices) in enumerate(frame.group_indices(self.axis)):
+            group = y[indices]
+            ci = bootstrap_ci(
+                group,
+                "mean",
+                n_resamples=self.n_resamples,
+                confidence=self.confidence,
+                seed=self.seed,
+                label=("dose-mean", position),
+            )
+            rows.append(
+                [
+                    float(dose),
+                    int(len(group)),
+                    _fmt(ci.estimate),
+                    _fmt(group.std(ddof=1)) if len(group) > 1 else 0.0,
+                    _fmt(ci.low),
+                    _fmt(ci.high),
+                ]
+            )
+        table = ReportTable(
+            title=f"per-dose {self.response} (bootstrap {self.confidence:g} CIs)",
+            headers=[self.axis, "n", "mean", "std", "ci_low", "ci_high"],
+            rows=rows,
+        )
+        return AnalysisReport(
+            kind=self.kind,
+            analysis=self.to_dict(),
+            source=_source_block(getattr(source, "store", source), frame),
+            scalars=scalars,
+            tables=[table],
+            notes=notes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# detection
+# ---------------------------------------------------------------------------
+@register_analysis("detection")
+@dataclass(frozen=True)
+class DetectionAnalysis(AnalysisSpec):
+    """Per-spot hybridization calling over a stored DNA-assay campaign.
+
+    Streams record payloads point by point (never the whole campaign at
+    once), pools match vs mismatch scores in point order, and reports
+    separation statistics, ROC/AUC with a vectorized bootstrap CI, and
+    the calling threshold at ``target_fpr``.
+    """
+
+    score_column: str = "sensor_current_a"
+    target_fpr: float = 0.01
+    n_resamples: int = 500
+    confidence: float = 0.95
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_fpr <= 1.0:
+            raise ValueError("target_fpr must lie in [0, 1]")
+        if self.n_resamples < 1:
+            raise ValueError("n_resamples must be >= 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+
+    def run(self, source: Any) -> AnalysisReport:
+        frame = CampaignFrame.from_store(source)
+        if frame.n_points == 0:
+            raise ValueError("store holds no results to analyse")
+        store = getattr(source, "store", source)
+        per_point: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for meta, result in store.iter_results():
+            pos, neg = _detection.match_mismatch_scores(result, self.score_column)
+            per_point[meta["point"]] = (pos, neg)
+        # Pool in point order — completion order varies by executor and
+        # must never leak into the pooled arrays (or the bootstrap).
+        points = sorted(per_point)
+        pos = np.concatenate([per_point[p][0] for p in points])
+        neg = np.concatenate([per_point[p][1] for p in points])
+        stats = _detection.separation_stats(pos, neg)
+        roc = _detection.roc_curve(pos, neg)
+        op = _detection.operating_point(roc, self.target_fpr)
+        auc_low, auc_high = _detection.bootstrap_auc(
+            pos,
+            neg,
+            n_resamples=self.n_resamples,
+            confidence=self.confidence,
+            seed=self.seed,
+        )
+        scalars: dict[str, Any] = {
+            "score_column": self.score_column,
+            "n_match_spots": stats.n_match,
+            "n_mismatch_spots": stats.n_mismatch,
+            "median_match": _fmt(stats.median_match),
+            "median_mismatch": _fmt(stats.median_mismatch),
+            "median_ratio": _fmt(stats.median_ratio),
+            "d_prime": _fmt(stats.d_prime),
+            "auc": _fmt(stats.auc),
+            "auc_ci_low": _fmt(auc_low),
+            "auc_ci_high": _fmt(auc_high),
+            "threshold": _fmt(op.threshold),
+            "threshold_fpr": _fmt(op.fpr),
+            "threshold_tpr": _fmt(op.tpr),
+            "target_fpr": _fmt(self.target_fpr),
+        }
+        rows = []
+        for point in points:
+            p_pos, p_neg = per_point[point]
+            if len(p_pos) and len(p_neg):
+                point_stats = _detection.separation_stats(p_pos, p_neg)
+                auc, ratio = point_stats.auc, point_stats.median_ratio
+            else:
+                auc, ratio = float("nan"), float("nan")
+            rows.append([point, len(p_pos), len(p_neg), _fmt(auc), _fmt(ratio)])
+        table = ReportTable(
+            title=f"per-point separation ({self.score_column})",
+            headers=["point", "n_match", "n_mismatch", "auc", "median_ratio"],
+            rows=rows,
+        )
+        return AnalysisReport(
+            kind=self.kind,
+            analysis=self.to_dict(),
+            source=_source_block(store, frame),
+            scalars=scalars,
+            tables=[table],
+        )
+
+
+# ---------------------------------------------------------------------------
+# yield
+# ---------------------------------------------------------------------------
+@register_analysis("yield")
+@dataclass(frozen=True)
+class YieldAnalysis(AnalysisSpec):
+    """Chip-level Monte-Carlo aggregation (Fig. 6).
+
+    Each stored point is one chip draw; ``metric op threshold`` is the
+    pass criterion (e.g. ``discrimination_ratio >= 2``).  When the
+    stored records carry per-chip ``dead_pixels`` columns (the
+    ``array_scale`` workload), pooled dead-pixel statistics stream in
+    point by point as well.
+    """
+
+    metric: str = "discrimination_ratio"
+    op: str = ">="
+    threshold: float = 2.0
+    confidence: float = 0.95
+    n_resamples: int = 1000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in _yield.CRITERIA:
+            raise ValueError(
+                f"unknown criterion {self.op!r}; choose from {sorted(_yield.CRITERIA)}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if self.n_resamples < 1:
+            raise ValueError("n_resamples must be >= 1")
+
+    def run(self, source: Any) -> AnalysisReport:
+        frame = CampaignFrame.from_store(source)
+        if frame.n_points == 0:
+            raise ValueError("store holds no results to analyse")
+        store = getattr(source, "store", source)
+        values = frame.metric(self.metric)
+        passed = _yield.apply_criterion(values, self.op, self.threshold)
+        stats = _yield.pass_fail_yield(passed, confidence=self.confidence)
+        distribution = _yield.spread(values)
+        mean_ci = bootstrap_ci(
+            values,
+            "mean",
+            n_resamples=self.n_resamples,
+            confidence=self.confidence,
+            seed=self.seed,
+            label=("yield-metric-mean",),
+        )
+        scalars: dict[str, Any] = {
+            "metric": self.metric,
+            "criterion": f"{self.metric} {self.op} {format(self.threshold, 'g')}",
+            "n_chips": stats.n,
+            "passes": stats.passes,
+            "yield": _fmt(stats.fraction),
+            "yield_ci_low": _fmt(stats.ci_low),
+            "yield_ci_high": _fmt(stats.ci_high),
+            "metric_mean": _fmt(distribution.mean),
+            "metric_mean_ci_low": _fmt(mean_ci.low),
+            "metric_mean_ci_high": _fmt(mean_ci.high),
+            "metric_std": _fmt(distribution.std),
+            "metric_cv": _fmt(distribution.cv),
+            "metric_min": _fmt(distribution.minimum),
+            "metric_max": _fmt(distribution.maximum),
+        }
+        notes: list[str] = []
+        tables: list[ReportTable] = []
+
+        # Per-chip dead pixels, when the workload recorded them.
+        dead_counts: list[int] = []
+        sites_per_chip: Optional[int] = None
+        uniform_sites = True
+        for _, result in store.iter_results():
+            if "dead_pixels" not in result.records:
+                dead_counts = []
+                break
+            spec = result.spec
+            sites = int(spec.get("rows", 0)) * int(spec.get("cols", 0))
+            if sites_per_chip is None:
+                sites_per_chip = sites
+            elif sites != sites_per_chip:
+                uniform_sites = False
+                break
+            dead_counts.extend(int(d) for d in result.records["dead_pixels"])
+        if dead_counts and sites_per_chip and uniform_sites:
+            dead = _yield.dead_pixel_stats(
+                dead_counts, sites_per_chip, confidence=self.confidence
+            )
+            scalars.update(
+                {
+                    "dead_pixel_rate": _fmt(dead.rate),
+                    "dead_pixel_ci_low": _fmt(dead.ci_low),
+                    "dead_pixel_ci_high": _fmt(dead.ci_high),
+                    "dead_pixel_worst_chip": _fmt(dead.per_chip.maximum),
+                    "dead_pixel_chips": dead.n_chips,
+                }
+            )
+        elif not uniform_sites:
+            notes.append("dead-pixel pooling skipped: chips have differing geometries")
+
+        rows = []
+        replicates = frame.replicates()
+        for row_index, meta in enumerate(frame.metas):
+            rows.append(
+                [
+                    meta["point"],
+                    int(replicates[row_index]),
+                    *[meta.get("assignment", {}).get(name, "") for name in frame.axis_names],
+                    _fmt(values[row_index]),
+                    bool(passed[row_index]),
+                ]
+            )
+        tables.append(
+            ReportTable(
+                title=f"per-chip {self.metric} vs criterion",
+                headers=["point", "replicate", *frame.axis_names, self.metric, "pass"],
+                rows=rows,
+            )
+        )
+        return AnalysisReport(
+            kind=self.kind,
+            analysis=self.to_dict(),
+            source=_source_block(store, frame),
+            scalars=scalars,
+            tables=tables,
+            notes=notes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+def default_analysis_for(source: Any) -> AnalysisSpec:
+    """Pick the analysis a stored campaign most plausibly wants.
+
+    A ``concentration`` axis means a dose series (``dose_response``);
+    an ``array_scale`` campaign is a chip Monte Carlo (``yield`` on the
+    zero-site fraction); a DNA assay without a dose axis is a
+    detection experiment; anything else with replicates is a yield
+    question on its shared metrics.
+    """
+    frame = CampaignFrame.from_store(source)
+    if frame.n_points == 0:
+        raise ValueError("store holds no results to analyse")
+    kinds = frame.kinds()
+    if frame.has_axis("concentration"):
+        return DoseResponseAnalysis()
+    if kinds == ["array_scale"]:
+        return YieldAnalysis(metric="zero_site_fraction", op="<=", threshold=0.05)
+    if kinds == ["dna_assay"]:
+        return DetectionAnalysis()
+    if frame.metric_names:
+        return YieldAnalysis(metric=frame.metric_names[0], op=">=", threshold=0.0)
+    raise ValueError(
+        f"cannot infer an analysis for kind(s) {kinds}; pass one of {analysis_kinds()}"
+    )
+
+
+def analyze(
+    source: Any,
+    analysis: Any = None,
+    **overrides: Any,
+) -> AnalysisReport:
+    """Run an analysis over a campaign and return its report.
+
+    ``source`` may be a :class:`~repro.campaigns.store.CampaignResult`,
+    any ResultStore, or a campaign directory (``str``/``Path`` — loaded
+    as a JSONL store).  ``analysis`` may be ``None`` (inferred via
+    :func:`default_analysis_for`), a registered kind name, a spec
+    instance, or a spec dict; keyword ``overrides`` replace fields on
+    whichever spec results.
+    """
+    if isinstance(source, (str, Path)):
+        from ..campaigns.store import JsonlResultStore
+
+        source = JsonlResultStore.load(source)
+    if analysis is None:
+        spec = default_analysis_for(source)
+    elif isinstance(analysis, AnalysisSpec):
+        spec = analysis
+    elif isinstance(analysis, str):
+        spec = analysis_type(analysis)()
+    elif isinstance(analysis, dict):
+        spec = analysis_from_dict(analysis)
+    else:
+        raise TypeError(
+            f"cannot resolve an analysis from {type(analysis).__name__}; expected "
+            f"None, a kind name, an AnalysisSpec or a dict"
+        )
+    if overrides:
+        known = {field.name for field in dataclasses.fields(spec)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fields for {type(spec).__name__}: {sorted(unknown)}"
+            )
+        spec = spec.replace(**overrides)
+    return spec.run(source)

@@ -1,0 +1,176 @@
+"""Columnar access to campaign stores — the bridge into the analyses.
+
+A result store holds per-point *metadata rows* (axis assignment,
+replicate, scalar metrics); every analysis here wants *columns* over
+points.  :class:`CampaignFrame` is that pivot: metas sorted by point
+index, axis and metric columns materialised as arrays on demand, and
+grouping by axis value for replicate aggregation.  It is built from
+metadata only — no record payload is deserialized — so framing a
+million-point JSONL campaign costs metadata, not results.
+
+:func:`report_rows` (the per-point table the CLI prints) lives here
+too; :mod:`repro.campaigns.report` delegates to it, so the report and
+the analyses can never disagree about what a stored campaign contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+
+def _store_of(source: Any) -> Any:
+    """Accept a CampaignResult (has ``.store``) or a store directly."""
+    store = getattr(source, "store", source)
+    if not hasattr(store, "point_metas"):
+        raise TypeError(
+            f"cannot read campaign data from {type(source).__name__}; expected a "
+            f"ResultStore or CampaignResult"
+        )
+    return store
+
+
+@dataclass
+class CampaignFrame:
+    """Point-metadata of one campaign, pivoted into columns."""
+
+    metas: list[dict[str, Any]]
+    axis_names: list[str] = field(default_factory=list)
+    metric_names: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_store(cls, source: Any) -> "CampaignFrame":
+        """Build from a store / CampaignResult, ordered by point index.
+
+        ``axis_names`` collects every assignment field any point
+        carries (first-seen order); ``metric_names`` the scalar metrics
+        *shared by every point*, sorted — the same defaults the report
+        table uses.
+        """
+        store = _store_of(source)
+        metas = sorted(store.point_metas(), key=lambda meta: meta["point"])
+        axis_names: list[str] = []
+        for meta in metas:
+            for name in meta.get("assignment", {}):
+                if name not in axis_names:
+                    axis_names.append(name)
+        if metas:
+            # Sorted, not insertion order: JSONL lines store metrics
+            # with sorted keys, so live and reloaded frames agree.
+            first_metrics = metas[0].get("metrics", {})
+            metric_names = sorted(
+                name
+                for name in first_metrics
+                if all(name in meta.get("metrics", {}) for meta in metas[1:])
+            )
+        else:
+            metric_names = []
+        return cls(metas=metas, axis_names=axis_names, metric_names=metric_names)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return len(self.metas)
+
+    def points(self) -> np.ndarray:
+        return np.asarray([meta["point"] for meta in self.metas], dtype=int)
+
+    def replicates(self) -> np.ndarray:
+        return np.asarray([meta.get("replicate", 0) for meta in self.metas], dtype=int)
+
+    def kinds(self) -> list[str]:
+        """Distinct experiment kinds, in first-seen order."""
+        seen: list[str] = []
+        for meta in self.metas:
+            kind = meta.get("kind")
+            if kind is not None and kind not in seen:
+                seen.append(kind)
+        return seen
+
+    def has_axis(self, name: str) -> bool:
+        return name in self.axis_names
+
+    def has_metric(self, name: str) -> bool:
+        return all(name in meta.get("metrics", {}) for meta in self.metas) and bool(self.metas)
+
+    def axis(self, name: str) -> np.ndarray:
+        """One axis assignment per point (object dtype unless numeric)."""
+        if name not in self.axis_names:
+            raise KeyError(f"no axis {name!r}; campaign axes: {self.axis_names}")
+        values = [meta.get("assignment", {}).get(name) for meta in self.metas]
+        if any(value is None for value in values):
+            missing = [m["point"] for m, v in zip(self.metas, values) if v is None]
+            raise KeyError(f"axis {name!r} missing from point(s) {missing}")
+        try:
+            return np.asarray(values, dtype=float)
+        except (TypeError, ValueError):
+            out = np.empty(len(values), dtype=object)
+            out[:] = values
+            return out
+
+    def metric(self, name: str) -> np.ndarray:
+        """One scalar metric per point, as floats."""
+        missing = [
+            meta["point"] for meta in self.metas if name not in meta.get("metrics", {})
+        ]
+        if missing or not self.metas:
+            raise KeyError(
+                f"metric {name!r} missing from point(s) {missing or 'all'}; "
+                f"metrics shared by every point: {self.metric_names}"
+            )
+        return np.asarray(
+            [meta["metrics"][name] for meta in self.metas], dtype=float
+        )
+
+    def wall_s(self) -> np.ndarray:
+        return np.asarray([float(meta.get("wall_s", 0.0)) for meta in self.metas])
+
+    def group_indices(self, axis_name: str) -> list[tuple[Any, np.ndarray]]:
+        """``(axis value, point-row indices)`` per distinct value, in
+        ascending value order — the replicate-grouping the per-dose
+        tables are built on."""
+        values = self.axis(axis_name)
+        distinct = sorted(set(values.tolist()))
+        return [
+            (value, np.nonzero(values == value)[0])
+            for value in distinct
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The per-point report table (consumed by repro.campaigns.report)
+# ---------------------------------------------------------------------------
+def report_rows(
+    source: Any,
+    metrics: Optional[Sequence[str]] = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """``(headers, rows)`` for the per-point table, ordered by point.
+
+    Columns: point, replicate, every axis field that appears in any
+    point's assignment, wall time, then the requested metrics
+    (defaulting to the scalar metrics shared by every point, sorted).
+    Built entirely from point metadata — no record payload is ever
+    deserialized for a report.
+    """
+    frame = CampaignFrame.from_store(source)
+    if not frame.metas:
+        return ["point"], []
+    if metrics is None:
+        metrics = frame.metric_names
+    headers = ["point", "replicate", *frame.axis_names, "wall_s", *metrics]
+    rows = []
+    for meta in frame.metas:
+        assignment = meta.get("assignment", {})
+        point_metrics = meta.get("metrics", {})
+        rows.append(
+            [
+                meta["point"],
+                meta.get("replicate", 0),
+                *[assignment.get(name, "") for name in frame.axis_names],
+                float(meta.get("wall_s", 0.0)),
+                *[point_metrics.get(name, "") for name in metrics],
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,204 @@
+"""Chip-level Monte-Carlo aggregation: yield, spread, dead pixels.
+
+The Fig. 6 argument is a *population* statement — device mismatch
+spreads every per-chip figure, and a process is judged by the fraction
+of chips that still meet spec.  This module turns a pile of per-chip
+measurements (campaign replicates, or the per-chip records of an
+``array_scale`` batch) into that judgement: pass/fail yield with Wilson
+score intervals, dead-pixel rates with binomial uncertainty, and the
+spread statistics (CV, extremes) of any per-chip metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .bootstrap import normal_ppf
+
+#: Pass/fail comparison operators accepted by :func:`apply_criterion`
+#: (and the yield analysis spec's ``op`` field).
+CRITERIA: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    ">=": np.greater_equal,
+    ">": np.greater,
+    "<=": np.less_equal,
+    "<": np.less,
+}
+
+
+def apply_criterion(values, op: str, threshold: float) -> np.ndarray:
+    """Boolean pass mask for ``values <op> threshold``."""
+    try:
+        compare = CRITERIA[op]
+    except KeyError:
+        raise ValueError(f"unknown criterion {op!r}; choose from {sorted(CRITERIA)}") from None
+    return np.asarray(compare(np.asarray(values, dtype=float), float(threshold)))
+
+
+def wilson_interval(
+    successes: int, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the edges (0 or n successes give one-sided
+    intervals that never leave [0, 1]) — exactly the regime chip yield
+    lives in, where small Monte-Carlo batches routinely pass or fail
+    unanimously.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes must lie in [0, {n}], got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    z = normal_ppf(0.5 + confidence / 2.0)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    center = (p + z * z / (2 * n)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    # Unanimous outcomes are one-sided by construction; pin the closed
+    # end exactly (center ± margin only reaches 0/1 up to rounding).
+    low = 0.0 if successes == 0 else max(0.0, center - margin)
+    high = 1.0 if successes == n else min(1.0, center + margin)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class SpreadStats:
+    """Distribution summary of a per-chip scalar."""
+
+    n: int
+    mean: float
+    std: float
+    cv: float  # std / |mean| (inf when mean == 0 and std > 0)
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "cv": self.cv,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def spread(values) -> SpreadStats:
+    values = np.asarray(values, dtype=float).ravel()
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+    if mean != 0.0:
+        cv = std / abs(mean)
+    else:
+        cv = 0.0 if std == 0.0 else float("inf")
+    return SpreadStats(
+        n=len(values),
+        mean=mean,
+        std=std,
+        cv=cv,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        median=float(np.median(values)),
+    )
+
+
+@dataclass(frozen=True)
+class YieldStats:
+    """Pass/fail yield with its Wilson interval."""
+
+    n: int
+    passes: int
+    fraction: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "passes": self.passes,
+            "fraction": self.fraction,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+        }
+
+
+def pass_fail_yield(passed, confidence: float = 0.95) -> YieldStats:
+    """Yield of a boolean pass vector with Wilson uncertainty."""
+    passed = np.asarray(passed, dtype=bool).ravel()
+    if len(passed) == 0:
+        raise ValueError("cannot compute yield of zero chips")
+    n = len(passed)
+    successes = int(passed.sum())
+    low, high = wilson_interval(successes, n, confidence)
+    return YieldStats(
+        n=n,
+        passes=successes,
+        fraction=successes / n,
+        ci_low=low,
+        ci_high=high,
+        confidence=float(confidence),
+    )
+
+
+@dataclass(frozen=True)
+class DeadPixelStats:
+    """Pooled and per-chip dead-pixel statistics."""
+
+    n_chips: int
+    total_sites: int
+    total_dead: int
+    rate: float
+    ci_low: float
+    ci_high: float
+    per_chip: SpreadStats  # spread of per-chip dead fractions
+    confidence: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_chips": self.n_chips,
+            "total_sites": self.total_sites,
+            "total_dead": self.total_dead,
+            "rate": self.rate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "worst_chip": self.per_chip.maximum,
+            "confidence": self.confidence,
+        }
+
+
+def dead_pixel_stats(
+    dead_counts, sites_per_chip: int, confidence: float = 0.95
+) -> DeadPixelStats:
+    """Dead-pixel rate pooled over chips, Wilson interval on the pooled
+    binomial, plus the chip-to-chip spread of the per-chip fractions."""
+    dead = np.asarray(dead_counts, dtype=int).ravel()
+    if len(dead) == 0:
+        raise ValueError("need at least one chip")
+    if sites_per_chip < 1:
+        raise ValueError("sites_per_chip must be >= 1")
+    if np.any(dead < 0) or np.any(dead > sites_per_chip):
+        raise ValueError("dead counts must lie in [0, sites_per_chip]")
+    total_sites = int(len(dead) * sites_per_chip)
+    total_dead = int(dead.sum())
+    low, high = wilson_interval(total_dead, total_sites, confidence)
+    return DeadPixelStats(
+        n_chips=len(dead),
+        total_sites=total_sites,
+        total_dead=total_dead,
+        rate=total_dead / total_sites,
+        ci_low=low,
+        ci_high=high,
+        per_chip=spread(dead / sites_per_chip),
+        confidence=float(confidence),
+    )

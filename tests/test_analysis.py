@@ -94,3 +94,28 @@ class TestAsciiHistogram:
     def test_log_requires_positive(self):
         with pytest.raises(ValueError):
             ascii_histogram(np.array([-1.0, -2.0]), log_x=True)
+
+
+class TestCalibrationReportIntervals:
+    """The saturated fractions are binomial proportions over finitely
+    many pixels; the report now says how finite."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        array = NeuralArrayModel(ArrayGeometry(16, 16, 7.8e-6), rng=9)
+        return calibration_report(array)
+
+    def test_pixel_count_recorded(self, report):
+        assert report.n_pixels == 256
+
+    def test_wilson_intervals_bracket_the_fractions(self, report):
+        lo, hi = report.saturated_ci_uncalibrated
+        assert lo <= report.saturated_fraction_uncalibrated <= hi
+        lo, hi = report.saturated_ci_calibrated
+        assert lo <= report.saturated_fraction_calibrated <= hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_small_array_intervals_are_wide(self, report):
+        # 256 pixels: both CIs must be meaningfully wide (a few %).
+        for lo, hi in (report.saturated_ci_uncalibrated, report.saturated_ci_calibrated):
+            assert hi - lo > 0.02

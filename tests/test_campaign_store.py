@@ -229,3 +229,49 @@ def test_result_for_uses_offsets_on_loaded_stores(stored):
         assert loaded.result_for(point).to_json() == result.result_for(point).to_json()
     with pytest.raises(KeyError, match="point 99"):
         loaded.result_for(99)
+
+
+# ---------------------------------------------------------------------------
+# The streaming read API (iter_results / load_point)
+# ---------------------------------------------------------------------------
+def test_iter_results_is_lazy(stored):
+    """Analyses stream a campaign: iterating must not materialise every
+    ResultSet up front."""
+    import types
+
+    out, _ = stored
+    loaded = JsonlResultStore.load(out)
+    iterator = loaded.iter_results()
+    assert isinstance(iterator, types.GeneratorType)
+    meta, result = next(iterator)
+    assert meta["point"] == 0 and result.n_records == 128
+    iterator.close()  # abandoning mid-stream leaks nothing
+
+
+def test_load_point_random_access(stored):
+    out, result = stored
+    loaded = JsonlResultStore.load(out)
+    # O(1) seek on the recorded byte offset — same payload either way.
+    assert loaded.load_point(3).to_json() == result.load_point(3).to_json()
+    assert loaded.load_point(0).metrics["n_sites"] == 128
+    with pytest.raises(KeyError, match="point 42"):
+        loaded.load_point(42)
+
+
+def test_load_point_on_memory_store(stored):
+    _, result = stored
+    memory = MemoryResultStore()
+    reference = run_campaign(CAMPAIGN, seed=3, store=memory)
+    assert memory.load_point(1).to_json() == reference.result_for(1).to_json()
+    with pytest.raises(KeyError):
+        memory.load_point(99)
+
+
+def test_load_point_works_without_manifest(tmp_path):
+    """A partial (crashed) campaign is still randomly accessible."""
+    out = tmp_path / "partial"
+    run_campaign(CAMPAIGN, seed=3, store="jsonl", out=out)
+    (out / "manifest.json").unlink()
+    loaded = JsonlResultStore.load(out)
+    assert loaded.manifest is None
+    assert loaded.load_point(2).n_records == 128

@@ -26,11 +26,16 @@ def test_committed_example_specs_are_loadable():
     """The CI smoke assets must stay valid."""
     from repro.campaigns import CampaignSpec
     from repro.experiments import spec_from_dict
+    from repro.inference import analysis_from_dict
 
     spec = spec_from_dict(json.loads(DNA_SPEC_JSON.read_text()))
     assert spec.kind == "dna_assay"
     campaign = CampaignSpec.from_dict(json.loads(CAMPAIGN_JSON.read_text()))
     assert campaign.n_points == 12
+    analysis = analysis_from_dict(
+        json.loads((REPO / "examples" / "specs" / "dose_response_analysis.json").read_text())
+    )
+    assert analysis.kind == "dose_response"
 
 
 def test_kinds_lists_registry(capsys):
@@ -230,3 +235,86 @@ def test_grid_axis_accepts_json_list_values(tmp_path, capsys):
 def test_report_missing_store_exits_cleanly(tmp_path):
     with pytest.raises(SystemExit, match="results.jsonl"):
         main(["report", "--store", str(tmp_path / "nowhere")])
+
+
+# ---------------------------------------------------------------------------
+# repro analyze
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def analyzed_campaign(small_spec_file, tmp_path):
+    out = tmp_path / "campaign"
+    argv = ["sweep", "--spec", str(small_spec_file),
+            "--grid", "concentration=1e-7,1e-6,1e-5", "--replicates", "2",
+            "--seed", "1", "--store", "jsonl", "--out", str(out)]
+    assert main(argv) == 0
+    return out
+
+
+def test_analyze_lists_kinds(capsys):
+    assert main(["analyze", "--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == ["detection", "dose_response", "yield"]
+
+
+def test_analyze_infers_dose_response(analyzed_campaign, capsys):
+    capsys.readouterr()
+    assert main(["analyze", str(analyzed_campaign)]) == 0
+    out = capsys.readouterr().out
+    assert "analysis: dose_response" in out
+    assert "lod" in out and "dynamic_range_decades" in out
+
+
+def test_analyze_json_is_bit_reproducible(analyzed_campaign, capsys):
+    capsys.readouterr()
+    assert main(["analyze", str(analyzed_campaign), "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["analyze", str(analyzed_campaign), "--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical across invocations
+    payload = json.loads(first)
+    assert payload["scalars"]["lod"] > 0
+    assert payload["scalars"]["lod_ci_low"] <= payload["scalars"]["lod_ci_high"]
+
+
+def test_analyze_markdown_and_out_file(analyzed_campaign, tmp_path, capsys):
+    capsys.readouterr()
+    target = tmp_path / "report.md"
+    assert main(["analyze", str(analyzed_campaign), "--markdown",
+                 "--out", str(target)]) == 0
+    assert "written to" in capsys.readouterr().out
+    assert "## Analysis: dose_response" in target.read_text()
+
+
+def test_analyze_set_overrides_fields(analyzed_campaign, capsys):
+    capsys.readouterr()
+    assert main(["analyze", str(analyzed_campaign), "--analysis", "yield",
+                 "--set", "metric=n_sites", "--set", "threshold=100", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scalars"]["criterion"] == "n_sites >= 100"
+    assert payload["scalars"]["yield"] == 1.0
+
+
+def test_analyze_spec_file(analyzed_campaign, tmp_path, capsys):
+    capsys.readouterr()
+    spec = tmp_path / "analysis.json"
+    spec.write_text(json.dumps({"kind": "detection", "target_fpr": 0.05}))
+    assert main(["analyze", str(analyzed_campaign), "--spec", str(spec), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "detection"
+    assert payload["analysis"]["target_fpr"] == 0.05
+
+
+def test_analyze_error_paths(analyzed_campaign, tmp_path):
+    with pytest.raises(SystemExit, match="needs a campaign directory"):
+        main(["analyze"])
+    with pytest.raises(SystemExit, match="no results.jsonl"):
+        main(["analyze", str(tmp_path / "ghost")])
+    with pytest.raises(SystemExit, match="unknown analysis kind"):
+        main(["analyze", str(analyzed_campaign), "--analysis", "anova"])
+    with pytest.raises(SystemExit, match="--set expects"):
+        main(["analyze", str(analyzed_campaign), "--set", "oops"])
+    with pytest.raises(SystemExit, match="not both"):
+        main(["analyze", str(analyzed_campaign), "--analysis", "yield",
+              "--spec", str(analyzed_campaign / "manifest.json")])
+    with pytest.raises(SystemExit, match="unknown fields"):
+        main(["analyze", str(analyzed_campaign), "--set", "bogus=1"])

@@ -1,0 +1,141 @@
+"""Hybridization calling: ROC/AUC, thresholds, match/mismatch splits."""
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    auc_score,
+    bootstrap_auc,
+    match_mismatch_scores,
+    operating_point,
+    roc_curve,
+    separation_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def overlapping():
+    rng = np.random.default_rng(11)
+    return rng.normal(2.0, 1.0, 300), rng.normal(0.0, 1.0, 500)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        roc = roc_curve([10.0, 11.0, 12.0], [1.0, 2.0, 3.0])
+        assert roc.auc == pytest.approx(1.0)
+        assert roc.tpr[-1] == 1.0 and roc.fpr[-1] == 1.0
+        assert roc.tpr[0] == 0.0 and roc.fpr[0] == 0.0
+
+    def test_useless_scores(self):
+        roc = roc_curve([1.0, 1.0], [1.0, 1.0])
+        assert roc.auc == pytest.approx(0.5)
+
+    def test_monotone_and_matches_mann_whitney(self, overlapping):
+        pos, neg = overlapping
+        roc = roc_curve(pos, neg)
+        assert np.all(np.diff(roc.fpr) >= 0)
+        assert np.all(np.diff(roc.tpr) >= 0)
+        assert roc.auc == pytest.approx(auc_score(pos, neg), abs=1e-12)
+
+    def test_counts(self, overlapping):
+        pos, neg = overlapping
+        roc = roc_curve(pos, neg)
+        assert roc.n_pos == 300 and roc.n_neg == 500
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            roc_curve([], [1.0])
+
+
+class TestAucScore:
+    def test_ties_average(self):
+        # All scores equal: AUC must be exactly 1/2, not sort-order noise.
+        assert auc_score([5.0, 5.0, 5.0], [5.0, 5.0]) == pytest.approx(0.5)
+
+    def test_orientation(self, overlapping):
+        pos, neg = overlapping
+        assert auc_score(pos, neg) > 0.8
+        assert auc_score(neg, pos) == pytest.approx(1.0 - auc_score(pos, neg))
+
+
+class TestOperatingPoint:
+    def test_zero_fpr_target(self, overlapping):
+        pos, neg = overlapping
+        op = operating_point(roc_curve(pos, neg), target_fpr=0.0)
+        assert op.fpr == 0.0
+        assert op.threshold > float(np.max(neg)) or op.tpr == 0.0
+
+    def test_respects_target(self, overlapping):
+        pos, neg = overlapping
+        op = operating_point(roc_curve(pos, neg), target_fpr=0.05)
+        assert op.fpr <= 0.05
+        assert op.tpr > 0.5  # d' ~ 2: decent sensitivity at 5% FPR
+        # The achieved FPR is real: applying the threshold reproduces it.
+        assert np.mean(neg >= op.threshold) == pytest.approx(op.fpr)
+
+    def test_invalid_target(self, overlapping):
+        pos, neg = overlapping
+        with pytest.raises(ValueError, match="target_fpr"):
+            operating_point(roc_curve(pos, neg), target_fpr=1.5)
+
+
+class TestSeparationStats:
+    def test_separated_populations(self, overlapping):
+        pos, neg = overlapping
+        stats = separation_stats(pos, neg)
+        assert stats.d_prime == pytest.approx(2.0, abs=0.2)
+        assert stats.median_match > stats.median_mismatch
+        assert 0.85 < stats.auc < 1.0
+        assert stats.n_match == 300 and stats.n_mismatch == 500
+
+    def test_nonpositive_mismatch_median(self):
+        stats = separation_stats([2.0, 3.0], [-1.0, -2.0])
+        assert stats.median_ratio == float("inf")
+
+
+class TestBootstrapAuc:
+    def test_deterministic(self, overlapping):
+        pos, neg = overlapping
+        assert bootstrap_auc(pos, neg, seed=2) == bootstrap_auc(pos, neg, seed=2)
+
+    def test_brackets_auc(self, overlapping):
+        pos, neg = overlapping
+        low, high = bootstrap_auc(pos, neg, n_resamples=400, seed=0)
+        auc = auc_score(pos, neg)
+        assert low < auc < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_chunking_matches_one_block(self, overlapping, monkeypatch):
+        pos, neg = overlapping
+        whole = bootstrap_auc(pos, neg, n_resamples=64, seed=1)
+        monkeypatch.setattr(
+            "repro.inference.bootstrap.MAX_BLOCK_ELEMENTS", 10 * (len(pos) + len(neg))
+        )
+        assert bootstrap_auc(pos, neg, n_resamples=64, seed=1) == whole
+
+
+class TestMatchMismatchScores:
+    def test_from_result_records(self):
+        records = {
+            "sensor_current_a": np.array([5.0, 4.0, 1.0, 0.5, 9.0]),
+            "is_match": np.array([True, False, False, False, True]),
+            "probe": np.array(["m", "mm", "mm", "", "m"], dtype=object),
+        }
+        pos, neg = match_mismatch_scores(records)
+        np.testing.assert_array_equal(pos, [5.0, 9.0])
+        np.testing.assert_array_equal(neg, [4.0, 1.0])  # the empty spot is neither
+
+    def test_from_real_assay(self):
+        from repro.experiments import DnaAssaySpec, Runner
+
+        result = Runner(seed=1).run(
+            DnaAssaySpec(probe_count=4, replicates=4, target_subset=(0, 1))
+        )
+        pos, neg = match_mismatch_scores(result)
+        assert len(pos) == result.metrics["n_match_sites"]
+        assert len(pos) + len(neg) == result.metrics["n_probe_sites"]
+        assert np.median(pos) > np.median(neg)
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError, match="is_match"):
+            match_mismatch_scores({"sensor_current_a": np.array([1.0])})

@@ -1,0 +1,226 @@
+"""Dose–response fitting: log-linear, Hill, LoD and the pairs bootstrap."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    analyze_dose_response,
+    bootstrap_loglinear,
+    hill_fit,
+    loglinear_fit,
+)
+
+
+def synthetic_loglog(slope=1.0, intercept=-3.0, sigma=0.0, n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.logspace(-9, -5, n)
+    log_y = intercept + slope * np.log10(x) + rng.normal(0.0, sigma, size=n)
+    return x, 10.0**log_y
+
+
+class TestLogLinearFit:
+    def test_recovers_exact_parameters(self):
+        x, y = synthetic_loglog(slope=0.8, intercept=-2.5)
+        fit = loglinear_fit(x, y, log_y=True)
+        assert fit.slope == pytest.approx(0.8, abs=1e-12)
+        assert fit.intercept == pytest.approx(-2.5, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_semilog_variant(self):
+        x = np.logspace(-8, -5, 10)
+        y = 4.0 + 2.0 * np.log10(x)
+        fit = loglinear_fit(x, y, log_y=False)
+        assert fit.slope == pytest.approx(2.0)
+        np.testing.assert_allclose(fit.predict(x), y)
+
+    def test_predict_invert_roundtrip(self):
+        x, y = synthetic_loglog(sigma=0.05)
+        fit = loglinear_fit(x, y, log_y=True)
+        probe = np.array([3e-8, 7e-7])
+        np.testing.assert_allclose(fit.invert(fit.predict(probe)), probe, rtol=1e-10)
+
+    def test_invert_edge_cases(self):
+        x, y = synthetic_loglog()
+        fit = loglinear_fit(x, y, log_y=True)
+        assert math.isnan(float(fit.invert(-1.0)))
+        assert math.isnan(float(fit.invert(0.0)))
+
+    def test_standard_errors_shrink_with_noise(self):
+        x, noisy = synthetic_loglog(sigma=0.2, seed=1)
+        _, quiet = synthetic_loglog(sigma=0.01, seed=1)
+        assert loglinear_fit(x, quiet, log_y=True).slope_se < loglinear_fit(
+            x, noisy, log_y=True
+        ).slope_se
+
+    def test_covariance_matches_se(self):
+        x, y = synthetic_loglog(sigma=0.1, seed=2)
+        fit = loglinear_fit(x, y, log_y=True)
+        assert fit.covariance[1][1] == pytest.approx(fit.slope_se**2)
+        assert fit.covariance[0][0] == pytest.approx(fit.intercept_se**2)
+
+    def test_residuals(self):
+        x, y = synthetic_loglog(sigma=0.1, seed=3)
+        fit = loglinear_fit(x, y, log_y=True)
+        residuals = fit.residuals(x, y)
+        assert residuals.std(ddof=2) == pytest.approx(fit.rmse, rel=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="two points"):
+            loglinear_fit([1e-6], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            loglinear_fit([0.0, 1e-6], [1.0, 2.0])
+        with pytest.raises(ValueError, match="log_y"):
+            loglinear_fit([1e-7, 1e-6], [-1.0, 2.0], log_y=True)
+        with pytest.raises(ValueError, match="distinct"):
+            loglinear_fit([1e-6, 1e-6], [1.0, 2.0])
+
+
+class TestHillFit:
+    def make_hill(self, bottom=1.0, top=9.0, ec50=1e-7, n=1.5, sigma=0.0, seed=0, points=20):
+        rng = np.random.default_rng(seed)
+        x = np.logspace(-10, -4, points)
+        y = bottom + (top - bottom) / (1.0 + (ec50 / x) ** n)
+        return x, y + rng.normal(0.0, sigma, size=len(x))
+
+    def test_recovers_parameters(self):
+        x, y = self.make_hill()
+        fit = hill_fit(x, y)
+        assert fit.converged
+        assert fit.bottom == pytest.approx(1.0, abs=1e-4)
+        assert fit.top == pytest.approx(9.0, abs=1e-4)
+        assert fit.ec50 == pytest.approx(1e-7, rel=1e-3)
+        assert fit.hill_n == pytest.approx(1.5, abs=1e-3)
+        assert fit.r_squared > 0.999999
+
+    def test_langmuir_pins_the_exponent(self):
+        x, y = self.make_hill(n=1.0, sigma=0.01, seed=4)
+        fit = hill_fit(x, y, fix_hill_n=1.0)
+        assert fit.hill_n == 1.0
+        assert fit.param_se[3] == 0.0
+        assert fit.ec50 == pytest.approx(1e-7, rel=0.1)
+
+    def test_noisy_fit_reports_uncertainty(self):
+        x, y = self.make_hill(sigma=0.2, seed=5)
+        fit = hill_fit(x, y)
+        assert fit.rmse > 0
+        assert fit.param_se[2] > 0  # ec50 SE
+
+    def test_invert(self):
+        x, y = self.make_hill()
+        fit = hill_fit(x, y)
+        mid = fit.bottom + 0.5 * (fit.top - fit.bottom)
+        assert float(fit.invert(mid)) == pytest.approx(fit.ec50, rel=1e-6)
+        assert math.isnan(float(fit.invert(fit.top + 1.0)))
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="at least"):
+            hill_fit([1e-8, 1e-7, 1e-6], [1, 2, 3])
+        x = np.logspace(-8, -5, 8)
+        with pytest.raises(ValueError, match="constant"):
+            hill_fit(x, np.ones(8))
+
+
+class TestAnalyzeDoseResponse:
+    def test_lod_with_explicit_blanks(self):
+        x, y = synthetic_loglog(slope=1.0, intercept=-3.0)
+        blanks = [1e-12, 1.2e-12, 0.9e-12, 1.1e-12]
+        result = analyze_dose_response(x, y, model="loglog", blank_responses=blanks)
+        assert result.blank_source == "blank"
+        assert result.blank_n == 4
+        # y = 1e-3 * c exactly, so LoD inverts the 3σ-blank level.
+        y_crit = result.blank_mean + 3 * result.blank_sigma
+        assert result.lod == pytest.approx(y_crit / 1e-3, rel=1e-9)
+        assert result.lod < result.loq
+        assert result.dynamic_range_decades > 1.0
+        assert result.increasing
+
+    def test_zero_concentration_points_become_blanks(self):
+        x, y = synthetic_loglog()
+        x_full = np.concatenate([[0.0, 0.0, 0.0], x])
+        y_full = np.concatenate([[1e-12, 1.3e-12, 0.8e-12], y])
+        result = analyze_dose_response(x_full, y_full, model="loglog")
+        assert result.blank_source == "zero-concentration"
+        assert result.blank_n == 3
+        assert result.fit.n_points == len(x)  # blanks excluded from the fit
+
+    def test_residual_fallback(self):
+        x, y = synthetic_loglog(sigma=0.05, seed=6)
+        result = analyze_dose_response(x, y, model="loglog")
+        assert result.blank_source == "fit-residual"
+        assert result.blank_sigma > 0
+        assert math.isfinite(result.lod)
+
+    def test_hill_model_end_to_end(self):
+        rng = np.random.default_rng(7)
+        x = np.logspace(-9, -5, 30)
+        y = 0.5 + 8.0 / (1.0 + (1e-7 / x)) + rng.normal(0, 0.02, 30)
+        result = analyze_dose_response(
+            x, y, model="langmuir", blank_responses=[0.5, 0.52, 0.48]
+        )
+        assert result.model == "langmuir"
+        assert x.min() < result.range_high < x.max()  # saturating curve tops out
+        assert result.dynamic_range_decades > 0
+
+    def test_errors(self):
+        x, y = synthetic_loglog()
+        with pytest.raises(ValueError, match="model"):
+            analyze_dose_response(x, y, model="spline")
+        with pytest.raises(ValueError, match="lod_sigma"):
+            analyze_dose_response(x, y, lod_sigma=5.0, loq_sigma=3.0)
+        with pytest.raises(ValueError, match="positive-concentration"):
+            analyze_dose_response([0.0, 0.0], [1.0, 2.0])
+
+
+class TestBootstrapLoglinear:
+    def test_deterministic(self):
+        x, y = synthetic_loglog(sigma=0.1, seed=8)
+        a = bootstrap_loglinear(x, y, log_y=True, seed=3)
+        b = bootstrap_loglinear(x, y, log_y=True, seed=3)
+        assert a == b
+
+    def test_brackets_point_estimates(self):
+        x, y = synthetic_loglog(sigma=0.05, seed=9)
+        blanks = [1e-12, 1.4e-12, 0.7e-12, 1.2e-12, 0.9e-12]
+        fit = loglinear_fit(x, y, log_y=True)
+        point = analyze_dose_response(x, y, model="loglog", blank_responses=blanks)
+        boot = bootstrap_loglinear(
+            x, y, log_y=True, blank_responses=blanks, n_resamples=1000, seed=0
+        )
+        assert boot.slope[0] < fit.slope < boot.slope[1]
+        assert boot.lod[0] < point.lod < boot.lod[1]
+        assert boot.n_valid > 900
+
+    def test_zero_dose_blank_pool_matches_point_estimate(self):
+        """The CI must bracket the same LoD definition the estimate
+        used: zero-concentration points are the blank pool for both."""
+        x, y = synthetic_loglog(sigma=0.02, seed=10)
+        x_full = np.concatenate([[0.0, 0.0, 0.0, 0.0], x])
+        y_full = np.concatenate([[1e-12, 1.4e-12, 0.8e-12, 1.1e-12], y])
+        point = analyze_dose_response(x_full, y_full, model="loglog")
+        assert point.blank_source == "zero-concentration"
+        boot = bootstrap_loglinear(x_full, y_full, log_y=True, n_resamples=1000, seed=0)
+        assert boot.lod[0] < point.lod < boot.lod[1]
+
+    def test_single_blank_anchors_the_level(self):
+        """One zero-dose point: the estimate uses it as the blank level
+        (σ from residuals) — the CI must do the same, not fall back to
+        a different blank level and exclude its own point estimate."""
+        x, y = synthetic_loglog(sigma=0.02, seed=11)
+        x_full = np.concatenate([[0.0], x])
+        y_full = np.concatenate([[1e-12], y])
+        point = analyze_dose_response(x_full, y_full, model="loglog")
+        assert point.blank_mean == 1e-12
+        boot = bootstrap_loglinear(x_full, y_full, log_y=True, n_resamples=1000, seed=0)
+        assert boot.lod[0] < point.lod < boot.lod[1]
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="positive-concentration"):
+            bootstrap_loglinear([0.0], [1.0])
+        x, y = synthetic_loglog()
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_loglinear(x, y, confidence=2.0)
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_loglinear(x, y, n_resamples=0)

@@ -1,0 +1,111 @@
+"""Yield statistics: Wilson intervals, spread, dead pixels, criteria."""
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    apply_criterion,
+    dead_pixel_stats,
+    pass_fail_yield,
+    spread,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_the_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_edges_stay_in_unit_interval(self):
+        low0, high0 = wilson_interval(0, 20)
+        lowN, highN = wilson_interval(20, 20)
+        assert low0 == 0.0 and high0 < 0.25
+        assert lowN > 0.75 and highN == 1.0
+
+    def test_matches_textbook_value(self):
+        # Wilson 95% for 8/10: (0.490, 0.943) (standard worked example).
+        low, high = wilson_interval(8, 10)
+        assert low == pytest.approx(0.4902, abs=2e-3)
+        assert high == pytest.approx(0.9433, abs=2e-3)
+
+    def test_narrows_with_n(self):
+        narrow = wilson_interval(300, 1000)
+        wide = wilson_interval(3, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=0.0)
+
+
+class TestSpread:
+    def test_summary(self):
+        stats = spread([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.cv == pytest.approx(stats.std / 2.5)
+        assert stats.n == 4
+
+    def test_single_value(self):
+        stats = spread([7.0])
+        assert stats.std == 0.0 and stats.cv == 0.0
+
+    def test_zero_mean(self):
+        assert spread([-1.0, 1.0]).cv == float("inf")
+        assert spread([0.0, 0.0]).cv == 0.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            spread([])
+
+
+class TestPassFailYield:
+    def test_yield_with_interval(self):
+        stats = pass_fail_yield([True] * 18 + [False] * 2)
+        assert stats.n == 20 and stats.passes == 18
+        assert stats.fraction == pytest.approx(0.9)
+        assert stats.ci_low < 0.9 < stats.ci_high
+
+    def test_unanimous(self):
+        stats = pass_fail_yield([True] * 5)
+        assert stats.fraction == 1.0
+        assert stats.ci_high == 1.0 and stats.ci_low > 0.5
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            pass_fail_yield([])
+
+
+class TestDeadPixelStats:
+    def test_pooled_rate(self):
+        stats = dead_pixel_stats([2, 0, 1, 3], sites_per_chip=128)
+        assert stats.n_chips == 4
+        assert stats.total_sites == 512 and stats.total_dead == 6
+        assert stats.rate == pytest.approx(6 / 512)
+        assert stats.ci_low < stats.rate < stats.ci_high
+        assert stats.per_chip.maximum == pytest.approx(3 / 128)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dead_pixel_stats([], 128)
+        with pytest.raises(ValueError):
+            dead_pixel_stats([1], 0)
+        with pytest.raises(ValueError):
+            dead_pixel_stats([200], 128)
+
+
+class TestApplyCriterion:
+    def test_operators(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(apply_criterion(values, ">=", 2.0), [False, True, True])
+        np.testing.assert_array_equal(apply_criterion(values, "<", 2.0), [True, False, False])
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="criterion"):
+            apply_criterion([1.0], "==", 1.0)

@@ -198,3 +198,67 @@ class TestConcentrationEstimator:
         estimator, probe = setup
         with pytest.raises(ValueError):
             estimator.calibrate(probe, [], rng=80)
+
+
+class TestCalibrationCurveExtrapolation:
+    CURVE_POINTS = [
+        CalibrationPoint(1e-7, 100.0),
+        CalibrationPoint(1e-6, 1000.0),
+        CalibrationPoint(1e-5, 10_000.0),
+    ]
+
+    def test_clamp_is_the_explicit_default(self):
+        curve = CalibrationCurve(list(self.CURVE_POINTS))
+        assert curve.extrapolation == "clamp"
+        # Out-of-range counts pin to the edge standards (the historical
+        # implicit np.interp behaviour, now spelled out).
+        assert curve.concentration_for_count(50.0) == pytest.approx(1e-7)
+        assert curve.concentration_for_count(50_000.0) == pytest.approx(1e-5)
+
+    def test_raise_mode_names_the_window(self):
+        curve = CalibrationCurve(list(self.CURVE_POINTS), extrapolation="raise")
+        with pytest.raises(ValueError, match="calibrated window"):
+            curve.concentration_for_count(50.0)
+        with pytest.raises(ValueError, match="calibrated window"):
+            curve.concentration_for_count(50_000.0)
+        # In-range inversion is unaffected.
+        assert curve.concentration_for_count(1000.0) == pytest.approx(1e-6)
+
+    def test_fit_mode_extends_the_loglog_line(self):
+        curve = CalibrationCurve(list(self.CURVE_POINTS), extrapolation="fit")
+        # The standards lie exactly on count = 1e9 * conc, so the global
+        # fit extrapolates it: count 10 -> 1e-8, count 1e5 -> 1e-4.
+        assert curve.concentration_for_count(10.0) == pytest.approx(1e-8, rel=1e-6)
+        assert curve.concentration_for_count(1e5) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_per_call_override(self):
+        curve = CalibrationCurve(list(self.CURVE_POINTS))  # clamp by default
+        with pytest.raises(ValueError, match="calibrated window"):
+            curve.concentration_for_count(50.0, extrapolation="raise")
+        assert curve.concentration_for_count(
+            10.0, extrapolation="fit"
+        ) == pytest.approx(1e-8, rel=1e-6)
+
+    def test_zero_count_is_zero_in_every_mode(self):
+        for mode in ("clamp", "raise", "fit"):
+            curve = CalibrationCurve(list(self.CURVE_POINTS), extrapolation=mode)
+            assert curve.concentration_for_count(0.0) == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="extrapolation"):
+            CalibrationCurve(list(self.CURVE_POINTS), extrapolation="panic")
+        curve = CalibrationCurve(list(self.CURVE_POINTS))
+        with pytest.raises(ValueError, match="extrapolation"):
+            curve.concentration_for_count(1000.0, extrapolation="panic")
+
+    def test_fit_routes_through_inference(self):
+        """The curve's regression is the shared inference fit — one
+        log-linear implementation in the library."""
+        from repro.inference.doseresponse import LogLinearFit
+
+        curve = CalibrationCurve(list(self.CURVE_POINTS))
+        fit = curve.fit()
+        assert isinstance(fit, LogLinearFit)
+        assert fit.log_y
+        assert fit.slope == pytest.approx(1.0)
+        assert curve.count_range == (100.0, 10_000.0)
