@@ -13,7 +13,9 @@ layer over :mod:`repro.experiments`:
   ``(campaign seed, replicate)`` so results never depend on point
   position, execution order or worker count;
 * executors (``executors.py``) — ``serial`` / ``thread`` / ``process``,
-  parity-tested bit-identical per point;
+  parity-tested bit-identical per point, plus the ``batched`` fast path
+  (``batched.py``) that compiles same-spec vectorized-kind point groups
+  into chip-batched engine calls (bit-identical to serial);
 * stores (``store.py``) — in-memory, or JSONL-on-disk with a
   ``manifest.json`` (provenance, point index, wall time per run) so
   million-point sweeps never hold every ResultSet in RAM;
@@ -43,6 +45,7 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping, Optional, Union
 
+from .batched import BatchedExecutor, batchable_kinds, register_batch_compiler
 from .executors import (
     EXECUTORS,
     Executor,
@@ -69,9 +72,12 @@ __all__ = [
     "EXECUTORS",
     "MANIFEST_SCHEMA",
     "STORES",
+    "BatchedExecutor",
     "CampaignResult",
     "CampaignSpec",
     "Executor",
+    "batchable_kinds",
+    "register_batch_compiler",
     "JsonlResultStore",
     "MemoryResultStore",
     "Plan",
@@ -101,6 +107,7 @@ def run_campaign(
     store: Union[None, str, ResultStore] = None,
     out: Optional[str] = None,
     overwrite: bool = False,
+    flush_every: int = 1,
     backend: Optional[str] = None,
     inputs: Optional[dict[str, Any]] = None,
 ) -> CampaignResult:
@@ -112,10 +119,13 @@ def run_campaign(
     instance; ``store`` a name from :data:`STORES` (``"jsonl"`` needs
     ``out``; ``overwrite`` permits replacing a finalized campaign
     directory), a :class:`ResultStore`, or ``None`` for in-memory.
-    ``backend`` overrides the campaign's own ``backend`` field (and
-    ``None`` defers to it, then to each spec's default).  Results are
-    bit-identical across executors and worker counts; only wall times
-    and completion order differ.
+    ``flush_every`` enables the jsonl store's buffered append mode
+    (flush every N points instead of per point — cuts per-point fsync
+    overhead in large campaigns; buffered lines always land by
+    ``finalize``).  ``backend`` overrides the campaign's own
+    ``backend`` field (and ``None`` defers to it, then to each spec's
+    default).  Results are bit-identical across executors and worker
+    counts; only wall times and completion order differ.
     """
     if not isinstance(campaign, CampaignSpec):
         campaign = CampaignSpec.from_dict(campaign)
@@ -131,7 +141,7 @@ def run_campaign(
     for kind in plan.kinds():
         validate_backend(kind, resolved_backend)
     outcomes = chosen.run(plan, backend=resolved_backend, inputs=inputs)
-    sink = make_store(store, out=out, overwrite=overwrite)
+    sink = make_store(store, out=out, overwrite=overwrite, flush_every=flush_every)
     start = time.perf_counter()
     for outcome in outcomes:
         sink.add(outcome)

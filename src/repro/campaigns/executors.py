@@ -44,7 +44,10 @@ from ..experiments.specs import spec_from_dict
 from .plan import Plan, PlanPoint
 
 #: Names accepted by :func:`make_executor` (and the CLI's ``--executor``).
-EXECUTORS = ("serial", "thread", "process")
+#: ``"batched"`` (see :mod:`repro.campaigns.batched`) compiles same-spec
+#: vectorized-kind point groups into chip-batched engine calls and runs
+#: everything else serially.
+EXECUTORS = ("serial", "thread", "process", "batched")
 
 RunnerFactory = Callable[[int], Runner]
 
@@ -307,4 +310,8 @@ def make_executor(
         return ThreadExecutor(workers)
     if executor == "process":
         return ProcessExecutor(workers)
+    if executor == "batched":
+        from .batched import BatchedExecutor
+
+        return BatchedExecutor(workers)
     raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")

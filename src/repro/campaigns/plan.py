@@ -87,6 +87,18 @@ class Plan:
                 seen.append(point.spec.kind)
         return seen
 
+    def groups_by_spec(self) -> "dict[tuple[str, str], list[PlanPoint]]":
+        """Points grouped by ``(kind, spec content hash)``, first-seen
+        order preserved.  Points of one group share an identical spec
+        and differ only in replicate/seed — the unit the batched
+        executor compiles into one chip-batched engine call."""
+        groups: dict[tuple[str, str], list[PlanPoint]] = {}
+        for point in self.points:
+            groups.setdefault(
+                (point.spec.kind, point.spec.content_hash()), []
+            ).append(point)
+        return groups
+
     def describe(self) -> list[dict[str, Any]]:
         return [point.describe() for point in self.points]
 

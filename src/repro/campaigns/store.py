@@ -164,8 +164,13 @@ class JsonlResultStore(ResultStore):
     RESULTS_NAME = "results.jsonl"
     MANIFEST_NAME = "manifest.json"
 
-    def __init__(self, root: Union[str, Path], overwrite: bool = False) -> None:
+    def __init__(
+        self, root: Union[str, Path], overwrite: bool = False, flush_every: int = 1
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.root = Path(root)
+        self.flush_every = int(flush_every)
         self.root.mkdir(parents=True, exist_ok=True)
         manifest_path = self.root / self.MANIFEST_NAME
         # A manifest marks a *finished* campaign: refuse to destroy it
@@ -184,6 +189,12 @@ class JsonlResultStore(ResultStore):
         self._metas: list[dict[str, Any]] = []
         #: point index -> byte offset of its line, for O(1) result_for.
         self._offsets: dict[int, int] = {}
+        #: Whole lines awaiting their next batched write+flush (buffered
+        #: append mode, ``flush_every > 1``): only complete lines ever
+        #: reach the file, so a crash loses at most the buffered tail —
+        #: never leaves a torn line.
+        self._pending: list[str] = []
+        self._written_bytes = 0
         self._handle = (self.root / self.RESULTS_NAME).open("w", encoding="utf-8")
 
     def add(self, outcome: PointOutcome) -> None:
@@ -192,12 +203,28 @@ class JsonlResultStore(ResultStore):
         meta = _outcome_meta(outcome)
         line = dict(meta)
         line["result"] = outcome.result.to_dict()
-        self._offsets[outcome.point.index] = self._handle.tell()
-        self._handle.write(json.dumps(line, sort_keys=True) + "\n")
-        self._handle.flush()
+        # json.dumps keeps ASCII, so character count == byte count.
+        text = json.dumps(line, sort_keys=True) + "\n"
+        self._offsets[outcome.point.index] = self._written_bytes + sum(
+            len(pending) for pending in self._pending
+        )
+        self._pending.append(text)
         self._metas.append(meta)  # metadata only: the ResultSet is dropped
+        if len(self._pending) >= self.flush_every:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Write all buffered lines and fsync-flush the stream."""
+        if self._handle is None or not self._pending:
+            return
+        block = "".join(self._pending)
+        self._handle.write(block)
+        self._handle.flush()
+        self._written_bytes += len(block)
+        self._pending.clear()
 
     def finalize(self, manifest: dict[str, Any]) -> None:
+        self._flush()
         self._manifest = manifest
         (self.root / self.MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -219,6 +246,8 @@ class JsonlResultStore(ResultStore):
     def iter_results(self) -> Iterator[tuple[dict[str, Any], ResultSet]]:
         """Stream ``(meta, ResultSet)`` pairs back from disk, lazily, in
         completion (file) order."""
+        if self._handle is not None:
+            self._flush()  # buffered lines must land before reading back
         path = self.root / self.RESULTS_NAME
         with path.open("r", encoding="utf-8") as handle:
             for raw in handle:
@@ -234,6 +263,8 @@ class JsonlResultStore(ResultStore):
         rescan of the preceding lines."""
         if point not in self._offsets:
             raise KeyError(f"no stored result for point {point}")
+        if self._handle is not None:
+            self._flush()  # the line may still sit in the append buffer
         with (self.root / self.RESULTS_NAME).open("r", encoding="utf-8") as handle:
             handle.seek(self._offsets[point])
             line = json.loads(handle.readline())
@@ -283,6 +314,7 @@ def make_store(
     store: Union[None, str, Path, ResultStore],
     out: Union[None, str, Path] = None,
     overwrite: bool = False,
+    flush_every: int = 1,
 ) -> ResultStore:
     """Resolve a store name (``"memory"``/``"jsonl"``), a directory
     (``pathlib.Path``), or a :class:`ResultStore` instance.
@@ -291,14 +323,17 @@ def make_store(
     ``Path`` implies a JSONL store rooted there.  Directory *strings*
     are deliberately not accepted — a typo'd store name must error, not
     become a directory.  ``overwrite`` permits replacing a directory
-    that already holds a finalized campaign.
+    that already holds a finalized campaign.  ``flush_every`` selects
+    the jsonl store's buffered append mode (flush every N completed
+    points instead of every point); it is an error with any store that
+    does not append to disk.
     """
     if store is None:
-        return (
-            JsonlResultStore(out, overwrite=overwrite)
-            if out is not None
-            else MemoryResultStore()
-        )
+        if out is not None:
+            return JsonlResultStore(out, overwrite=overwrite, flush_every=flush_every)
+        if flush_every != 1:
+            raise ValueError("flush_every only applies to the jsonl store")
+        return MemoryResultStore()
     if isinstance(store, ResultStore):
         already_there = (
             isinstance(store, JsonlResultStore) and out is not None and Path(out) == store.root
@@ -308,19 +343,30 @@ def make_store(
                 "out= conflicts with the provided store instance; root the "
                 "JsonlResultStore at the directory instead"
             )
+        if flush_every != 1:
+            if not isinstance(store, JsonlResultStore):
+                raise ValueError("flush_every only applies to the jsonl store")
+            if store.flush_every != flush_every:
+                raise ValueError(
+                    f"flush_every={flush_every} conflicts with the provided store "
+                    f"instance (flush_every={store.flush_every}); configure the "
+                    f"instance instead"
+                )
         return store
     if store == "memory":
         if out is not None:
             raise ValueError(
                 "the memory store writes nothing to disk; drop --out or use the jsonl store"
             )
+        if flush_every != 1:
+            raise ValueError("flush_every only applies to the jsonl store")
         return MemoryResultStore()
     if store == "jsonl":
         if out is None:
             raise ValueError("the jsonl store needs an output directory (--out)")
-        return JsonlResultStore(out, overwrite=overwrite)
+        return JsonlResultStore(out, overwrite=overwrite, flush_every=flush_every)
     if isinstance(store, Path):
-        return JsonlResultStore(store, overwrite=overwrite)
+        return JsonlResultStore(store, overwrite=overwrite, flush_every=flush_every)
     raise ValueError(
         f"unknown store {store!r}; choose from {STORES}, pass a pathlib.Path "
         f"(or out=...) for a jsonl directory, or pass a ResultStore instance"

@@ -15,7 +15,10 @@ the full ResultSet payload).  ``sweep`` builds a
 :class:`~repro.campaigns.spec.CampaignSpec` — either loaded whole from
 ``--campaign`` or assembled from ``--spec`` plus ``--grid``/``--zip``/
 ``--replicates`` flags — picks backend/executor/store from flags, and
-prints the per-point metrics table.  ``report`` reloads a finished
+prints the per-point metrics table.  ``--executor batched`` compiles
+same-spec vectorized-kind point groups into chip-batched engine calls
+(bit-identical per point to serial dispatch); ``--flush-every N``
+buffers the jsonl store's appends to cut per-point fsync overhead.  ``report`` reloads a finished
 JSONL campaign directory and prints the same table without re-running
 anything.  ``analyze`` runs a registered statistical analysis
 (:mod:`repro.inference`) over a stored campaign — dose–response fits
@@ -197,7 +200,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.backend if args.backend is not None else campaign.backend,
         )
         executor = make_executor(args.executor, workers=args.workers)
-        store = make_store(args.store, out=args.out, overwrite=args.force)
+        store = make_store(
+            args.store, out=args.out, overwrite=args.force, flush_every=args.flush_every
+        )
     except (FileExistsError, KeyError, TypeError, ValueError) as error:
         raise SystemExit(f"repro: {error}")
     result = run_campaign(
@@ -322,10 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--replicates", type=int, default=1, help="seed-varied repeats per point")
     sweep.add_argument("--name", default="", help="campaign name for the manifest")
     sweep.add_argument("--seed", type=int, default=0, help="campaign root seed (default 0)")
-    sweep.add_argument("--executor", choices=EXECUTORS, default="serial")
+    sweep.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="serial",
+        help="serial/thread/process, or 'batched' to compile vectorized-kind "
+        "point groups into chip-batched engine calls",
+    )
     sweep.add_argument("--workers", type=int, default=None, help="worker count (default: cores)")
     sweep.add_argument("--store", choices=STORES, default=None, help="result store")
     sweep.add_argument("--out", default=None, help="directory for the jsonl store")
+    sweep.add_argument(
+        "--flush-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="jsonl buffered append mode: flush every N completed points "
+        "(default 1 = flush per point)",
+    )
     sweep.add_argument(
         "--force",
         action="store_true",

@@ -177,6 +177,7 @@ def count_in_frame(
     noise_rms_v=0.0,
     rng: RngLike = None,
     start_phase=None,
+    jitter_z=None,
     counter_bits: int | None = None,
 ) -> np.ndarray:
     """Number of reset pulses per pixel within a counting frame.
@@ -188,7 +189,11 @@ def count_in_frame(
     Stream discipline (differs from the per-object model, see module
     docstring): when ``start_phase`` is ``None`` one uniform array is
     drawn for all pixels, then — if ``noise_rms_v > 0`` — one standard
-    normal array for the accumulated cycle jitter.
+    normal array for the accumulated cycle jitter.  ``jitter_z``
+    supplies that standard-normal array explicitly (the batched
+    campaign fast path replays each point's own stream draws); with
+    both ``start_phase`` and ``jitter_z`` given the conversion is fully
+    deterministic and ``rng`` is never consulted.
     """
     if frame_s <= 0:
         raise ValueError("frame must be positive")
@@ -222,9 +227,13 @@ def count_in_frame(
         sigma = count_noise_sigma(
             i, frame_s, cint_f, swing_v, leakage_a, comparator_delay_s, tau_delay_s, noise_rms_v
         )
-        if generator is None:
-            generator = ensure_rng(rng)
-        value = value + generator.normal(0.0, 1.0, size=shape) * sigma
+        if jitter_z is None:
+            if generator is None:
+                generator = ensure_rng(rng)
+            jitter_z = generator.normal(0.0, 1.0, size=shape)
+        else:
+            jitter_z = np.broadcast_to(np.asarray(jitter_z, dtype=float), shape)
+        value = value + jitter_z * sigma
 
     counts = np.floor(value).astype(np.int64)
     counts = np.where(fires, np.maximum(counts, 0), np.int64(0))

@@ -1,0 +1,266 @@
+"""Struct-of-arrays pixel parameters for the neural-recording backend.
+
+One :class:`NeuroArrayParams` holds every per-pixel quantity of the
+Fig. 6 calibrated sensor pixel — threshold and beta planes of M1, the
+M2 calibration-current plane, kT/C and charge-injection draw planes —
+as ``(n_chips, rows, cols)`` ndarrays, plus the vectorised calibration
+/ droop / readout arithmetic of
+:class:`~repro.neuro.array.NeuralArrayModel` batched over whole chip
+instances.
+
+Draw parity: the object-model array already draws its mismatch as
+whole planes, so a single-chip :meth:`draw` consumes the construction
+generator *identically* to ``NeuralArrayModel(geometry, design, rng)``
+and yields bit-identical planes — there is no separate "paired" mode
+to opt into.  Multi-chip batches consume one spawned child per chip
+(``core.rng.spawn_children``), mirroring how a list of object chips
+would be built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.noise import kt_over_c_noise
+from ..core.rng import RngLike, ensure_rng, spawn_children
+from ..devices.mosfet import Mosfet
+from ..devices.switches import MosSwitch
+from ..neuro.sensor_pixel import (
+    NeuralPixelDesign,
+    ekv_ids_array,
+    ekv_vgs_for_current_array,
+)
+
+
+@dataclass
+class NeuroArrayParams:
+    """Per-pixel neural-sensor parameters over ``(n_chips, rows, cols)``.
+
+    Arrays hold the drawn per-instance deviations; ``design`` the
+    shared scalar design values (coupling factor, storage capacitance,
+    switch geometry, ...).
+    """
+
+    vth: np.ndarray
+    beta: np.ndarray
+    i_m2: np.ndarray
+    ktc_draws: np.ndarray
+    injection_draws: np.ndarray
+    design: NeuralPixelDesign = field(default_factory=NeuralPixelDesign)
+    stored_vgs: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "vth": self.vth,
+            "beta": self.beta,
+            "i_m2": self.i_m2,
+            "ktc_draws": self.ktc_draws,
+            "injection_draws": self.injection_draws,
+        }
+        shapes = {name: np.shape(a) for name, a in arrays.items()}
+        if len(set(shapes.values())) != 1:
+            raise ValueError(f"parameter arrays disagree on shape: {shapes}")
+        shape = next(iter(shapes.values()))
+        if len(shape) != 3:
+            raise ValueError(f"parameter arrays must be (n_chips, rows, cols), got {shape}")
+        for name, a in arrays.items():
+            setattr(self, name, np.asarray(a, dtype=float))
+        if np.any(self.beta <= 0):
+            raise ValueError("beta must be positive")
+        if np.any(self.i_m2 <= 0):
+            raise ValueError("calibration currents must be positive")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.vth.shape
+
+    @property
+    def n_chips(self) -> int:
+        return self.shape[0]
+
+    @property
+    def rows(self) -> int:
+        return self.shape[1]
+
+    @property
+    def cols(self) -> int:
+        return self.shape[2]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def draw(
+        cls,
+        rows: int,
+        cols: int,
+        design: NeuralPixelDesign | None = None,
+        rng: RngLike = None,
+        n_chips: int = 1,
+    ) -> "NeuroArrayParams":
+        """Draw the mismatch planes for ``n_chips`` chip instances.
+
+        A single chip consumes ``rng`` exactly as the
+        ``NeuralArrayModel`` constructor does (six whole-plane draws in
+        the same order), so the planes are bit-identical to the object
+        model's.  Batches spawn one child generator per chip.
+        """
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if n_chips < 1:
+            raise ValueError("need at least one chip in the batch")
+        design = design or NeuralPixelDesign()
+        generator = ensure_rng(rng)
+        chip_rngs = [generator] if n_chips == 1 else spawn_children(generator, n_chips)
+        process = design.process
+        sigma_vth = process.sigma_vth(design.m1_width, design.m1_length)
+        sigma_beta = process.sigma_beta(design.m1_width, design.m1_length)
+        beta_nominal = process.mu_n_cox * design.m1_width / design.m1_length
+        m2_sigma = process.sigma_beta(2 * design.m1_width, design.m1_length)
+        m2_vth_sigma = process.sigma_vth(2 * design.m1_width, design.m1_length)
+        vth = np.empty((n_chips, rows, cols))
+        beta = np.empty((n_chips, rows, cols))
+        i_m2 = np.empty((n_chips, rows, cols))
+        ktc = np.empty((n_chips, rows, cols))
+        injection = np.empty((n_chips, rows, cols))
+        for chip, chip_rng in enumerate(chip_rngs):
+            vth[chip] = process.vth_n + chip_rng.normal(0.0, sigma_vth, size=(rows, cols))
+            beta[chip] = beta_nominal * (
+                1.0 + chip_rng.normal(0.0, sigma_beta, size=(rows, cols))
+            )
+            i_m2[chip] = design.calibration_current * (
+                1.0 + chip_rng.normal(0.0, m2_sigma, size=(rows, cols))
+            ) * (1.0 - 3.0 * chip_rng.normal(0.0, m2_vth_sigma, size=(rows, cols)))
+            ktc[chip] = chip_rng.normal(0.0, 1.0, size=(rows, cols))
+            injection[chip] = chip_rng.normal(0.0, 1.0, size=(rows, cols))
+        return cls(
+            vth=vth,
+            beta=beta,
+            i_m2=i_m2,
+            ktc_draws=ktc,
+            injection_draws=injection,
+            design=design,
+        )
+
+    @classmethod
+    def from_array_model(cls, model) -> "NeuroArrayParams":
+        """Wrap an existing :class:`NeuralArrayModel`'s drawn planes as
+        a single-chip parameter batch (copies, so driving the batch
+        never mutates the source model)."""
+        shape = (1, model.geometry.rows, model.geometry.cols)
+        params = cls(
+            vth=model.vth.copy().reshape(shape),
+            beta=model.beta.copy().reshape(shape),
+            i_m2=model.i_m2.copy().reshape(shape),
+            ktc_draws=model._ktc_draws.copy().reshape(shape),
+            injection_draws=model._injection_draws.copy().reshape(shape),
+            design=model.design,
+        )
+        if model.stored_vgs is not None:
+            params.stored_vgs = model.stored_vgs.copy().reshape(shape)
+        return params
+
+    @classmethod
+    def stack(cls, batches: list["NeuroArrayParams"]) -> "NeuroArrayParams":
+        """Concatenate per-chip draws along the batch axis."""
+        if not batches:
+            raise ValueError("need at least one parameter batch to stack")
+        first = batches[0]
+        stored = (
+            None
+            if any(b.stored_vgs is None for b in batches)
+            else np.concatenate([b.stored_vgs for b in batches], axis=0)
+        )
+        return replace(
+            first,
+            vth=np.concatenate([b.vth for b in batches], axis=0),
+            beta=np.concatenate([b.beta for b in batches], axis=0),
+            i_m2=np.concatenate([b.i_m2 for b in batches], axis=0),
+            ktc_draws=np.concatenate([b.ktc_draws for b in batches], axis=0),
+            injection_draws=np.concatenate([b.injection_draws for b in batches], axis=0),
+            stored_vgs=stored,
+        )
+
+    # ------------------------------------------------------------------
+    # Calibration (batched twin of NeuralArrayModel)
+    # ------------------------------------------------------------------
+    def _switch(self) -> MosSwitch:
+        return MosSwitch(self.design.s1_width, self.design.s1_length, self.design.process)
+
+    def nominal_gate_voltage(self) -> float:
+        """The single gate voltage an uncalibrated design would broadcast."""
+        nominal = Mosfet(
+            self.design.m1_width, self.design.m1_length, "n", self.design.process
+        )
+        return nominal.vgs_for_current(self.design.calibration_current)
+
+    def calibrate(self, include_imperfections: bool = True) -> np.ndarray:
+        """Array-parallel calibration over every chip in the batch.
+
+        Same formulas and operation order as
+        :meth:`NeuralArrayModel.calibrate` (the injection step uses each
+        chip's own typical stored voltage), evaluated per chip on the
+        batch axis.  Returns the stored plane stack."""
+        stored = ekv_vgs_for_current_array(
+            self.i_m2, self.vth, self.beta, self.design.process
+        )
+        if include_imperfections:
+            switch = self._switch()
+            node_c = self.design.storage_capacitance
+            gross = np.array(
+                [
+                    switch.injection_step(float(np.mean(stored[chip])), node_c)
+                    + switch.clock_feedthrough(node_c)
+                    for chip in range(self.n_chips)
+                ]
+            )[:, None, None]
+            stored = stored + gross * (1.0 - self.design.dummy_compensation)
+            stored = stored + np.abs(gross) * self.design.injection_residual_sigma * self.injection_draws
+            stored = stored + kt_over_c_noise(node_c) * self.ktc_draws
+        self.stored_vgs = stored
+        return stored
+
+    def droop(self, hold_time_s: float) -> None:
+        if self.stored_vgs is None:
+            raise RuntimeError("array has not been calibrated")
+        if hold_time_s < 0:
+            raise ValueError("hold time must be non-negative")
+        rate = self._switch().droop_rate(self.design.storage_capacitance)
+        self.stored_vgs = self.stored_vgs - rate * hold_time_s
+
+    # ------------------------------------------------------------------
+    # Currents (batched twin of NeuralArrayModel)
+    # ------------------------------------------------------------------
+    def pixel_currents(self, sensor_voltages: np.ndarray | float = 0.0) -> np.ndarray:
+        if self.stored_vgs is None:
+            raise RuntimeError("array has not been calibrated")
+        vgs = self.stored_vgs + self.design.coupling_factor * np.asarray(sensor_voltages)
+        return ekv_ids_array(vgs, self.vth, self.beta, self.design.process)
+
+    def uncalibrated_currents(self) -> np.ndarray:
+        v_nominal = self.nominal_gate_voltage()
+        return ekv_ids_array(
+            np.full_like(self.vth, v_nominal), self.vth, self.beta, self.design.process
+        )
+
+    def offset_currents(self) -> np.ndarray:
+        return self.pixel_currents(0.0) - self.i_m2
+
+    def uncalibrated_offset_currents(self) -> np.ndarray:
+        return self.uncalibrated_currents() - self.i_m2
+
+    def transconductance_plane(self, delta_v: float = 1e-5) -> np.ndarray:
+        if self.stored_vgs is None:
+            raise RuntimeError("array has not been calibrated")
+        up = self.pixel_currents(delta_v)
+        down = self.pixel_currents(-delta_v)
+        return (up - down) / (2.0 * delta_v)
+
+    def input_referred_offsets(self) -> np.ndarray:
+        gm = self.transconductance_plane()
+        return self.offset_currents() / gm

@@ -196,6 +196,7 @@ class Runner:
         store: "Any" = None,
         out: Optional[Any] = None,
         overwrite: bool = False,
+        flush_every: int = 1,
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
     ) -> "Any":
@@ -220,6 +221,7 @@ class Runner:
             store=store,
             out=out,
             overwrite=overwrite,
+            flush_every=flush_every,
             backend=backend,
             inputs=inputs,
         )

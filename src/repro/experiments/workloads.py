@@ -30,7 +30,8 @@ from ..dna.assay import AssayProtocol, MicroarrayAssay
 from ..dna.sample import Sample
 from ..dna.sequences import DnaSequence, Probe, Target
 from ..dna.spotting import ProbeLayout
-from ..engine import VectorizedDnaChip, kernels
+from ..core.signals import Trace
+from ..engine import VectorizedDnaChip, VectorizedNeuroChip, kernels, neuro_kernels
 from ..neuro.culture import ArrayGeometry, Culture
 from ..neuro.spike_detection import detect_spikes, score_detection, spike_snr
 from ..pixel.sawtooth_adc import SawtoothAdc
@@ -301,15 +302,178 @@ def _build_neuro_chip(spec: NeuralRecordingSpec, chip_rng) -> NeuralRecordingChi
     return chip
 
 
+def _build_neuro_chip_vectorized(spec: NeuralRecordingSpec, chip_rng) -> VectorizedNeuroChip:
+    """The engine-backed twin of :func:`_build_neuro_chip`: consumes the
+    chip stream identically, so pixel planes and channel draws are
+    bit-identical to the object chip's."""
+    chip = VectorizedNeuroChip(
+        geometry=ArrayGeometry(spec.rows, spec.cols, spec.pitch_m), rng=chip_rng
+    )
+    chip.calibrate()
+    return chip
+
+
+_NEURAL_COLUMN_NAMES = (
+    "neuron",
+    "diameter_m",
+    "best_row",
+    "best_col",
+    "peak_v",
+    "true_spikes",
+    "detected_spikes",
+    "precision",
+    "recall",
+    "snr",
+)
+
+
+def _neural_offgrid_row(columns: dict, neuron, truth) -> None:
+    # Off-grid soma (possible at array edges): no trace to score.
+    columns["best_row"].append(-1)
+    columns["best_col"].append(-1)
+    columns["peak_v"].append(0.0)
+    columns["true_spikes"].append(len(truth))
+    columns["detected_spikes"].append(0)
+    columns["precision"].append(0.0)
+    columns["recall"].append(0.0)
+    columns["snr"].append(float("nan"))
+
+
+def _score_neurons_object(spec: NeuralRecordingSpec, recording, culture) -> dict:
+    """Per-neuron spike scoring on the object path: one trace, one
+    detector call per neuron."""
+    columns: dict[str, list] = {name: [] for name in _NEURAL_COLUMN_NAMES}
+    for neuron in culture.neurons:
+        truth = recording.ground_truth[neuron.index]
+        columns["neuron"].append(neuron.index)
+        columns["diameter_m"].append(neuron.diameter)
+        if not culture.pixels_for_neuron(neuron):
+            _neural_offgrid_row(columns, neuron, truth)
+            continue
+        row, col = recording.best_pixel_for(neuron.index)
+        trace = recording.electrode_movie.pixel_trace(row, col)
+        detected = detect_spikes(trace, threshold_sigma=spec.threshold_sigma)
+        score = score_detection(detected, truth, tolerance_s=spec.tolerance_s)
+        columns["best_row"].append(row)
+        columns["best_col"].append(col)
+        columns["peak_v"].append(trace.peak_abs())
+        columns["true_spikes"].append(len(truth))
+        columns["detected_spikes"].append(len(detected))
+        columns["precision"].append(score.precision)
+        columns["recall"].append(score.recall)
+        columns["snr"].append(spike_snr(trace, truth) if len(truth) else float("nan"))
+    return columns
+
+
+def _score_neurons_vectorized(spec: NeuralRecordingSpec, recording, culture) -> dict:
+    """Array-wide scoring: best pixels from one peak plane, every
+    best-pixel trace detected in one matrix pass
+    (:func:`repro.engine.neuro_kernels.detect_spikes_matrix`)."""
+    columns: dict[str, list] = {name: [] for name in _NEURAL_COLUMN_NAMES}
+    frames = recording.electrode_movie.frames
+    peak_plane = np.max(np.abs(frames), axis=0) if culture.neurons else None
+    active: list[tuple[int, int, int]] = []  # (neuron position, row, col)
+    for position, neuron in enumerate(culture.neurons):
+        truth = recording.ground_truth[neuron.index]
+        columns["neuron"].append(neuron.index)
+        columns["diameter_m"].append(neuron.diameter)
+        covered = culture.pixels_for_neuron(neuron)
+        if not covered:
+            _neural_offgrid_row(columns, neuron, truth)
+            continue
+        peaks = np.asarray([peak_plane[r, c] for r, c in covered])
+        row, col = covered[int(np.argmax(peaks))]
+        active.append((position, row, col))
+        columns["best_row"].append(row)
+        columns["best_col"].append(col)
+        columns["true_spikes"].append(len(truth))
+        # peak_v / detection filled from the matrix pass below.
+        columns["peak_v"].append(None)
+        columns["detected_spikes"].append(None)
+        columns["precision"].append(None)
+        columns["recall"].append(None)
+        columns["snr"].append(None)
+    if active:
+        dt = 1.0 / recording.electrode_movie.frame_rate_hz
+        traces = frames[:, [r for _, r, _ in active], [c for _, _, c in active]].T
+        detected_all = neuro_kernels.detect_spikes_matrix(
+            traces, dt, threshold_sigma=spec.threshold_sigma
+        )
+        peak_values = np.max(np.abs(traces), axis=1)
+        # Columns hold one entry per neuron in position order, so each
+        # active neuron's placeholder sits at its culture position.
+        for (position, _, _), trace_row, detected, peak in zip(
+            active, traces, detected_all, peak_values
+        ):
+            neuron = culture.neurons[position]
+            truth = recording.ground_truth[neuron.index]
+            score = score_detection(detected, truth, tolerance_s=spec.tolerance_s)
+            columns["peak_v"][position] = float(peak)
+            columns["detected_spikes"][position] = len(detected)
+            columns["precision"][position] = score.precision
+            columns["recall"][position] = score.recall
+            columns["snr"][position] = (
+                spike_snr(Trace(trace_row, dt), truth) if len(truth) else float("nan")
+            )
+    return columns
+
+
+def neural_records_and_metrics(
+    spec: NeuralRecordingSpec, chip, culture, recording, backend: str
+) -> tuple[dict, dict]:
+    """Fold a recording into the workload's records/metrics — shared by
+    the Runner path and the batched campaign fast path."""
+    if backend == "vectorized":
+        columns = _score_neurons_vectorized(spec, recording, culture)
+    else:
+        columns = _score_neurons_object(spec, recording, culture)
+    records = {
+        "neuron": np.asarray(columns["neuron"], dtype=int),
+        "diameter_m": np.asarray(columns["diameter_m"], dtype=float),
+        "best_row": np.asarray(columns["best_row"], dtype=int),
+        "best_col": np.asarray(columns["best_col"], dtype=int),
+        "peak_v": np.asarray(columns["peak_v"], dtype=float),
+        "true_spikes": np.asarray(columns["true_spikes"], dtype=int),
+        "detected_spikes": np.asarray(columns["detected_spikes"], dtype=int),
+        "precision": np.asarray(columns["precision"], dtype=float),
+        "recall": np.asarray(columns["recall"], dtype=float),
+        "snr": np.asarray(columns["snr"], dtype=float),
+    }
+    # Precision is defined over neurons that detected something,
+    # recall over neurons that actually fired — matching the per-neuron
+    # DetectionScore denominators.
+    detected = records["detected_spikes"] > 0
+    fired = records["true_spikes"] > 0
+    metrics = {
+        "backend": backend,
+        "n_neurons": len(culture.neurons),
+        # An empty culture covers nothing (coverage_fraction() rejects
+        # the 0/0 case; the workload reports 0.0).
+        "coverage_fraction": float(culture.coverage_fraction()) if culture.neurons else 0.0,
+        "noise_floor_v": float(chip.input_referred_noise_v()),
+        "frame_rate_hz": float(chip.scan.frame_rate_hz),
+        "channel_pixel_rate_hz": float(chip.scan.channel_pixel_rate_hz),
+        "aggregate_pixel_rate_hz": float(chip.scan.aggregate_pixel_rate_hz),
+        "total_true_spikes": int(records["true_spikes"].sum()),
+        "total_detected_spikes": int(records["detected_spikes"].sum()),
+        "mean_precision": float(records["precision"][detected].mean()) if detected.any() else 0.0,
+        "mean_recall": float(records["recall"][fired].mean()) if fired.any() else 0.0,
+    }
+    return records, metrics
+
+
 def _execute_neural(
     runner: "Runner", spec: NeuralRecordingSpec, rngs: dict, inputs: dict
 ) -> ResultSet:
+    backend = runner.backend
+    vectorized = backend == "vectorized"
     chip = inputs.get("chip")
     if chip is None:
+        build = _build_neuro_chip_vectorized if vectorized else _build_neuro_chip
         chip = runner._provision(
-            "neuro_chip",
+            "neuro_chip_vectorized" if vectorized else "neuro_chip",
             spec.chip_key(),
-            lambda: _build_neuro_chip(spec, rngs["chip"]),
+            lambda: build(spec, rngs["chip"]),
             cacheable="chip" not in runner._overridden,
         )
     culture = inputs.get("culture")
@@ -327,79 +491,7 @@ def _execute_neural(
         rng=rngs["record"],
         use_hh=spec.use_hh,
     )
-
-    columns: dict[str, list] = {
-        name: []
-        for name in (
-            "neuron",
-            "diameter_m",
-            "best_row",
-            "best_col",
-            "peak_v",
-            "true_spikes",
-            "detected_spikes",
-            "precision",
-            "recall",
-            "snr",
-        )
-    }
-    for neuron in culture.neurons:
-        truth = recording.ground_truth[neuron.index]
-        columns["neuron"].append(neuron.index)
-        columns["diameter_m"].append(neuron.diameter)
-        if not culture.pixels_for_neuron(neuron):
-            # Off-grid soma (possible at array edges): no trace to score.
-            columns["best_row"].append(-1)
-            columns["best_col"].append(-1)
-            columns["peak_v"].append(0.0)
-            columns["true_spikes"].append(len(truth))
-            columns["detected_spikes"].append(0)
-            columns["precision"].append(0.0)
-            columns["recall"].append(0.0)
-            columns["snr"].append(float("nan"))
-            continue
-        row, col = recording.best_pixel_for(neuron.index)
-        trace = recording.electrode_movie.pixel_trace(row, col)
-        detected = detect_spikes(trace, threshold_sigma=spec.threshold_sigma)
-        score = score_detection(detected, truth, tolerance_s=spec.tolerance_s)
-        columns["best_row"].append(row)
-        columns["best_col"].append(col)
-        columns["peak_v"].append(trace.peak_abs())
-        columns["true_spikes"].append(len(truth))
-        columns["detected_spikes"].append(len(detected))
-        columns["precision"].append(score.precision)
-        columns["recall"].append(score.recall)
-        columns["snr"].append(spike_snr(trace, truth) if len(truth) else float("nan"))
-
-    records = {
-        "neuron": np.asarray(columns["neuron"], dtype=int),
-        "diameter_m": np.asarray(columns["diameter_m"]),
-        "best_row": np.asarray(columns["best_row"], dtype=int),
-        "best_col": np.asarray(columns["best_col"], dtype=int),
-        "peak_v": np.asarray(columns["peak_v"]),
-        "true_spikes": np.asarray(columns["true_spikes"], dtype=int),
-        "detected_spikes": np.asarray(columns["detected_spikes"], dtype=int),
-        "precision": np.asarray(columns["precision"]),
-        "recall": np.asarray(columns["recall"]),
-        "snr": np.asarray(columns["snr"]),
-    }
-    # Precision is defined over neurons that detected something,
-    # recall over neurons that actually fired — matching the per-neuron
-    # DetectionScore denominators.
-    detected = records["detected_spikes"] > 0
-    fired = records["true_spikes"] > 0
-    metrics = {
-        "n_neurons": len(culture.neurons),
-        "coverage_fraction": float(culture.coverage_fraction()),
-        "noise_floor_v": float(chip.input_referred_noise_v()),
-        "frame_rate_hz": float(chip.scan.frame_rate_hz),
-        "channel_pixel_rate_hz": float(chip.scan.channel_pixel_rate_hz),
-        "aggregate_pixel_rate_hz": float(chip.scan.aggregate_pixel_rate_hz),
-        "total_true_spikes": int(records["true_spikes"].sum()),
-        "total_detected_spikes": int(records["detected_spikes"].sum()),
-        "mean_precision": float(records["precision"][detected].mean()) if detected.any() else 0.0,
-        "mean_recall": float(records["recall"][fired].mean()) if fired.any() else 0.0,
-    }
+    records, metrics = neural_records_and_metrics(spec, chip, culture, recording, backend)
     return runner._result(
         spec,
         record_name="neuron",
@@ -555,6 +647,49 @@ def _build_array_scale_chips(spec: ArrayScaleSpec, backend: str, chip_rng, calib
     return chips
 
 
+def array_scale_records_and_metrics(
+    spec: ArrayScaleSpec,
+    backend: str,
+    counts: np.ndarray,
+    dead: np.ndarray,
+    counter_bits: int,
+    cint_nominal: float,
+    swing_nominal: float,
+    currents: np.ndarray,
+) -> tuple[dict, dict]:
+    """Fold a ``(n_chips, rows, cols)`` count stack into the workload's
+    records/metrics — shared by the Runner path and the batched
+    campaign fast path."""
+    full_scale = (1 << counter_bits) - 1
+    flat = counts.reshape(spec.n_chips, -1)
+    records = {
+        "chip": np.arange(spec.n_chips, dtype=int),
+        "mean_count": flat.mean(axis=1),
+        "median_count": np.median(flat, axis=1),
+        "min_count": flat.min(axis=1).astype(int),
+        "max_count": flat.max(axis=1).astype(int),
+        "zero_sites": (flat == 0).sum(axis=1).astype(int),
+        "saturated_sites": (flat >= full_scale).sum(axis=1).astype(int),
+        "dead_pixels": dead.astype(int),
+    }
+    ideal = kernels.ideal_frequency(currents, cint_nominal, swing_nominal) * spec.frame_s
+    # Dead-time compression at the highest-current site (the top of the
+    # logspan decade; the shared midpoint for pattern="uniform").
+    top_site = int(np.argmax(currents.reshape(-1)))
+    metrics = {
+        "backend": backend,
+        "rows": spec.rows,
+        "cols": spec.cols,
+        "n_chips": spec.n_chips,
+        "sites_total": int(spec.n_chips * spec.rows * spec.cols),
+        "mean_count": float(flat.mean()),
+        "total_counts": int(flat.sum()),
+        "zero_site_fraction": float((flat == 0).mean()),
+        "top_site_compression": float(flat[:, top_site].mean() / ideal.reshape(-1)[top_site]),
+    }
+    return records, metrics
+
+
 def _execute_array_scale(
     runner: "Runner", spec: ArrayScaleSpec, rngs: dict, inputs: dict
 ) -> ResultSet:
@@ -590,33 +725,9 @@ def _execute_array_scale(
         cint_nominal = pixel.adc.cint.capacitance_f / (1.0 + pixel.variation.cint_relative_error)
         swing_nominal = pixel.adc.comparator.threshold_v
 
-    full_scale = (1 << counter_bits) - 1
-    flat = counts.reshape(spec.n_chips, -1)
-    records = {
-        "chip": np.arange(spec.n_chips, dtype=int),
-        "mean_count": flat.mean(axis=1),
-        "median_count": np.median(flat, axis=1),
-        "min_count": flat.min(axis=1).astype(int),
-        "max_count": flat.max(axis=1).astype(int),
-        "zero_sites": (flat == 0).sum(axis=1).astype(int),
-        "saturated_sites": (flat >= full_scale).sum(axis=1).astype(int),
-        "dead_pixels": dead.astype(int),
-    }
-    ideal = kernels.ideal_frequency(currents, cint_nominal, swing_nominal) * spec.frame_s
-    # Dead-time compression at the highest-current site (the top of the
-    # logspan decade; the shared midpoint for pattern="uniform").
-    top_site = int(np.argmax(currents.reshape(-1)))
-    metrics = {
-        "backend": backend,
-        "rows": spec.rows,
-        "cols": spec.cols,
-        "n_chips": spec.n_chips,
-        "sites_total": int(spec.n_chips * spec.rows * spec.cols),
-        "mean_count": float(flat.mean()),
-        "total_counts": int(flat.sum()),
-        "zero_site_fraction": float((flat == 0).mean()),
-        "top_site_compression": float(flat[:, top_site].mean() / ideal.reshape(-1)[top_site]),
-    }
+    records, metrics = array_scale_records_and_metrics(
+        spec, backend, counts, dead, counter_bits, cint_nominal, swing_nominal, currents
+    )
     return runner._result(
         spec,
         record_name="chip",
@@ -627,7 +738,9 @@ def _execute_array_scale(
 
 
 register_workload("dna_assay", _dna_streams, _execute_dna, backends=("object", "vectorized"))
-register_workload("neural_recording", _neural_streams, _execute_neural)
+register_workload(
+    "neural_recording", _neural_streams, _execute_neural, backends=("object", "vectorized")
+)
 register_workload("screening", _screening_streams, _execute_screening)
 register_workload("adc_transfer", _adc_streams, _execute_adc)
 register_workload(

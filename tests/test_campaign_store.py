@@ -275,3 +275,95 @@ def test_load_point_works_without_manifest(tmp_path):
     loaded = JsonlResultStore.load(out)
     assert loaded.manifest is None
     assert loaded.load_point(2).n_records == 128
+
+
+# ---------------------------------------------------------------------------
+# Buffered append mode (flush_every > 1)
+# ---------------------------------------------------------------------------
+def test_buffered_store_round_trip_matches_per_point_flushing(tmp_path, stored):
+    _, reference = stored
+    out = tmp_path / "buffered"
+    buffered = run_campaign(
+        CAMPAIGN, seed=3, store="jsonl", out=out, flush_every=3
+    )
+    for a, b in zip(reference.results(), buffered.results()):
+        assert a.to_json() == b.to_json()
+    loaded = JsonlResultStore.load(out)
+    assert loaded.manifest == buffered.store.manifest
+    assert [meta["point"] for meta in loaded.point_metas()] == [
+        meta["point"] for meta in buffered.store.point_metas()
+    ]
+
+
+def test_buffered_store_defers_disk_writes_until_threshold(tmp_path, stored):
+    """Lines accumulate in the append buffer and land in whole batches
+    — the partial file on disk only ever holds complete lines."""
+    out_dir, reference = stored
+    store = JsonlResultStore(tmp_path / "buffered", flush_every=2)
+    from repro.campaigns.executors import PointOutcome
+
+    plan = CAMPAIGN.compile(3)
+    pairs = list(JsonlResultStore.load(out_dir).iter_results())
+    path = store.root / store.RESULTS_NAME
+    meta, result = pairs[0]
+    store.add(PointOutcome(point=plan[meta["point"]], result=result, wall_s=1.0))
+    assert path.stat().st_size == 0  # still buffered
+    meta, result = pairs[1]
+    store.add(PointOutcome(point=plan[meta["point"]], result=result, wall_s=1.0))
+    size_after_flush = path.stat().st_size
+    assert size_after_flush > 0
+    with path.open() as handle:
+        lines = handle.readlines()
+    assert len(lines) == 2
+    for line in lines:
+        json.loads(line)  # every flushed line is complete JSON
+    # One more buffered point: not on disk yet, but readable through the
+    # store (result_for flushes pending lines first).
+    meta, result = pairs[2]
+    store.add(PointOutcome(point=plan[meta["point"]], result=result, wall_s=1.0))
+    assert path.stat().st_size == size_after_flush
+    fetched = store.result_for(meta["point"])
+    assert fetched.to_json() == result.to_json()
+    assert path.stat().st_size > size_after_flush
+
+
+def test_buffered_store_partial_run_loses_only_the_tail(tmp_path, stored):
+    out_dir, _ = stored
+    store = JsonlResultStore(tmp_path / "buffered", flush_every=3)
+    from repro.campaigns.executors import PointOutcome
+
+    plan = CAMPAIGN.compile(3)
+    pairs = list(JsonlResultStore.load(out_dir).iter_results())
+    for meta, result in pairs:  # 4 points: one flush of 3, 1 buffered
+        store.add(
+            PointOutcome(point=plan[meta["point"]], result=result, wall_s=1.0)
+        )
+    # Simulate a crash: reload the directory without finalize — the
+    # buffered point never reached disk, the three flushed ones did.
+    loaded = JsonlResultStore.load(tmp_path / "buffered")
+    assert loaded.manifest is None
+    assert len(loaded.point_metas()) == 3
+
+
+def test_buffered_store_finalize_flushes_everything(tmp_path):
+    out = tmp_path / "buffered"
+    result = run_campaign(CAMPAIGN, seed=3, store="jsonl", out=out, flush_every=1000)
+    lines = (out / "results.jsonl").read_text().strip().splitlines()
+    assert len(lines) == len(result.plan)
+
+
+def test_flush_every_validation(tmp_path):
+    with pytest.raises(ValueError, match="flush_every"):
+        JsonlResultStore(tmp_path / "x", flush_every=0)
+    with pytest.raises(ValueError, match="jsonl"):
+        make_store("memory", flush_every=8)
+    with pytest.raises(ValueError, match="jsonl"):
+        make_store(None, flush_every=8)
+    with pytest.raises(ValueError, match="jsonl"):
+        make_store(MemoryResultStore(), flush_every=8)
+    store = JsonlResultStore(tmp_path / "y", flush_every=4)
+    assert make_store(store, flush_every=4) is store
+    with pytest.raises(ValueError, match="conflicts"):
+        make_store(store, flush_every=2)
+    configured = make_store("jsonl", out=tmp_path / "z", flush_every=6)
+    assert configured.flush_every == 6

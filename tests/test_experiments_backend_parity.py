@@ -164,8 +164,8 @@ class TestRunnerMechanics:
     def test_vectorized_rejected_for_object_only_workloads(self):
         """A workload that never dispatches on the backend must refuse
         "vectorized" rather than silently run object-model code."""
-        from repro.experiments import NeuralRecordingSpec, ScreeningSpec
+        from repro.experiments import AdcTransferSpec, ScreeningSpec
 
-        for spec in (NeuralRecordingSpec(rows=8, cols=8), ScreeningSpec(library_size=10)):
+        for spec in (AdcTransferSpec(), ScreeningSpec(library_size=10)):
             with pytest.raises(ValueError, match="does not support backend"):
                 Runner(seed=1).run(spec, backend="vectorized")

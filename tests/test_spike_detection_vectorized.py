@@ -1,0 +1,121 @@
+"""Vectorised truth-matching / SNR masking vs the original per-spike
+loops — bit-identical by construction (satellite of the neuro-backend
+PR).  The reference implementations below are the pre-vectorisation
+algorithms, kept verbatim for randomized equivalence checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.signals import Trace
+from repro.neuro.spike_detection import (
+    DetectionScore,
+    score_detection,
+    spike_free_mask,
+    spike_snr,
+)
+
+
+def reference_score(detected, truth, tolerance_s):
+    """The original O(n_truth * n_detected) greedy matcher."""
+    detected = np.sort(np.asarray(detected, dtype=float))
+    truth = np.sort(np.asarray(truth, dtype=float))
+    used = np.zeros(len(detected), dtype=bool)
+    tp = 0
+    for t in truth:
+        candidates = np.nonzero(~used & (np.abs(detected - t) <= tolerance_s))[0]
+        if len(candidates):
+            nearest = candidates[np.argmin(np.abs(detected[candidates] - t))]
+            used[nearest] = True
+            tp += 1
+    return DetectionScore(tp, int(np.sum(~used)), len(truth) - tp)
+
+
+def reference_mask(trace, spike_times, window_s):
+    """The original per-spike slice-blanking loop."""
+    mask = np.ones(trace.n, dtype=bool)
+    for t in np.asarray(spike_times, dtype=float):
+        i0 = max(0, int((t - window_s - trace.t0) / trace.dt))
+        i1 = min(trace.n, int((t + window_s - trace.t0) / trace.dt) + 1)
+        mask[i0:i1] = False
+    return mask
+
+
+class TestScoreDetection:
+    def test_randomized_equivalence_with_reference(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            n_detected = int(rng.integers(0, 30))
+            n_truth = int(rng.integers(0, 30))
+            detected = rng.uniform(0.0, 0.2, size=n_detected)
+            truth = rng.uniform(0.0, 0.2, size=n_truth)
+            # Force boundary collisions: duplicate times and exact
+            # tolerance-distant pairs.
+            if n_truth and n_detected:
+                detected[0] = truth[0] + 2e-3
+                if n_detected > 1:
+                    detected[1] = truth[0]
+            fast = score_detection(detected, truth, tolerance_s=2e-3)
+            slow = reference_score(detected, truth, tolerance_s=2e-3)
+            assert fast == slow
+
+    def test_dense_tie_breaking(self):
+        """Many detections in one window: the greedy nearest-unused
+        order must match the reference exactly."""
+        truth = np.asarray([0.010, 0.0105, 0.011, 0.0115])
+        detected = np.asarray([0.0098, 0.0102, 0.0104, 0.0108, 0.0112, 0.030])
+        fast = score_detection(detected, truth, tolerance_s=1e-3)
+        assert fast == reference_score(detected, truth, tolerance_s=1e-3)
+        assert fast.true_positives == 4
+
+    def test_empty_inputs_and_validation(self):
+        empty = score_detection([], [], tolerance_s=1e-3)
+        assert (empty.true_positives, empty.false_positives, empty.false_negatives) == (0, 0, 0)
+        assert score_detection([0.01], [], tolerance_s=1e-3).false_positives == 1
+        assert score_detection([], [0.01], tolerance_s=1e-3).false_negatives == 1
+        with pytest.raises(ValueError, match="tolerance"):
+            score_detection([0.01], [0.01], tolerance_s=0.0)
+
+    def test_exact_tolerance_boundary(self):
+        # |d - t| == tolerance counts as a match (<=), including under
+        # the windowed search.
+        assert score_detection([0.012], [0.010], tolerance_s=2e-3).true_positives == 1
+
+
+class TestSpikeFreeMask:
+    def test_randomized_equivalence_with_reference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            n = int(rng.integers(8, 400))
+            trace = Trace(rng.normal(size=n), dt=5e-4, t0=float(rng.uniform(-0.01, 0.01)))
+            spikes = rng.uniform(-0.05, n * 5e-4 + 0.05, size=int(rng.integers(0, 12)))
+            mask = spike_free_mask(trace, spikes, window_s=1.5e-3)
+            np.testing.assert_array_equal(mask, reference_mask(trace, spikes, 1.5e-3))
+
+    def test_overlapping_windows_merge(self):
+        trace = Trace(np.zeros(100), dt=1e-3)
+        mask = spike_free_mask(trace, [0.010, 0.011, 0.012], window_s=2e-3)
+        np.testing.assert_array_equal(
+            mask, reference_mask(trace, [0.010, 0.011, 0.012], 2e-3)
+        )
+        assert not mask[8:15].any()
+
+    def test_spike_snr_unchanged_numbers(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(scale=1e-5, size=500)
+        samples[250] = 5e-4
+        trace = Trace(samples, dt=5e-4)
+        snr = spike_snr(trace, np.asarray([250 * 5e-4]))
+        # Same value the loop-based implementation produced.
+        mask = reference_mask(trace, [250 * 5e-4], 1.5e-3)
+        quiet = trace.samples[mask]
+        sigma = float(np.median(np.abs(quiet - np.median(quiet))) / 0.6745)
+        peak = float(np.max(np.abs((trace.samples - np.median(quiet))[~mask])))
+        assert snr == peak / sigma
+
+    def test_spike_snr_guards(self):
+        trace = Trace(np.zeros(16), dt=1e-3)
+        with pytest.raises(ValueError, match="window"):
+            spike_snr(trace, [0.001], window_s=0.0)
+        with pytest.raises(ValueError, match="spike-free"):
+            spike_snr(trace, np.arange(16) * 1e-3, window_s=5e-3)
