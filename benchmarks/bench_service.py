@@ -1,0 +1,230 @@
+"""Service cache benchmark: cold vs warm campaigns, overlap dedup.
+
+The cache's perf claim is blunt: a re-submitted identical campaign must
+cost file reads, not engine time.  This benchmark times one dna_assay
+campaign three ways through a content-addressed
+:class:`~repro.service.cache.ResultCache` —
+
+* **cold** — empty cache directory, every point computed (and stored);
+* **warm** — identical re-submission against the populated directory
+  through a *fresh* cache instance, so every hit is a verified disk
+  read, not an in-memory LRU hit;
+* **overlap** — a second campaign whose grid shares half its
+  concentrations with the first, the realistic many-clients workload;
+  its meta records the dedup ratio (fraction of points served without
+  engine recomputation).
+
+Records land in ``BENCH_service.json`` via the shared
+``benchmarks/_harness.py`` schema; warm records carry
+``warm_speedup`` (cold wall / warm wall) and the CI service-smoke job
+asserts it ≥ 10×.  An uncached baseline rides along so the cold run's
+key-derivation + write overhead stays visible across commits.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py \\
+          [--quick] [--points N] [--repeats N] [--out BENCH_service.json] \\
+          [--assert-warm-speedup X] [--assert-dedup-ratio R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import BenchSuite  # noqa: E402
+
+from repro.campaigns import CampaignSpec, MemoryResultStore, run_campaign  # noqa: E402
+from repro.experiments import DnaAssaySpec  # noqa: E402
+from repro.service import ResultCache  # noqa: E402
+
+#: Heavy enough per point (~15 ms engine time) that compute dominates
+#: the warm path's verified disk reads (~0.7 ms) with a wide margin —
+#: the asserted 10x floor holds even on slow CI runners.
+BASE = DnaAssaySpec(probe_count=16, replicates=8, target_subset=(0, 1))
+CONCENTRATIONS = (1e-8, 1e-7, 1e-6, 1e-5)
+#: The overlap campaign shares exactly half its grid with the first.
+OVERLAP_CONCENTRATIONS = (1e-6, 1e-5, 1e-4, 1e-3)
+
+
+def build_campaign(points: int, concentrations: tuple = CONCENTRATIONS) -> CampaignSpec:
+    replicates = max(1, points // len(concentrations))
+    return CampaignSpec(
+        base=BASE,
+        grid={"concentration": concentrations},
+        replicates=replicates,
+        name="bench-service",
+    )
+
+
+def bench_service(
+    points: int = 16,
+    repeats: int = 1,
+    suite: BenchSuite | None = None,
+    cache_root: str | Path | None = None,
+) -> BenchSuite:
+    suite = suite or BenchSuite("service")
+    campaign = build_campaign(points)
+    overlap = build_campaign(points, OVERLAP_CONCENTRATIONS)
+    n_points = campaign.n_points
+    workdir = Path(cache_root) if cache_root else Path(tempfile.mkdtemp(prefix="bench-svc-"))
+    owns_workdir = cache_root is None
+    meta = {"points": n_points, "executor": "serial"}
+    try:
+        # Uncached baseline: what the engine alone costs.
+        _, baseline = suite.time(
+            "service_nocache",
+            lambda: run_campaign(campaign, seed=1, store=MemoryResultStore()),
+            backend="object",
+            rows=BASE.rows,
+            cols=BASE.cols,
+            repeats=repeats,
+            **meta,
+        )
+
+        # Cold: a fresh cache directory per repeat (a second repeat of
+        # the same directory would measure the warm path).
+        cold_dirs = iter(workdir / f"cold-{n}" for n in range(repeats))
+
+        def run_cold():
+            return run_campaign(
+                campaign,
+                seed=1,
+                store=MemoryResultStore(),
+                cache=ResultCache(root=next(cold_dirs)),
+            )
+
+        cold_result, cold = suite.time(
+            "service_cold",
+            run_cold,
+            backend="object",
+            rows=BASE.rows,
+            cols=BASE.cols,
+            repeats=repeats,
+            **meta,
+        )
+        cold.meta["cache"] = cold_result.manifest["cache"]
+        cold.meta["overhead_vs_nocache"] = cold.wall_s / baseline.wall_s
+
+        # Warm: identical re-submission; a fresh ResultCache instance
+        # per run makes every hit a verified disk read.
+        populated = workdir / "cold-0"
+
+        def run_warm():
+            return run_campaign(
+                campaign,
+                seed=1,
+                store=MemoryResultStore(),
+                cache=ResultCache(root=populated),
+            )
+
+        warm_result, warm = suite.time(
+            "service_warm",
+            run_warm,
+            backend="object",
+            rows=BASE.rows,
+            cols=BASE.cols,
+            repeats=repeats,
+            **meta,
+        )
+        warm.meta["cache"] = warm_result.manifest["cache"]
+        assert warm_result.manifest["cache"]["computed"] == 0, "warm run hit the engine"
+        warm.meta["warm_speedup"] = cold.wall_s / warm.wall_s
+
+        # Overlap: half the grid is already cached — the many-clients
+        # sweep workload.  Dedup ratio = points served without engine
+        # recomputation.
+        def run_overlap():
+            return run_campaign(
+                overlap,
+                seed=1,
+                store=MemoryResultStore(),
+                cache=ResultCache(root=populated),
+            )
+
+        overlap_result, lap = suite.time(
+            "service_overlap",
+            run_overlap,
+            backend="object",
+            rows=BASE.rows,
+            cols=BASE.cols,
+            repeats=1,  # a repeat would find its own writes
+            **meta,
+        )
+        block = overlap_result.manifest["cache"]
+        lap.meta["cache"] = block
+        lap.meta["dedup_ratio"] = (block["hits"] + block["replayed"]) / block["n_points"]
+
+        print(f"  nocache: {n_points} points in {baseline.wall_s:.3f}s")
+        print(
+            f"     cold: {n_points} points in {cold.wall_s:.3f}s "
+            f"({cold.meta['overhead_vs_nocache']:.2f}x nocache)"
+        )
+        print(
+            f"     warm: {n_points} points in {warm.wall_s:.3f}s "
+            f"({warm.meta['warm_speedup']:.1f}x faster than cold)"
+        )
+        print(
+            f"  overlap: {block['hits']} hits / {block['computed']} computed "
+            f"(dedup ratio {lap.meta['dedup_ratio']:.2f})"
+        )
+    finally:
+        if owns_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return suite
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=16, help="campaign size (default 16)")
+    parser.add_argument("--quick", action="store_true", help="8-point campaign, 1 repeat")
+    parser.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
+    parser.add_argument("--out", default="BENCH_service.json", help="output JSON path")
+    parser.add_argument(
+        "--assert-warm-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless warm wall time beats cold by >= X",
+    )
+    parser.add_argument(
+        "--assert-dedup-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail unless the overlap campaign's dedup ratio >= R",
+    )
+    args = parser.parse_args(argv)
+    points = 8 if args.quick else args.points
+    repeats = 1 if args.quick else args.repeats
+    suite = bench_service(points=points, repeats=repeats)
+    path = suite.write(args.out)
+    print(f"\nwrote {path}")
+    by_name = {record.name: record for record in suite.records}
+    if args.assert_warm_speedup is not None:
+        speedup = by_name["service_warm"].meta["warm_speedup"]
+        if speedup < args.assert_warm_speedup:
+            print(
+                f"FAIL: warm speedup {speedup:.1f}x < required "
+                f"{args.assert_warm_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"warm speedup {speedup:.1f}x >= {args.assert_warm_speedup:.1f}x")
+    if args.assert_dedup_ratio is not None:
+        ratio = by_name["service_overlap"].meta["dedup_ratio"]
+        if ratio < args.assert_dedup_ratio:
+            print(
+                f"FAIL: dedup ratio {ratio:.2f} < required {args.assert_dedup_ratio:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"dedup ratio {ratio:.2f} >= {args.assert_dedup_ratio:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

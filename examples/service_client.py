@@ -1,0 +1,81 @@
+"""Service round trip: submit the Fig. 4 sweep twice, replay from cache.
+
+Starts an in-process ``repro serve`` instance (background thread, free
+port, content-addressed cache in a temp directory), then plays the
+canonical client session against it:
+
+1. submit ``examples/specs/fig4_concentration_campaign.json`` — the
+   cold run computes all 12 points and populates the cache;
+2. submit the *same* campaign again — the warm run is served entirely
+   from cache (zero engine recomputation), and both the per-point
+   result payloads and the derived dose–response analysis are
+   byte-identical to the first run's, because a cached point is the
+   same pure function value the engine would recompute.
+
+That is the reproduction invariant doing operational work: caching is
+provably safe, so overlapping sweeps from many clients cost one engine
+pass for the union of their grids.
+
+Run:  python examples/service_client.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.service import ServiceClient, start_server
+
+SPEC_PATH = Path(__file__).parent / "specs" / "fig4_concentration_campaign.json"
+
+
+def main() -> None:
+    campaign = json.loads(SPEC_PATH.read_text())
+    with tempfile.TemporaryDirectory() as tmp:
+        server, thread = start_server(port=0, cache=Path(tmp) / "cache")
+        try:
+            client = ServiceClient(server.url)
+            print(f"service: {server.url}  ({client.health()})")
+
+            print("\n-- cold submission ------------------------------------")
+            cold = client.wait(client.submit(campaign, seed=1)["id"])
+            print(f"{cold['id']}: {cold['status']}, cache {cold['cache']}")
+
+            print("\n-- identical re-submission ----------------------------")
+            warm = client.wait(client.submit(campaign, seed=1)["id"])
+            print(f"{warm['id']}: {warm['status']}, cache {warm['cache']}")
+            assert warm["cache"]["computed"] == 0, "warm run touched the engine!"
+            assert warm["cache"]["hits"] == warm["n_points"], "expected 100% hits"
+
+            cold_results = client.results(cold["id"])["results"]
+            warm_results = client.results(warm["id"])["results"]
+            identical = json.dumps(
+                [line["result"] for line in cold_results], sort_keys=True
+            ) == json.dumps([line["result"] for line in warm_results], sort_keys=True)
+            print(f"\nper-point payloads byte-identical : {identical}")
+            assert identical
+
+            cold_report = client.analysis(cold["id"])["analysis"]
+            warm_report = client.analysis(warm["id"])["analysis"]
+            reports_match = json.dumps(cold_report, sort_keys=True) == json.dumps(
+                warm_report, sort_keys=True
+            )
+            print(f"dose-response reports byte-identical: {reports_match}")
+            assert reports_match
+            lod = cold_report["scalars"].get("lod")
+            if lod is not None:
+                print(f"limit of detection (both runs)    : {lod:.3g} M")
+
+            stats = client.cache_stats()["cache"]
+            print(
+                f"\ncache: {stats['entries']} entries, "
+                f"{stats['hits']} hits / {stats['misses']} misses"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.manager.shutdown()
+            thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import (
     analysis,
@@ -43,6 +43,7 @@ from . import (
     neuro,
     pixel,
     screening,
+    service,
 )
 from .campaigns import CampaignResult, CampaignSpec, run_campaign
 from .engine import VectorizedDnaChip
@@ -79,6 +80,7 @@ from .experiments import (
     ScreeningSpec,
 )
 from .inference import AnalysisReport, analyze
+from .service import JobManager, ResultCache, ServiceClient
 from .neuro import (
     CellChipJunction,
     Culture,
@@ -112,6 +114,7 @@ __all__ = [
     "HodgkinHuxleyNeuron",
     "HybridizationKinetics",
     "InterdigitatedElectrode",
+    "JobManager",
     "MicroarrayAssay",
     "NEURO_SCAN",
     "NeuralArrayModel",
@@ -122,9 +125,11 @@ __all__ = [
     "ProbeLayout",
     "RecordingResult",
     "RedoxCyclingSensor",
+    "ResultCache",
     "ResultSet",
     "Runner",
     "Sample",
+    "ServiceClient",
     "SawtoothAdc",
     "ScanTiming",
     "ScreeningFunnel",
@@ -152,5 +157,6 @@ __all__ = [
     "run_campaign",
     "score_detection",
     "screening",
+    "service",
     "units",
 ]

@@ -60,17 +60,21 @@ from .report import manifest_summary, metrics_table, report_rows
 from .spec import CampaignSpec, campaign_from_dict, replicate_seed
 from .store import (
     MANIFEST_SCHEMA,
+    PENDING_SCHEMA,
     STORES,
     CampaignResult,
     JsonlResultStore,
     MemoryResultStore,
     ResultStore,
     make_store,
+    read_campaign_sidecar,
+    write_campaign_sidecar,
 )
 
 __all__ = [
     "EXECUTORS",
     "MANIFEST_SCHEMA",
+    "PENDING_SCHEMA",
     "STORES",
     "BatchedExecutor",
     "CampaignResult",
@@ -92,10 +96,56 @@ __all__ = [
     "make_store",
     "manifest_summary",
     "metrics_table",
+    "read_campaign_sidecar",
     "replicate_seed",
     "report_rows",
     "run_campaign",
+    "write_campaign_sidecar",
 ]
+
+
+def build_manifest(
+    campaign: CampaignSpec,
+    plan: Plan,
+    sink: ResultStore,
+    *,
+    seed: int,
+    backend: Optional[str],
+    executor_name: str,
+    workers: int,
+    total_wall_s: float,
+    cache: Optional[dict[str, Any]] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """The finalize-time manifest shared by ``run_campaign``, the job
+    manager and the resume path.  ``cache`` is the cache-accounting
+    block of a cache-aware run; ``extra`` merges additional provenance
+    (e.g. resume bookkeeping)."""
+    from .. import __version__
+
+    point_meta = {meta["point"]: meta for meta in sink.point_metas()}
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "name": campaign.name,
+        "campaign": campaign.to_dict(),
+        "seed": int(seed),
+        "version": __version__,
+        "backend": backend,
+        "executor": executor_name,
+        "workers": workers,
+        "store": sink.name,
+        "n_points": len(plan),
+        "total_wall_s": total_wall_s,
+        "points": [
+            point_meta[point.index] if point.index in point_meta else point.describe()
+            for point in plan
+        ],
+    }
+    if cache is not None:
+        manifest["cache"] = dict(cache)
+    if extra:
+        manifest.update(extra)
+    return manifest
 
 
 def run_campaign(
@@ -110,6 +160,7 @@ def run_campaign(
     flush_every: int = 1,
     backend: Optional[str] = None,
     inputs: Optional[dict[str, Any]] = None,
+    cache: Any = None,
 ) -> CampaignResult:
     """Compile ``campaign``, stream it through an executor into a store,
     and return the :class:`CampaignResult`.
@@ -126,6 +177,16 @@ def run_campaign(
     ``backend`` field (and ``None`` defers to it, then to each spec's
     default).  Results are bit-identical across executors and worker
     counts; only wall times and completion order differ.
+
+    ``cache`` enables content-addressed result caching (CLI:
+    ``--cache-dir``): a directory path or a
+    :class:`~repro.service.cache.ResultCache` instance.  Points whose
+    ``(spec, seed, backend, version)`` key is already cached are served
+    without touching the engine, duplicate points within the campaign
+    are computed once, and every computed point is cached for later
+    campaigns; the manifest gains a ``cache`` accounting block.  Cached
+    replay is bit-identical to recomputation (the reproduction
+    invariant), so enabling a cache never changes numbers.
     """
     if not isinstance(campaign, CampaignSpec):
         campaign = CampaignSpec.from_dict(campaign)
@@ -133,38 +194,56 @@ def run_campaign(
     plan = campaign.compile(seed)
     chosen = make_executor(executor, workers=workers)
     # Every setup error — executor arguments (validated eagerly in
-    # run()) and the backend — must fire before make_store touches the
-    # filesystem: an overwrite=True run must not destroy an old
-    # campaign and then die on a bad argument.
+    # run()), the backend, and the cache — must fire before make_store
+    # touches the filesystem: an overwrite=True run must not destroy an
+    # old campaign and then die on a bad argument.
     from ..experiments.workloads import validate_backend
 
     for kind in plan.kinds():
         validate_backend(kind, resolved_backend)
     outcomes = chosen.run(plan, backend=resolved_backend, inputs=inputs)
+    dispatch = None
+    if cache is not None:
+        from ..service.cache import CachedDispatch, make_cache
+
+        result_cache = make_cache(cache)
+        # The executor's eager argument validation already ran above;
+        # the un-started generator is safe to drop.
+        close = getattr(outcomes, "close", None)
+        if close is not None:
+            close()
+        dispatch = CachedDispatch(
+            plan, chosen, result_cache, backend=resolved_backend, inputs=inputs
+        )
+        outcomes = dispatch.outcomes()
     sink = make_store(store, out=out, overwrite=overwrite, flush_every=flush_every)
+    if isinstance(sink, JsonlResultStore) and sink.writable:
+        from .. import __version__
+
+        write_campaign_sidecar(
+            sink.root,
+            {
+                "name": campaign.name,
+                "campaign": campaign.to_dict(),
+                "seed": int(seed),
+                "backend": resolved_backend,
+                "version": __version__,
+            },
+        )
     start = time.perf_counter()
     for outcome in outcomes:
         sink.add(outcome)
     total_wall_s = time.perf_counter() - start
-    from .. import __version__
-
-    point_meta = {meta["point"]: meta for meta in sink.point_metas()}
-    manifest = {
-        "schema": MANIFEST_SCHEMA,
-        "name": campaign.name,
-        "campaign": campaign.to_dict(),
-        "seed": int(seed),
-        "version": __version__,
-        "backend": resolved_backend,
-        "executor": chosen.name,
-        "workers": getattr(chosen, "workers", 1),
-        "store": sink.name,
-        "n_points": len(plan),
-        "total_wall_s": total_wall_s,
-        "points": [
-            point_meta[point.index] if point.index in point_meta else point.describe()
-            for point in plan
-        ],
-    }
+    manifest = build_manifest(
+        campaign,
+        plan,
+        sink,
+        seed=seed,
+        backend=resolved_backend,
+        executor_name=chosen.name,
+        workers=getattr(chosen, "workers", 1),
+        total_wall_s=total_wall_s,
+        cache=dispatch.summary() if dispatch is not None else None,
+    )
     sink.finalize(manifest)
     return CampaignResult(plan=plan, store=sink, manifest=manifest)

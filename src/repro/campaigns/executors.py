@@ -46,8 +46,10 @@ from .plan import Plan, PlanPoint
 #: Names accepted by :func:`make_executor` (and the CLI's ``--executor``).
 #: ``"batched"`` (see :mod:`repro.campaigns.batched`) compiles same-spec
 #: vectorized-kind point groups into chip-batched engine calls and runs
-#: everything else serially.
-EXECUTORS = ("serial", "thread", "process", "batched")
+#: everything else serially.  ``"async"`` (see :mod:`repro.service.jobs`)
+#: submits the plan to a background job manager and streams outcomes back
+#: as they land — same bit-identical results, non-blocking submission.
+EXECUTORS = ("serial", "thread", "process", "batched", "async")
 
 RunnerFactory = Callable[[int], Runner]
 
@@ -314,4 +316,8 @@ def make_executor(
         from .batched import BatchedExecutor
 
         return BatchedExecutor(workers)
+    if executor == "async":
+        from ..service.jobs import AsyncExecutor
+
+        return AsyncExecutor(workers)
     raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")

@@ -25,6 +25,7 @@ table.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
@@ -36,8 +37,40 @@ from .plan import Plan
 #: Manifest schema tag, bumped on incompatible layout changes.
 MANIFEST_SCHEMA = "repro-campaign/1"
 
+#: Schema tag of the ``campaign.json`` sidecar written *before* any
+#: point executes — the half of the provenance that makes a partial
+#: (crashed or cancelled) directory resumable without re-supplying the
+#: campaign spec.
+PENDING_SCHEMA = "repro-campaign-pending/1"
+
 #: Names accepted by :func:`make_store` (and the CLI's ``--store``).
 STORES = ("memory", "jsonl")
+
+
+def write_campaign_sidecar(root: Union[str, Path], payload: dict[str, Any]) -> Path:
+    """Persist ``<dir>/campaign.json`` (campaign dict, seed, backend,
+    version) at execution start.  The manifest only lands at finalize;
+    this sidecar is what ``repro sweep --resume`` reads to reconstruct
+    an interrupted campaign's plan."""
+    path = Path(root) / JsonlResultStore.CAMPAIGN_NAME
+    data = {"schema": PENDING_SCHEMA, **payload}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def read_campaign_sidecar(root: Union[str, Path]) -> Optional[dict[str, Any]]:
+    """Load ``<dir>/campaign.json`` or ``None`` when absent; raises
+    ``ValueError`` on a schema this reader does not understand."""
+    path = Path(root) / JsonlResultStore.CAMPAIGN_NAME
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != PENDING_SCHEMA:
+        raise ValueError(
+            f"{path} has schema {data.get('schema')!r}; this reader "
+            f"understands {PENDING_SCHEMA!r}"
+        )
+    return data
 
 
 class ResultStore:
@@ -163,6 +196,7 @@ class JsonlResultStore(ResultStore):
     name = "jsonl"
     RESULTS_NAME = "results.jsonl"
     MANIFEST_NAME = "manifest.json"
+    CAMPAIGN_NAME = "campaign.json"
 
     def __init__(
         self, root: Union[str, Path], overwrite: bool = False, flush_every: int = 1
@@ -237,6 +271,22 @@ class JsonlResultStore(ResultStore):
     def manifest(self) -> Optional[dict[str, Any]]:
         return self._manifest
 
+    @property
+    def writable(self) -> bool:
+        """True while the append handle is open (False after
+        ``finalize``/``close`` and for ``load``-opened stores)."""
+        return self._handle is not None
+
+    def close(self) -> None:
+        """Flush buffered lines and release the append handle *without*
+        finalizing — deliberately leaves a manifest-less partial
+        directory that :meth:`open_partial` (``repro sweep --resume``)
+        can pick up.  The cancel path of the job manager uses this."""
+        self._flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
     def __len__(self) -> int:
         return len(self._metas)
 
@@ -307,6 +357,68 @@ class JsonlResultStore(ResultStore):
                 line.pop("result", None)
                 store._offsets[line["point"]] = offset
                 store._metas.append(line)
+        return store
+
+    @classmethod
+    def open_partial(
+        cls, root: Union[str, Path], flush_every: int = 1
+    ) -> "JsonlResultStore":
+        """Reopen a *partial* campaign directory for appending — the
+        resume path.
+
+        Pre-loads every intact line's metadata and byte offset, then
+        truncates anything after the last intact line (a process killed
+        mid-write can leave exactly one torn tail line; every line
+        before it is complete by construction) and reopens the file in
+        append mode.  Completed point indices are whatever
+        :meth:`point_metas` reports.  Refuses a directory that already
+        holds a manifest: a finalized campaign has nothing to resume.
+        """
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        root = Path(root)
+        path = root / cls.RESULTS_NAME
+        if not path.exists():
+            raise FileNotFoundError(f"no {cls.RESULTS_NAME} under {root}")
+        if (root / cls.MANIFEST_NAME).exists():
+            raise FileExistsError(
+                f"{root} holds a finalized campaign ({cls.MANIFEST_NAME}); "
+                f"there is nothing to resume"
+            )
+        store = cls.__new__(cls)
+        store.root = root
+        store.flush_every = int(flush_every)
+        store._manifest = None
+        store._metas = []
+        store._offsets = {}
+        store._pending = []
+        valid_end = 0
+        with path.open("rb") as handle:
+            while True:
+                offset = handle.tell()
+                raw = handle.readline()
+                if not raw:
+                    break
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: the write was cut mid-line
+                text = raw.strip()
+                if not text:
+                    valid_end = handle.tell()
+                    continue
+                try:
+                    line = json.loads(text)
+                except json.JSONDecodeError:
+                    break  # torn tail that still ends in a newline
+                if "point" not in line or "result" not in line:
+                    break
+                line.pop("result")
+                if line["point"] not in store._offsets:
+                    store._offsets[line["point"]] = offset
+                    store._metas.append(line)
+                valid_end = handle.tell()
+        os.truncate(path, valid_end)
+        store._written_bytes = valid_end
+        store._handle = path.open("a", encoding="utf-8")
         return store
 
 

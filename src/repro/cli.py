@@ -1,14 +1,17 @@
 """The ``repro`` command line — run specs and campaigns from JSON.
 
-Five subcommands wrap the experiment front door::
+Seven subcommands wrap the experiment front door::
 
     repro kinds                               # registered experiment kinds
     repro run    --spec examples/specs/dna_assay.json [--backend vectorized]
     repro sweep  --campaign campaign.json --executor process --out results/
     repro sweep  --spec base.json --grid concentration=1e-7,1e-6,1e-5 \\
                  --replicates 4 --store jsonl --out results/
+    repro sweep  --resume results/            # finish an interrupted sweep
     repro report  --store results/ --metrics discrimination_ratio
     repro analyze results/ [--analysis dose_response] [--json | --markdown]
+    repro serve   --cache-dir cache/ --jobs-root jobs/
+    repro submit  --campaign campaign.json --wait
 
 ``run`` executes one spec and prints its scalar metrics (``--json`` for
 the full ResultSet payload).  ``sweep`` builds a
@@ -25,6 +28,16 @@ anything.  ``analyze`` runs a registered statistical analysis
 with LoD and bootstrap CIs, detection ROC, chip-yield statistics — and
 emits the report as text, markdown or JSON; reports are bit-identical
 however the campaign was executed.
+
+``sweep --cache-dir`` routes the campaign through the content-addressed
+result cache (:mod:`repro.service`): points already computed under the
+same ``(spec, seed, backend, version)`` key replay from disk, duplicate
+points compute once.  ``sweep --resume <dir>`` finishes an interrupted
+JSONL campaign in place, skipping every point its partial
+``results.jsonl`` already holds — bit-identically to an uninterrupted
+run.  ``serve`` starts the background job service (HTTP/JSON, see
+:mod:`repro.service.server` for the endpoint table) and ``submit``
+sends a campaign to it.
 
 Installed as a console script (``repro``) and runnable as
 ``python -m repro`` from a plain checkout.
@@ -158,6 +171,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.resume:
+        return _sweep_resume(args)
     # Setup (campaign construction, executor/store resolution) fails
     # with clean one-line messages; errors raised *during* execution
     # are real bugs and keep their tracebacks.
@@ -200,6 +215,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.backend if args.backend is not None else campaign.backend,
         )
         executor = make_executor(args.executor, workers=args.workers)
+        cache = None
+        if args.cache_dir:
+            from .service import ResultCache
+
+            cache = ResultCache(root=args.cache_dir)
         store = make_store(
             args.store, out=args.out, overwrite=args.force, flush_every=args.flush_every
         )
@@ -211,17 +231,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=executor,
         store=store,
         backend=args.backend,
+        cache=cache,
     )
+    return _print_sweep_result(args, result)
+
+
+def _print_sweep_result(args: argparse.Namespace, result: Any) -> int:
     metrics = _metrics_list(args.metrics)
     if args.json:
         print(json.dumps(result.manifest, indent=2, sort_keys=True))
         return 0
     print(manifest_summary(result.manifest))
+    if "cache" in result.manifest:
+        block = result.manifest["cache"]
+        print(
+            f"cache: {block['hits']} hits, {block['computed']} computed, "
+            f"{block['replayed']} replayed ({block['n_unique']}/{block['n_points']} unique)"
+        )
     print()
     print(result.table(metrics=metrics))
     if args.out:
         print(f"\nresults stored under {args.out}")
     return 0
+
+
+def _sweep_resume(args: argparse.Namespace) -> int:
+    conflicts = [
+        flag
+        for flag, value in (
+            ("--campaign", args.campaign),
+            ("--spec", args.spec),
+            ("--grid", args.grid),
+            ("--zip", args.zip),
+            ("--replicates", args.replicates != 1),
+            ("--name", args.name),
+            ("--seed", args.seed != 0),
+            ("--store", args.store),
+            ("--out", args.out),
+            ("--force", args.force),
+            ("--backend", args.backend),
+        )
+        if value
+    ]
+    if conflicts:
+        raise SystemExit(
+            f"repro: --resume replays the campaign recorded in the directory's "
+            f"campaign.json; drop {', '.join(conflicts)}"
+        )
+    from .service import resume_campaign
+
+    try:
+        result = resume_campaign(
+            args.resume,
+            executor=args.executor,
+            workers=args.workers,
+            flush_every=args.flush_every,
+            cache=args.cache_dir or None,
+        )
+    except (FileExistsError, FileNotFoundError, KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"repro: {error}")
+    resumed = result.manifest.get("resumed", {})
+    print(
+        f"resumed {args.resume}: {resumed.get('previously_completed', 0)} points "
+        f"already done, {resumed.get('executed', 0)} executed now"
+    )
+    return _print_sweep_result(args, result)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -285,6 +359,63 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     print(rendered, end="")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    try:
+        return serve(
+            args.host,
+            args.port,
+            workers=args.workers,
+            cache=args.cache_dir or None,
+            root=args.jobs_root or None,
+            verbose=args.verbose,
+        )
+    except OSError as error:  # port in use, bad cache dir, ...
+        raise SystemExit(f"repro: {error}")
+    except ValueError as error:  # cache schema mismatch, bad workers
+        raise SystemExit(f"repro: {error}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    campaign = _load_json(args.campaign)
+    options: dict[str, Any] = {
+        "seed": args.seed,
+        "executor": args.executor,
+        "flush_every": args.flush_every,
+    }
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.backend is not None:
+        options["backend"] = args.backend
+    try:
+        job = client.submit(campaign, **options)
+        if args.wait:
+            job = client.wait(job["id"], timeout=args.timeout)
+    except ServiceError as error:
+        raise SystemExit(f"repro: {error}")
+    except urllib.error.URLError as error:
+        raise SystemExit(f"repro: cannot reach {args.url}: {error.reason}")
+    except TimeoutError as error:
+        raise SystemExit(f"repro: {error}")
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        line = f"{job['id']}: {job['status']} ({job['n_done']}/{job['n_points']} points)"
+        if job.get("cache"):
+            block = job["cache"]
+            line += f", cache {block['hits']} hits / {block['computed']} computed"
+        print(line)
+        if job.get("error"):
+            print(f"error: {job['error']}")
+    return 0 if job["status"] in ("queued", "running", "done") else 1
 
 
 # ---------------------------------------------------------------------------
@@ -351,6 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow --out to replace a directory holding a finalized campaign",
     )
     sweep.add_argument("--backend", choices=BACKENDS, default=None, help="compute backend")
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache: replay already-computed points, "
+        "store newly computed ones",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="finish an interrupted campaign directory in place (skips points "
+        "its partial results.jsonl already holds)",
+    )
     sweep.add_argument("--metrics", default=None, help="comma-separated metric columns")
     sweep.add_argument("--json", action="store_true", help="print the manifest JSON instead")
     sweep.set_defaults(func=_cmd_sweep)
@@ -385,6 +530,55 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--markdown", action="store_true", help="emit the report as markdown")
     analyze.add_argument("--out", default=None, help="write the report to a file instead of stdout")
     analyze.set_defaults(func=_cmd_analyze)
+
+    serve = sub.add_parser("serve", help="run the campaign job service (HTTP/JSON)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750, help="bind port (default 8750)")
+    serve.add_argument(
+        "--workers", type=int, default=1, help="campaign worker threads (default 1)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache shared by all jobs",
+    )
+    serve.add_argument(
+        "--jobs-root",
+        default=None,
+        metavar="DIR",
+        help="give each job a jsonl directory under DIR/<job-id> "
+        "(default: results stay in memory)",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="send a campaign to a running service")
+    submit.add_argument("--campaign", required=True, help="path to a CampaignSpec JSON file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8750", help="service base URL"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="campaign root seed (default 0)")
+    submit.add_argument(
+        "--executor",
+        choices=[name for name in EXECUTORS if name != "async"],
+        default="serial",
+        help="executor the service runs the job with (jobs are already "
+        "asynchronous server-side)",
+    )
+    submit.add_argument("--workers", type=int, default=None, help="worker count for the job")
+    submit.add_argument("--backend", choices=BACKENDS, default=None, help="compute backend")
+    submit.add_argument(
+        "--flush-every", type=int, default=1, metavar="N", help="jsonl buffered append mode"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes before returning"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="request/wait timeout in seconds"
+    )
+    submit.add_argument("--json", action="store_true", help="print the status snapshot JSON")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -78,6 +78,27 @@ def spec_from_dict(data: dict[str, Any]) -> "ExperimentSpec":
 # ---------------------------------------------------------------------------
 # Base class
 # ---------------------------------------------------------------------------
+def _plain(value: Any) -> Any:
+    """JSON-safe field value: tuples -> lists, numpy scalars/arrays ->
+    Python values (recursively).
+
+    ``replace(rows=np.int64(32))`` is a natural thing to write in a
+    sweep; without this, ``to_dict`` would leak the numpy type and the
+    payload would either fail to serialize (np.int64) or serialize but
+    round-trip to a differently-typed spec.  Duck-typed on ``.item()``
+    / ``.tolist()`` so this module stays numpy-import-free.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_plain(entry) for entry in value]
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return _plain(tolist())
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Common serialization / hashing machinery for all spec kinds."""
@@ -87,10 +108,7 @@ class ExperimentSpec:
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"kind": self.kind}
         for field in dataclasses.fields(self):
-            value = getattr(self, field.name)
-            if isinstance(value, tuple):
-                value = list(value)
-            data[field.name] = value
+            data[field.name] = _plain(getattr(self, field.name))
         return data
 
     @classmethod
@@ -118,8 +136,30 @@ class ExperimentSpec:
         return dataclasses.replace(self, **changes)
 
     def content_hash(self) -> str:
-        """Stable hex digest of the full spec content (seeds streams)."""
+        """Stable hex digest of the full spec content (seeds streams).
+
+        Frozen format: this digest feeds SeedTree stream paths (see
+        ``workloads.py``), so its byte recipe can never change without
+        changing every downstream random number.  For cache addressing
+        use :meth:`spec_hash`, which additionally canonicalises dtype
+        wrappers and representation details.
+        """
         return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def spec_hash(self) -> str:
+        """Canonical, process-stable content hash of the spec.
+
+        Unlike :meth:`content_hash` (whose byte recipe is frozen because
+        it seeds random streams), this digest runs through
+        :mod:`repro.service.keys` canonicalisation — sorted keys, numpy
+        scalars collapsed, tuple/list spelling unified — so two
+        semantically identical specs hash identically whatever process,
+        platform or construction path produced them.  This is the spec
+        facet of the result cache's :func:`~repro.service.keys.point_key`.
+        """
+        from ..service.keys import spec_key
+
+        return spec_key(self.to_dict())
 
 
 # ---------------------------------------------------------------------------

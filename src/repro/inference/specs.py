@@ -91,12 +91,11 @@ class AnalysisSpec:
     kind: ClassVar[str] = ""
 
     def to_dict(self) -> dict[str, Any]:
+        from ..experiments.specs import _plain
+
         data: dict[str, Any] = {"kind": self.kind}
         for field in dataclasses.fields(self):
-            value = getattr(self, field.name)
-            if isinstance(value, tuple):
-                value = list(value)
-            data[field.name] = value
+            data[field.name] = _plain(getattr(self, field.name))
         return data
 
     @classmethod
@@ -120,6 +119,16 @@ class AnalysisSpec:
 
     def replace(self, **changes: Any) -> "AnalysisSpec":
         return dataclasses.replace(self, **changes)
+
+    def spec_hash(self) -> str:
+        """Canonical, process-stable content hash (sorted keys, dtype
+        wrappers collapsed) — same recipe as
+        :meth:`repro.experiments.specs.ExperimentSpec.spec_hash`, so an
+        analysis can be content-addressed alongside the campaign it
+        analyses."""
+        from ..service.keys import spec_key
+
+        return spec_key(self.to_dict())
 
     # ------------------------------------------------------------------
     def run(self, source: Any) -> AnalysisReport:

@@ -1,0 +1,120 @@
+"""Thin stdlib client for the ``repro serve`` HTTP/JSON API.
+
+:class:`ServiceClient` is a 1:1 mapping of the endpoint table in
+:mod:`repro.service.server` onto methods returning parsed JSON — no
+third-party HTTP stack, just :mod:`urllib.request`.  Error responses
+(4xx/5xx) raise :class:`ServiceError` carrying the status code and the
+server's ``error`` message, so callers branch on exceptions rather than
+inspecting payloads.
+
+Typical round trip::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8750")
+    job = client.submit(campaign_dict, seed=1, executor="serial")
+    status = client.wait(job["id"])
+    report = client.analysis(job["id"])["analysis"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional, Union
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", error.reason)
+            except (json.JSONDecodeError, ValueError):
+                message = str(error.reason)
+            raise ServiceError(error.code, message) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._request("GET", "/cache/stats")
+
+    def submit(
+        self, campaign: Union[Mapping[str, Any], Any], **options: Any
+    ) -> dict[str, Any]:
+        """Submit a campaign (a ``CampaignSpec`` or its dict) and return
+        the job's status snapshot (with its ``id``).  Options: ``seed``,
+        ``executor``, ``workers``, ``backend``, ``flush_every``."""
+        to_dict = getattr(campaign, "to_dict", None)
+        if to_dict is not None:
+            campaign = to_dict()
+        return self._request("POST", "/jobs", {"campaign": dict(campaign), **options})
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        """Manifest + per-point result payloads of a finished job."""
+        return self._request("GET", f"/jobs/{job_id}/results")
+
+    def analysis(self, job_id: str, analysis: Optional[str] = None) -> dict[str, Any]:
+        """The statistical analysis report of a finished job (``None``
+        infers the analysis from the campaign's shape)."""
+        suffix = f"?analysis={analysis}" if analysis else ""
+        return self._request("GET", f"/jobs/{job_id}/analysis{suffix}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final status snapshot (check ``status``/``error`` yourself —
+        a failed job is an answer, not an exception)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after {timeout}s"
+                )
+            time.sleep(poll_s)

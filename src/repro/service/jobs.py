@@ -1,0 +1,537 @@
+"""Background campaign jobs: a worker pool, cancellation, resume.
+
+The job manager is the execution core of ``repro serve``: campaigns are
+submitted (validated eagerly, queued FIFO), run on a pool of daemon
+worker threads, and observed through cheap snapshot dicts — per-point
+progress counts update as each outcome lands, so a client polling
+``status()`` watches a 600-point sweep tick forward.  All workers share
+the manager's :class:`~repro.service.cache.ResultCache`, which is what
+turns overlapping submissions from many clients into mostly cache
+traffic.
+
+Cancellation is per-point: a cancelled job stops between outcomes,
+flushes what completed to its JSONL directory and leaves it
+*manifest-less* — the shape :func:`resume_campaign` (CLI: ``repro sweep
+--resume``) recognises.  Resume replays the plan, skips every point the
+partial ``results.jsonl`` already holds, and finishes the rest
+bit-identically: a point's seed depends only on ``(campaign seed,
+replicate)``, never on when or where it runs.
+
+:class:`AsyncExecutor` (``executor="async"``) is the in-process face of
+the same idea: submission returns immediately while a background thread
+streams :class:`~repro.campaigns.executors.PointOutcome`s through a
+bounded queue — same bit-identical numbers, non-blocking producer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Union
+
+from ..campaigns import (
+    CampaignResult,
+    CampaignSpec,
+    Executor,
+    JsonlResultStore,
+    Plan,
+    PointOutcome,
+    build_manifest,
+    make_executor,
+    make_store,
+    read_campaign_sidecar,
+    write_campaign_sidecar,
+)
+from ..campaigns.executors import RunnerFactory, SerialExecutor, ThreadExecutor, _check_workers
+from ..experiments.workloads import validate_backend
+from .cache import CachedDispatch, ResultCache, make_cache
+
+#: Every state a job can report.  Terminal states: done/failed/cancelled.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when a job's cancel flag is set."""
+
+
+# ---------------------------------------------------------------------------
+# The async executor
+# ---------------------------------------------------------------------------
+class _Raise:
+    """Queue envelope that re-raises a producer-side exception."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+_DONE = object()
+
+
+class AsyncExecutor(Executor):
+    """Run the plan on a background thread, streaming outcomes back.
+
+    ``workers=1`` wraps the serial executor, ``workers>1`` the thread
+    executor — either way the numbers are bit-identical to a foreground
+    run (the SeedTree contract).  The consumer side is an ordinary
+    outcome iterator; closing it early stops the producer at the next
+    point boundary, so ``itertools.islice`` over a campaign does not
+    leak a runaway thread.
+    """
+
+    name = "async"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = 1 if workers is None else _check_workers(workers)
+        self._inner: Executor = (
+            SerialExecutor() if self.workers == 1 else ThreadExecutor(self.workers)
+        )
+
+    def run(
+        self,
+        plan: Plan,
+        *,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        runner_factory: Optional[RunnerFactory] = None,
+    ) -> Iterator[PointOutcome]:
+        # Validate eagerly, NOT inside the generator: run_campaign must
+        # see bad arguments before any store touches the filesystem.
+        if runner_factory is not None:
+            raise ValueError(
+                "the async executor owns its background Runners; a shared "
+                "runner_factory is only meaningful with the serial executor"
+            )
+        inner = self._inner.run(plan, backend=backend, inputs=inputs)
+        return self._iter(inner)
+
+    def _iter(self, inner: Iterator[PointOutcome]) -> Iterator[PointOutcome]:
+        # Bounded queue: workers never race more than a window ahead of
+        # the consumer, so memory stays flat on large campaigns.
+        channel: "queue.Queue[Any]" = queue.Queue(maxsize=max(4, self.workers * 4))
+        stop = threading.Event()
+
+        def _put(item: Any) -> None:
+            while not stop.is_set():
+                try:
+                    channel.put(item, timeout=0.1)
+                    return
+                except queue.Full:
+                    continue
+
+        def _produce() -> None:
+            try:
+                for outcome in inner:
+                    if stop.is_set():
+                        break
+                    _put(outcome)
+            except BaseException as exc:  # noqa: BLE001 — crosses threads
+                _put(_Raise(exc))
+                return
+            finally:
+                close = getattr(inner, "close", None)
+                if close is not None:
+                    close()
+            _put(_DONE)
+
+        producer = threading.Thread(target=_produce, name="repro-async", daemon=True)
+        producer.start()
+        try:
+            while True:
+                item = channel.get()
+                if item is _DONE:
+                    break
+                if isinstance(item, _Raise):
+                    raise item.exc
+                yield item
+        finally:
+            stop.set()
+            producer.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+@dataclass
+class Job:
+    """One submitted campaign: its configuration plus live progress.
+
+    Mutable progress fields (``status``, ``n_done``, ``error``, ...) are
+    written by exactly one worker thread and read by pollers; each field
+    is a single reference assignment, so snapshots via
+    :meth:`status_dict` are always internally plausible even mid-run.
+    """
+
+    id: str
+    campaign: CampaignSpec
+    plan: Plan
+    executor: Executor
+    seed: int = 0
+    backend: Optional[str] = None
+    inputs: Optional[dict[str, Any]] = None
+    out: Optional[Path] = None
+    overwrite: bool = False
+    flush_every: int = 1
+    status: str = "queued"
+    n_done: int = 0
+    error: Optional[str] = None
+    result: Optional[CampaignResult] = None
+    cache_summary: Optional[dict[str, int]] = None
+    submitted_s: float = field(default_factory=time.monotonic)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+    _finished: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.plan)
+
+    @property
+    def done(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    def cancel(self) -> None:
+        self._cancel.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (or timeout)."""
+        return self._finished.wait(timeout)
+
+    def status_dict(self) -> dict[str, Any]:
+        """The JSON-safe snapshot the service's status endpoint serves."""
+        wall = None
+        if self.started_s is not None:
+            end = self.finished_s if self.finished_s is not None else time.monotonic()
+            wall = end - self.started_s
+        return {
+            "id": self.id,
+            "name": self.campaign.name,
+            "status": self.status,
+            "n_points": self.n_points,
+            "n_done": self.n_done,
+            "seed": self.seed,
+            "executor": self.executor.name,
+            "backend": self.backend,
+            "out": None if self.out is None else str(self.out),
+            "error": self.error,
+            "cache": self.cache_summary,
+            "wall_s": wall,
+        }
+
+
+class JobManager:
+    """A FIFO queue of campaign jobs over a daemon worker-thread pool.
+
+    All jobs share one :class:`ResultCache` (when configured), so a
+    re-submitted campaign — or one overlapping a previous client's grid
+    — is served from cache without touching the engine.  ``root`` gives
+    jobs without an explicit ``out`` a JSONL directory at
+    ``<root>/<job id>``; with neither, results stay in memory on the
+    job's :class:`CampaignResult`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: Union[None, str, Path, ResultCache] = None,
+        root: Union[None, str, Path] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = make_cache(cache)
+        self.root = None if root is None else Path(root)
+        self.workers = int(workers)
+        self._jobs: "dict[str, Job]" = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-job-{n}", daemon=True)
+            for n in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / observation
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        campaign: Union[CampaignSpec, Mapping[str, Any]],
+        *,
+        seed: int = 0,
+        executor: Union[str, Executor] = "serial",
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        inputs: Optional[dict[str, Any]] = None,
+        out: Union[None, str, Path] = None,
+        overwrite: bool = False,
+        flush_every: int = 1,
+    ) -> Job:
+        """Validate, register and enqueue a campaign; returns the
+        :class:`Job` immediately (it is also retrievable by id).
+
+        Everything that can be rejected is rejected *here*, in the
+        caller's thread — a queued job only fails for execution-time
+        reasons, never for a bad argument.
+        """
+        if executor == "async":
+            raise ValueError(
+                "the job manager already runs campaigns in the background; "
+                "submit with a synchronous executor (serial/thread/process/batched)"
+            )
+        if not isinstance(campaign, CampaignSpec):
+            campaign = CampaignSpec.from_dict(campaign)
+        resolved_backend = backend if backend is not None else campaign.backend
+        plan = campaign.compile(seed)
+        chosen = make_executor(executor, workers=workers)
+        for kind in plan.kinds():
+            validate_backend(kind, resolved_backend)
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        with self._lock:
+            job_id = f"job-{next(self._counter):04d}"
+            job = Job(
+                id=job_id,
+                campaign=campaign,
+                plan=plan,
+                executor=chosen,
+                seed=int(seed),
+                backend=resolved_backend,
+                inputs=inputs,
+                out=(
+                    Path(out)
+                    if out is not None
+                    else (self.root / job_id if self.root is not None else None)
+                ),
+                overwrite=overwrite,
+                flush_every=int(flush_every),
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._queue.put(job)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.job(job_id).status_dict()
+
+    def cancel(self, job_id: str) -> Job:
+        """Flag a job for cancellation (queued: skipped before start;
+        running: stops at the next point boundary, leaving a resumable
+        partial directory)."""
+        job = self.job(job_id)
+        job.cancel()
+        return job
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        job = self.job(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.status} after {timeout}s")
+        return job
+
+    def cache_stats(self) -> Optional[dict[str, Any]]:
+        return None if self.cache is None else self.cache.stats_dict()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers after the queue drains.  Jobs already queued
+        still run; daemon threads mean an unclean exit cannot hang the
+        interpreter either way."""
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job._cancel.is_set():
+                job.status = "cancelled"
+                job.finished_s = time.monotonic()
+                job._finished.set()
+                continue
+            job.status = "running"
+            job.started_s = time.monotonic()
+            try:
+                job.result = self._execute(job)
+                job.status = "done"
+            except JobCancelled:
+                job.status = "cancelled"
+            except Exception as exc:  # noqa: BLE001 — reported, not raised
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                job.finished_s = time.monotonic()
+                job._finished.set()
+
+    def _execute(self, job: Job) -> CampaignResult:
+        """``run_campaign`` with the job hooks: shared cache, per-point
+        progress, and a cancel check between outcomes."""
+        outcomes: Iterator[PointOutcome] = job.executor.run(
+            job.plan, backend=job.backend, inputs=job.inputs
+        )
+        dispatch = None
+        if self.cache is not None:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+            dispatch = CachedDispatch(
+                job.plan, job.executor, self.cache, backend=job.backend, inputs=job.inputs
+            )
+            outcomes = dispatch.outcomes()
+        sink = make_store(
+            None, out=job.out, overwrite=job.overwrite, flush_every=job.flush_every
+        )
+        if isinstance(sink, JsonlResultStore) and sink.writable:
+            from .. import __version__
+
+            write_campaign_sidecar(
+                sink.root,
+                {
+                    "name": job.campaign.name,
+                    "campaign": job.campaign.to_dict(),
+                    "seed": job.seed,
+                    "backend": job.backend,
+                    "version": __version__,
+                },
+            )
+        start = time.perf_counter()
+        try:
+            for outcome in outcomes:
+                if job._cancel.is_set():
+                    raise JobCancelled(job.id)
+                sink.add(outcome)
+                job.n_done += 1
+        except JobCancelled:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+            # Flush-and-close without finalize: the directory stays a
+            # manifest-less partial that resume_campaign understands.
+            closer = getattr(sink, "close", None)
+            if closer is not None:
+                closer()
+            if dispatch is not None:
+                job.cache_summary = dispatch.summary()
+            raise
+        total_wall_s = time.perf_counter() - start
+        if dispatch is not None:
+            job.cache_summary = dispatch.summary()
+        manifest = build_manifest(
+            job.campaign,
+            job.plan,
+            sink,
+            seed=job.seed,
+            backend=job.backend,
+            executor_name=job.executor.name,
+            workers=getattr(job.executor, "workers", 1),
+            total_wall_s=total_wall_s,
+            cache=job.cache_summary,
+        )
+        sink.finalize(manifest)
+        return CampaignResult(plan=job.plan, store=sink, manifest=manifest)
+
+
+# ---------------------------------------------------------------------------
+# Resume
+# ---------------------------------------------------------------------------
+def resume_campaign(
+    out: Union[str, Path],
+    *,
+    executor: Union[str, Executor] = "serial",
+    workers: Optional[int] = None,
+    flush_every: int = 1,
+    inputs: Optional[dict[str, Any]] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+) -> CampaignResult:
+    """Finish an interrupted JSONL campaign directory in place.
+
+    Reads the ``campaign.json`` sidecar (written before any point
+    executed), reopens the partial ``results.jsonl`` in append mode
+    (truncating a torn tail line, keeping every intact point), recompiles
+    the plan and runs only the missing points.  Because a point's seed
+    is a pure function of ``(campaign seed, replicate)``, the resumed
+    points are bit-identical to what an uninterrupted run would have
+    produced — parity is testable point-by-point.
+
+    The campaign, seed and backend come from the sidecar: resuming under
+    different settings would silently mix incompatible numbers, so they
+    are deliberately not parameters.  The executor is free to differ —
+    it never affects results.
+    """
+    root = Path(out)
+    sidecar = read_campaign_sidecar(root)
+    if sidecar is None:
+        raise FileNotFoundError(
+            f"{root} has no {JsonlResultStore.CAMPAIGN_NAME} sidecar; only "
+            f"campaigns started by this version (or the job service) are resumable"
+        )
+    sink = JsonlResultStore.open_partial(root, flush_every=flush_every)
+    campaign = CampaignSpec.from_dict(sidecar["campaign"])
+    seed = int(sidecar["seed"])
+    backend = sidecar.get("backend")
+    plan = campaign.compile(seed)
+    done = {meta["point"] for meta in sink.point_metas()}
+    missing = tuple(point for point in plan if point.index not in done)
+    chosen = make_executor(executor, workers=workers)
+    dispatch = None
+    total_wall_s = 0.0
+    if missing:
+        sub_plan = Plan(points=missing, campaign=campaign, seed=seed)
+        outcomes: Iterator[PointOutcome] = chosen.run(
+            sub_plan, backend=backend, inputs=inputs
+        )
+        result_cache = make_cache(cache)
+        if result_cache is not None:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+            dispatch = CachedDispatch(
+                sub_plan, chosen, result_cache, backend=backend, inputs=inputs
+            )
+            outcomes = dispatch.outcomes()
+        start = time.perf_counter()
+        for outcome in outcomes:
+            sink.add(outcome)
+        total_wall_s = time.perf_counter() - start
+    manifest = build_manifest(
+        campaign,
+        plan,
+        sink,
+        seed=seed,
+        backend=backend,
+        executor_name=chosen.name,
+        workers=getattr(chosen, "workers", 1),
+        total_wall_s=total_wall_s,
+        cache=dispatch.summary() if dispatch is not None else None,
+        extra={
+            "resumed": {
+                "previously_completed": len(done),
+                "executed": len(missing),
+            }
+        },
+    )
+    sink.finalize(manifest)
+    return CampaignResult(plan=plan, store=sink, manifest=manifest)

@@ -1,0 +1,125 @@
+"""CLI surface of the service: sweep --cache-dir/--resume, serve, submit."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec
+from repro.cli import main
+from repro.experiments import DnaAssaySpec
+from repro.service import start_server
+
+BASE = DnaAssaySpec(probe_count=4, replicates=4, target_subset=(0, 1))
+CAMPAIGN = CampaignSpec(
+    base=BASE, grid={"concentration": (1e-7, 1e-6)}, replicates=2, name="cli-service"
+)
+
+
+@pytest.fixture()
+def campaign_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(CAMPAIGN.to_dict()))
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# sweep --cache-dir
+# ---------------------------------------------------------------------------
+def test_sweep_cache_dir_cold_then_warm(campaign_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--cache-dir", cache, "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache"]["computed"] == 4
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--cache-dir", cache, "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["cache"]["hits"] == 4
+    assert warm["cache"]["computed"] == 0
+    assert warm["points"][0]["metrics"] == cold["points"][0]["metrics"]
+
+
+def test_sweep_table_mentions_cache_accounting(campaign_file, tmp_path, capsys):
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "cache: 0 hits, 4 computed" in out
+
+
+# ---------------------------------------------------------------------------
+# sweep --resume
+# ---------------------------------------------------------------------------
+def test_sweep_resume_finishes_a_partial_directory(campaign_file, tmp_path, capsys):
+    out = tmp_path / "run"
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    # Fake an interruption: drop the manifest and the last two lines.
+    (out / "manifest.json").unlink()
+    lines = (out / "results.jsonl").read_text().splitlines(True)
+    (out / "results.jsonl").write_text("".join(lines[:2]))
+    assert main(["sweep", "--resume", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "2 points already done, 2 executed now" in text
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["resumed"] == {"previously_completed": 2, "executed": 2}
+
+
+def test_sweep_resume_rejects_conflicting_flags(campaign_file, tmp_path):
+    with pytest.raises(SystemExit, match="--campaign"):
+        main(["sweep", "--resume", str(tmp_path), "--campaign", campaign_file])
+    with pytest.raises(SystemExit, match="--seed"):
+        main(["sweep", "--resume", str(tmp_path), "--seed", "7"])
+
+
+def test_sweep_resume_on_a_finished_directory_fails_cleanly(campaign_file, tmp_path):
+    out = tmp_path / "run"
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--out", str(out)]) == 0
+    with pytest.raises(SystemExit, match="nothing to resume"):
+        main(["sweep", "--resume", str(out)])
+
+
+def test_sweep_resume_missing_sidecar_fails_cleanly(tmp_path):
+    (tmp_path / "orphan").mkdir()
+    (tmp_path / "orphan" / "results.jsonl").write_text("")
+    with pytest.raises(SystemExit, match="campaign.json"):
+        main(["sweep", "--resume", str(tmp_path / "orphan")])
+
+
+# ---------------------------------------------------------------------------
+# submit (against a live server)
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def service_url(tmp_path):
+    server, thread = start_server(port=0, cache=tmp_path / "cache")
+    yield server.url
+    server.shutdown()
+    server.server_close()
+    server.manager.shutdown()
+    thread.join(timeout=10)
+
+
+def test_submit_wait_prints_status_line(campaign_file, service_url, capsys):
+    assert main(["submit", "--campaign", campaign_file, "--seed", "1",
+                 "--url", service_url, "--wait"]) == 0
+    out = capsys.readouterr().out
+    assert "done (4/4 points)" in out
+    assert main(["submit", "--campaign", campaign_file, "--seed", "1",
+                 "--url", service_url, "--wait", "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["status"] == "done"
+    assert status["cache"]["hits"] == 4
+
+
+def test_submit_unreachable_server_fails_cleanly(campaign_file):
+    with pytest.raises(SystemExit, match="cannot reach"):
+        main(["submit", "--campaign", campaign_file,
+              "--url", "http://127.0.0.1:1", "--wait"])
+
+
+def test_submit_rejects_async_executor(campaign_file, service_url, capsys):
+    with pytest.raises(SystemExit):
+        main(["submit", "--campaign", campaign_file, "--url", service_url,
+              "--executor", "async"])
+    assert "invalid choice" in capsys.readouterr().err

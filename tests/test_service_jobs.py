@@ -1,0 +1,206 @@
+"""Job manager: submit/status/cancel, async executor, resume parity."""
+
+import json
+import time
+
+import pytest
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.experiments import DnaAssaySpec
+from repro.service import (
+    JOB_STATES,
+    AsyncExecutor,
+    JobManager,
+    ResultCache,
+    resume_campaign,
+)
+
+BASE = DnaAssaySpec(probe_count=4, replicates=4, target_subset=(0, 1))
+CAMPAIGN = CampaignSpec(
+    base=BASE, grid={"concentration": (1e-7, 1e-6)}, replicates=2, name="jobs-test"
+)
+
+
+def _payloads(store_like):
+    return json.dumps(
+        {meta["point"]: res.to_dict() for meta, res in store_like.iter_results()},
+        sort_keys=True,
+    )
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    manager = JobManager(workers=1, cache=tmp_path / "cache", root=tmp_path / "jobs")
+    yield manager
+    manager.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Submit / status / results
+# ---------------------------------------------------------------------------
+def test_submit_runs_in_background_and_reports_progress(manager):
+    job = manager.submit(CAMPAIGN, seed=1)
+    assert job.status in ("queued", "running")  # returned before completion
+    manager.wait(job.id, timeout=60)
+    status = manager.status(job.id)
+    assert status["status"] == "done"
+    assert status["n_done"] == status["n_points"] == 4
+    assert status["cache"]["computed"] == 4
+    assert job.result.manifest["n_points"] == 4
+    assert (job.out / "results.jsonl").exists()
+    assert (job.out / "manifest.json").exists()
+
+
+def test_jobs_share_the_cache_across_submissions(manager):
+    first = manager.submit(CAMPAIGN, seed=1)
+    second = manager.submit(CAMPAIGN, seed=1)
+    manager.wait(second.id, timeout=60)
+    manager.wait(first.id, timeout=60)
+    assert second.cache_summary == {
+        "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0,
+    }
+    assert _payloads(first.result) == _payloads(second.result)
+    assert manager.cache_stats()["puts"] == 4
+
+
+def test_submit_accepts_a_campaign_dict(manager):
+    job = manager.submit(CAMPAIGN.to_dict(), seed=1)
+    manager.wait(job.id, timeout=60)
+    assert job.status == "done"
+
+
+def test_submit_validates_eagerly(manager):
+    with pytest.raises(ValueError, match="synchronous"):
+        manager.submit(CAMPAIGN, executor="async")
+    with pytest.raises(ValueError, match="unknown executor"):
+        manager.submit(CAMPAIGN, executor="bogus")
+    with pytest.raises(ValueError, match="flush_every"):
+        manager.submit(CAMPAIGN, flush_every=0)
+    with pytest.raises(KeyError, match="unknown job"):
+        manager.job("job-9999")
+
+
+def test_failed_job_reports_its_error_and_frees_the_worker(manager):
+    # The vectorized backend rejects the screening kind at submit time,
+    # so force an execution-time failure instead: an unwritable out dir.
+    job = manager.submit(CAMPAIGN, seed=1, out="/proc/nope/cannot-write")
+    manager.wait(job.id, timeout=60)
+    assert job.status == "failed"
+    assert job.error
+    follow_up = manager.submit(CAMPAIGN, seed=1)
+    manager.wait(follow_up.id, timeout=60)
+    assert follow_up.status == "done"
+
+
+def test_job_states_is_the_full_vocabulary(manager):
+    job = manager.submit(CAMPAIGN, seed=1)
+    manager.wait(job.id, timeout=60)
+    assert job.status in JOB_STATES
+    assert all(state in JOB_STATES for state in ("queued", "running", "cancelled"))
+
+
+# ---------------------------------------------------------------------------
+# Cancel + resume
+# ---------------------------------------------------------------------------
+def test_cancel_leaves_a_resumable_directory_with_bit_parity(tmp_path):
+    manager = JobManager(workers=1, root=tmp_path / "jobs")
+    try:
+        big = CampaignSpec(
+            base=BASE,
+            grid={"concentration": tuple(10.0 ** -k for k in range(4, 10))},
+            replicates=3,
+        )
+        job = manager.submit(big, seed=5)
+        deadline = time.monotonic() + 60
+        while job.n_done < 2 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        manager.cancel(job.id)
+        manager.wait(job.id, timeout=60)
+        assert job.status == "cancelled"
+        assert 0 < job.n_done < job.n_points
+        # Partial directory: results + sidecar, no manifest.
+        assert (job.out / "results.jsonl").exists()
+        assert (job.out / "campaign.json").exists()
+        assert not (job.out / "manifest.json").exists()
+
+        resumed = resume_campaign(job.out)
+        assert resumed.manifest["resumed"]["previously_completed"] == job.n_done
+        assert resumed.manifest["resumed"]["executed"] == job.n_points - job.n_done
+        reference = run_campaign(big, seed=5)
+        assert _payloads(resumed) == _payloads(reference)
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_before_start_skips_the_job(tmp_path):
+    manager = JobManager(workers=1, root=tmp_path / "jobs")
+    try:
+        blocker = manager.submit(CAMPAIGN, seed=1)
+        queued = manager.submit(CAMPAIGN, seed=2)
+        manager.cancel(queued.id)
+        manager.wait(queued.id, timeout=60)
+        manager.wait(blocker.id, timeout=60)
+        assert queued.status == "cancelled"
+        assert queued.n_done == 0
+    finally:
+        manager.shutdown()
+
+
+def test_resume_refuses_a_finalized_or_alien_directory(tmp_path):
+    finished = run_campaign(CAMPAIGN, seed=1, out=str(tmp_path / "done"))
+    assert finished.manifest
+    with pytest.raises(FileExistsError, match="nothing to resume"):
+        resume_campaign(tmp_path / "done")
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(FileNotFoundError, match="campaign.json"):
+        resume_campaign(tmp_path / "empty")
+
+
+def test_resume_with_cache_serves_missing_points_from_cache(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    run_campaign(CAMPAIGN, seed=1, cache=cache)  # populate
+    partial = run_campaign(CAMPAIGN, seed=1, out=str(tmp_path / "part"))
+    (tmp_path / "part" / "manifest.json").unlink()
+    lines = (tmp_path / "part" / "results.jsonl").read_text().splitlines(True)
+    (tmp_path / "part" / "results.jsonl").write_text("".join(lines[:1]))
+    resumed = resume_campaign(tmp_path / "part", cache=cache)
+    assert resumed.manifest["resumed"] == {"previously_completed": 1, "executed": 3}
+    assert resumed.manifest["cache"]["hits"] == 3
+    assert _payloads(resumed) == _payloads(partial)
+
+
+# ---------------------------------------------------------------------------
+# AsyncExecutor
+# ---------------------------------------------------------------------------
+def test_async_executor_is_bit_identical_to_serial():
+    serial = run_campaign(CAMPAIGN, seed=1)
+    asynchronous = run_campaign(CAMPAIGN, seed=1, executor="async")
+    assert asynchronous.manifest["executor"] == "async"
+    assert _payloads(asynchronous) == _payloads(serial)
+
+
+def test_async_executor_with_workers_matches_too():
+    threaded = run_campaign(CAMPAIGN, seed=1, executor="async", workers=2)
+    serial = run_campaign(CAMPAIGN, seed=1)
+    assert _payloads(threaded) == _payloads(serial)
+
+
+def test_async_executor_rejects_runner_factory():
+    from repro.experiments import Runner
+
+    with pytest.raises(ValueError, match="runner_factory"):
+        AsyncExecutor().run(CAMPAIGN.compile(1), runner_factory=Runner)
+
+
+def test_async_executor_close_stops_the_producer():
+    import threading
+
+    before = threading.active_count()
+    outcomes = AsyncExecutor().run(CAMPAIGN.compile(1))
+    first = next(outcomes)
+    assert first.result.n_records > 0
+    outcomes.close()
+    deadline = time.monotonic() + 10
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= before
