@@ -186,7 +186,10 @@ def run_campaign(
     are computed once, and every computed point is cached for later
     campaigns; the manifest gains a ``cache`` accounting block.  Cached
     replay is bit-identical to recomputation (the reproduction
-    invariant), so enabling a cache never changes numbers.
+    invariant), so enabling a cache never changes numbers.  Because
+    injected ``inputs`` substrates would break exactly that invariant
+    (they alter results without altering the content key), combining
+    ``cache`` with non-empty ``inputs`` raises ``ValueError``.
     """
     if not isinstance(campaign, CampaignSpec):
         campaign = CampaignSpec.from_dict(campaign)

@@ -173,6 +173,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume:
         return _sweep_resume(args)
+    if args.ignore_version:
+        raise SystemExit("repro: --ignore-version only applies with --resume")
     # Setup (campaign construction, executor/store resolution) fails
     # with clean one-line messages; errors raised *during* execution
     # are real bugs and keep their tracebacks.
@@ -287,6 +289,7 @@ def _sweep_resume(args: argparse.Namespace) -> int:
             workers=args.workers,
             flush_every=args.flush_every,
             cache=args.cache_dir or None,
+            ignore_version=args.ignore_version,
         )
     except (FileExistsError, FileNotFoundError, KeyError, TypeError, ValueError) as error:
         raise SystemExit(f"repro: {error}")
@@ -495,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="finish an interrupted campaign directory in place (skips points "
         "its partial results.jsonl already holds)",
+    )
+    sweep.add_argument(
+        "--ignore-version",
+        action="store_true",
+        help="with --resume: accept a directory started by a different engine "
+        "version (the finished results.jsonl then mixes versions)",
     )
     sweep.add_argument("--metrics", default=None, help="comma-separated metric columns")
     sweep.add_argument("--json", action="store_true", help="print the manifest JSON instead")

@@ -40,6 +40,7 @@ from .cache import (
     ResultCache,
     make_cache,
     plan_keys,
+    reject_inputs_with_cache,
 )
 from .client import ServiceClient, ServiceError
 from .jobs import (
@@ -88,6 +89,7 @@ __all__ = [
     "make_cache",
     "plan_keys",
     "point_key",
+    "reject_inputs_with_cache",
     "resume_campaign",
     "serve",
     "spec_key",

@@ -6,7 +6,10 @@ keyed by :func:`~repro.service.keys.point_key` can never serve a stale
 or wrong answer: a key either addresses exactly the bytes the engine
 would recompute, or it is absent.  That turns overlapping sweeps from
 many clients into mostly cache traffic, and identical re-submissions
-into pure replay.
+into pure replay.  The one thing that could break the invariant —
+injected ``inputs`` substrates, which change results without changing
+the key — is rejected up front wherever a cache is active
+(:func:`reject_inputs_with_cache`).
 
 Two layers:
 
@@ -281,6 +284,26 @@ class ResultCache:
         )
 
 
+def reject_inputs_with_cache(inputs: Optional[dict[str, Any]]) -> None:
+    """Refuse to combine a result cache with injected ``inputs``.
+
+    Injected substrates change what the engine computes without changing
+    the ``(spec, seed, backend, version)`` key, so a cache hit could
+    silently return numbers computed under different inputs — the one
+    way the "a key addresses exactly what the engine would recompute"
+    invariant can be broken.  Mirrors the process executor's eager
+    ``inputs`` rejection: fail loudly, before any store is touched.
+    """
+    if inputs:
+        raise ValueError(
+            "a result cache cannot be combined with injected `inputs`: "
+            "pre-built substrates change results without changing the "
+            "(spec, seed, backend, version) content key, so cache hits "
+            "could silently serve numbers computed under different inputs "
+            "— drop `inputs` or run without a cache"
+        )
+
+
 def make_cache(
     cache: Union[None, str, Path, ResultCache],
     max_memory: Optional[int] = 128,
@@ -342,6 +365,7 @@ class CachedDispatch:
         inputs: Optional[dict[str, Any]] = None,
         engine_version: Optional[str] = None,
     ) -> None:
+        reject_inputs_with_cache(inputs)
         self.plan = plan
         self.executor = executor
         self.cache = cache

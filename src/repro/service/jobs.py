@@ -48,7 +48,7 @@ from ..campaigns import (
 )
 from ..campaigns.executors import RunnerFactory, SerialExecutor, ThreadExecutor, _check_workers
 from ..experiments.workloads import validate_backend
-from .cache import CachedDispatch, ResultCache, make_cache
+from .cache import CachedDispatch, ResultCache, make_cache, reject_inputs_with_cache
 
 #: Every state a job can report.  Terminal states: done/failed/cancelled.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -232,6 +232,14 @@ class JobManager:
     jobs without an explicit ``out`` a JSONL directory at
     ``<root>/<job id>``; with neither, results stay in memory on the
     job's :class:`CampaignResult`.
+
+    ``max_finished`` bounds how many *terminal* jobs (done / failed /
+    cancelled) the manager remembers: each submission evicts the oldest
+    finished jobs beyond the bound, dropping their in-memory
+    :class:`CampaignResult` payloads so a long-lived ``repro serve``
+    process stays flat.  Evicted job ids read as unknown afterwards
+    (their JSONL directories, when configured, stay on disk).  ``None``
+    disables eviction — only sensible for short-lived managers.
     """
 
     def __init__(
@@ -240,12 +248,16 @@ class JobManager:
         *,
         cache: Union[None, str, Path, ResultCache] = None,
         root: Union[None, str, Path] = None,
+        max_finished: Optional[int] = 256,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_finished is not None and max_finished < 0:
+            raise ValueError(f"max_finished must be >= 0 or None, got {max_finished}")
         self.cache = make_cache(cache)
         self.root = None if root is None else Path(root)
         self.workers = int(workers)
+        self.max_finished = max_finished
         self._jobs: "dict[str, Job]" = {}
         self._order: list[str] = []
         self._lock = threading.Lock()
@@ -281,16 +293,20 @@ class JobManager:
         caller's thread — a queued job only fails for execution-time
         reasons, never for a bad argument.
         """
-        if executor == "async":
-            raise ValueError(
-                "the job manager already runs campaigns in the background; "
-                "submit with a synchronous executor (serial/thread/process/batched)"
-            )
         if not isinstance(campaign, CampaignSpec):
             campaign = CampaignSpec.from_dict(campaign)
         resolved_backend = backend if backend is not None else campaign.backend
         plan = campaign.compile(seed)
         chosen = make_executor(executor, workers=workers)
+        # The resolved name catches AsyncExecutor instances too, not just
+        # the literal executor="async" string.
+        if chosen.name == "async":
+            raise ValueError(
+                "the job manager already runs campaigns in the background; "
+                "submit with a synchronous executor (serial/thread/process/batched)"
+            )
+        if self.cache is not None:
+            reject_inputs_with_cache(inputs)
         for kind in plan.kinds():
             validate_backend(kind, resolved_backend)
         if flush_every < 1:
@@ -315,8 +331,19 @@ class JobManager:
             )
             self._jobs[job_id] = job
             self._order.append(job_id)
+            self._evict_finished()
         self._queue.put(job)
         return job
+
+    def _evict_finished(self) -> None:
+        """Forget the oldest terminal jobs beyond ``max_finished``
+        (callers hold the lock).  Queued/running jobs are never evicted."""
+        if self.max_finished is None:
+            return
+        finished = [job_id for job_id in self._order if self._jobs[job_id].done]
+        for job_id in finished[: max(0, len(finished) - self.max_finished)]:
+            del self._jobs[job_id]
+            self._order.remove(job_id)
 
     def job(self, job_id: str) -> Job:
         with self._lock:
@@ -465,6 +492,7 @@ def resume_campaign(
     flush_every: int = 1,
     inputs: Optional[dict[str, Any]] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    ignore_version: bool = False,
 ) -> CampaignResult:
     """Finish an interrupted JSONL campaign directory in place.
 
@@ -478,8 +506,12 @@ def resume_campaign(
 
     The campaign, seed and backend come from the sidecar: resuming under
     different settings would silently mix incompatible numbers, so they
-    are deliberately not parameters.  The executor is free to differ —
-    it never affects results.
+    are deliberately not parameters.  The engine *version* is held to
+    the same standard — a directory started under a different version is
+    refused (``ignore_version=True``, CLI ``--ignore-version``, accepts
+    the mixed-version results anyway, and the manifest then records the
+    sidecar's version so the mixture is at least visible).  The executor
+    is free to differ — it never affects results.
     """
     root = Path(out)
     sidecar = read_campaign_sidecar(root)
@@ -488,6 +520,19 @@ def resume_campaign(
             f"{root} has no {JsonlResultStore.CAMPAIGN_NAME} sidecar; only "
             f"campaigns started by this version (or the job service) are resumable"
         )
+    from .. import __version__
+
+    sidecar_version = sidecar.get("version")
+    if sidecar_version != __version__ and not ignore_version:
+        raise ValueError(
+            f"{root} was started by engine version {sidecar_version!r} but this "
+            f"build is {__version__!r}; resuming would mix versions in one "
+            f"results.jsonl — re-run the campaign, or pass ignore_version=True "
+            f"(CLI: --ignore-version) to accept that"
+        )
+    result_cache = make_cache(cache)
+    if result_cache is not None:
+        reject_inputs_with_cache(inputs)
     sink = JsonlResultStore.open_partial(root, flush_every=flush_every)
     campaign = CampaignSpec.from_dict(sidecar["campaign"])
     seed = int(sidecar["seed"])
@@ -503,7 +548,6 @@ def resume_campaign(
         outcomes: Iterator[PointOutcome] = chosen.run(
             sub_plan, backend=backend, inputs=inputs
         )
-        result_cache = make_cache(cache)
         if result_cache is not None:
             close = getattr(outcomes, "close", None)
             if close is not None:
@@ -530,6 +574,11 @@ def resume_campaign(
             "resumed": {
                 "previously_completed": len(done),
                 "executed": len(missing),
+                **(
+                    {"sidecar_version": sidecar_version}
+                    if sidecar_version != __version__
+                    else {}
+                ),
             }
         },
     )

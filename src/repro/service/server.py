@@ -104,10 +104,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             payload, status = self._route(method, parts, parse_qs(url.query))
         except _HttpError as error:
             payload, status = {"error": str(error)}, error.status
-        except (KeyError, TypeError, ValueError) as error:
-            # Bad submissions (unknown kind, invalid field, ...) are
-            # client errors, not tracebacks.
-            payload, status = {"error": f"{type(error).__name__}: {error}"}, 400
+        except Exception as error:  # noqa: BLE001 — answered, not raised
+            # Anything a route didn't classify as a client error is a
+            # server fault; answer with a JSON body instead of dropping
+            # the connection.
+            payload, status = {"error": f"{type(error).__name__}: {error}"}, 500
         self._send(payload, status)
 
     # ------------------------------------------------------------------
@@ -149,7 +150,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         unknown = set(body) - set(_SUBMIT_OPTIONS) - {"campaign"}
         if unknown:
             raise _HttpError(400, f"unknown submit options: {sorted(unknown)}")
-        job = self.manager.submit(body["campaign"], **options)
+        try:
+            job = self.manager.submit(body["campaign"], **options)
+        except (KeyError, TypeError, ValueError) as error:
+            # Bad submissions (unknown kind, invalid field, ...) are
+            # client errors, not tracebacks — but only here: the same
+            # exception types elsewhere are genuine server faults.
+            raise _HttpError(400, f"{type(error).__name__}: {error}")
         return job.status_dict(), 201
 
     @staticmethod
@@ -175,6 +182,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         job = self._finished(job)
         assert job.result is not None
         analysis = (query.get("analysis") or [None])[0]
+        if analysis is not None:
+            from ..inference import analysis_kinds
+
+            # The kind name is the client's input; a failure *inside* a
+            # valid analysis is a server fault and maps to 500.
+            if analysis not in analysis_kinds():
+                raise _HttpError(
+                    400,
+                    f"unknown analysis {analysis!r}; one of {sorted(analysis_kinds())}",
+                )
         report = job.result.analyze(analysis)
         # Round-trip through to_json: the report's own serialization
         # already normalises numpy scalars.

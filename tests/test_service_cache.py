@@ -241,3 +241,25 @@ def test_dispatch_requires_matching_plan_and_summary(tmp_path):
     outcomes = list(dispatch.outcomes())
     assert sorted(outcome.point.index for outcome in outcomes) == [0, 1, 2, 3]
     assert dispatch.summary()["computed"] == 4
+
+
+def test_cache_rejects_injected_inputs(tmp_path):
+    # Injected substrates change results without changing the content
+    # key, so every cache-aware entry point must refuse the combination
+    # eagerly — before any store or directory is touched.
+    from repro.campaigns import SerialExecutor
+
+    cache = ResultCache(root=tmp_path / "cache")
+    with pytest.raises(ValueError, match="inputs"):
+        CachedDispatch(
+            CAMPAIGN.compile(1), SerialExecutor(), cache, inputs={"substrate": object()}
+        )
+    out = tmp_path / "out"
+    with pytest.raises(ValueError, match="inputs"):
+        run_campaign(
+            CAMPAIGN, seed=1, cache=cache, inputs={"substrate": object()}, out=str(out)
+        )
+    assert not out.exists()  # rejected before make_store ran
+    # Without a cache the same inputs argument stays legal.
+    uncached = run_campaign(CAMPAIGN, seed=1, inputs=None)
+    assert uncached.manifest["n_points"] == 4

@@ -80,6 +80,27 @@ def test_sweep_resume_on_a_finished_directory_fails_cleanly(campaign_file, tmp_p
         main(["sweep", "--resume", str(out)])
 
 
+def test_sweep_resume_version_mismatch_needs_ignore_version(campaign_file, tmp_path, capsys):
+    out = tmp_path / "run"
+    assert main(["sweep", "--campaign", campaign_file, "--seed", "1",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    (out / "manifest.json").unlink()
+    sidecar = json.loads((out / "campaign.json").read_text())
+    sidecar["version"] = "0.0.0-elsewhere"
+    (out / "campaign.json").write_text(json.dumps(sidecar))
+    with pytest.raises(SystemExit, match="--ignore-version"):
+        main(["sweep", "--resume", str(out)])
+    assert main(["sweep", "--resume", str(out), "--ignore-version"]) == 0
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["resumed"]["sidecar_version"] == "0.0.0-elsewhere"
+
+
+def test_sweep_ignore_version_requires_resume(campaign_file):
+    with pytest.raises(SystemExit, match="--ignore-version"):
+        main(["sweep", "--campaign", campaign_file, "--ignore-version"])
+
+
 def test_sweep_resume_missing_sidecar_fails_cleanly(tmp_path):
     (tmp_path / "orphan").mkdir()
     (tmp_path / "orphan" / "results.jsonl").write_text("")

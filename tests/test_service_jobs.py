@@ -80,6 +80,42 @@ def test_submit_validates_eagerly(manager):
         manager.job("job-9999")
 
 
+def test_submit_rejects_an_async_executor_instance_too(manager):
+    # The guard must hold for the resolved executor, not just the
+    # literal executor="async" string.
+    with pytest.raises(ValueError, match="synchronous"):
+        manager.submit(CAMPAIGN, executor=AsyncExecutor())
+
+
+def test_submit_rejects_inputs_against_the_shared_cache(manager):
+    with pytest.raises(ValueError, match="inputs"):
+        manager.submit(CAMPAIGN, seed=1, inputs={"substrate": object()})
+
+
+def test_manager_evicts_oldest_finished_jobs(tmp_path):
+    manager = JobManager(workers=1, root=tmp_path / "jobs", max_finished=2)
+    try:
+        finished = []
+        for seed in range(3):
+            job = manager.submit(CAMPAIGN, seed=seed)
+            manager.wait(job.id, timeout=60)
+            finished.append(job)
+        newest = manager.submit(CAMPAIGN, seed=99)
+        with pytest.raises(KeyError, match="unknown job"):
+            manager.job(finished[0].id)
+        assert [job.id for job in manager.jobs()] == [
+            finished[1].id,
+            finished[2].id,
+            newest.id,
+        ]
+        manager.wait(newest.id, timeout=60)
+    finally:
+        manager.shutdown()
+
+    with pytest.raises(ValueError, match="max_finished"):
+        JobManager(max_finished=-1)
+
+
 def test_failed_job_reports_its_error_and_frees_the_worker(manager):
     # The vectorized backend rejects the screening kind at submit time,
     # so force an execution-time failure instead: an unwritable out dir.
@@ -167,6 +203,31 @@ def test_resume_with_cache_serves_missing_points_from_cache(tmp_path):
     assert resumed.manifest["resumed"] == {"previously_completed": 1, "executed": 3}
     assert resumed.manifest["cache"]["hits"] == 3
     assert _payloads(resumed) == _payloads(partial)
+
+
+def test_resume_refuses_a_version_mismatch(tmp_path):
+    run_campaign(CAMPAIGN, seed=1, out=str(tmp_path / "part"))
+    (tmp_path / "part" / "manifest.json").unlink()
+    sidecar_path = tmp_path / "part" / "campaign.json"
+    sidecar = json.loads(sidecar_path.read_text())
+    sidecar["version"] = "0.0.0-elsewhere"
+    sidecar_path.write_text(json.dumps(sidecar))
+    with pytest.raises(ValueError, match="0.0.0-elsewhere"):
+        resume_campaign(tmp_path / "part")
+    # The override finishes the directory but records the mixture.
+    resumed = resume_campaign(tmp_path / "part", ignore_version=True)
+    assert resumed.manifest["resumed"]["sidecar_version"] == "0.0.0-elsewhere"
+
+
+def test_resume_rejects_inputs_with_a_cache(tmp_path):
+    run_campaign(CAMPAIGN, seed=1, out=str(tmp_path / "part"))
+    (tmp_path / "part" / "manifest.json").unlink()
+    with pytest.raises(ValueError, match="inputs"):
+        resume_campaign(
+            tmp_path / "part",
+            cache=tmp_path / "cache",
+            inputs={"substrate": object()},
+        )
 
 
 # ---------------------------------------------------------------------------

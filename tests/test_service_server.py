@@ -100,6 +100,37 @@ def test_error_paths_return_structured_json(service):
     assert bad_route.value.status == 404
 
 
+def test_unknown_analysis_kind_is_a_client_error(service):
+    job = service.submit(CAMPAIGN, seed=1)
+    service.wait(job["id"])
+    with pytest.raises(ServiceError) as bad_kind:
+        service.analysis(job["id"], analysis="bogus")
+    assert bad_kind.value.status == 400
+    assert "unknown analysis" in str(bad_kind.value)
+
+
+def test_unexpected_server_fault_returns_json_500(tmp_path):
+    server, thread = start_server(port=0)
+    try:
+        client = ServiceClient(server.url)
+
+        def boom():
+            raise RuntimeError("stats backend exploded")
+
+        server.manager.cache_stats = boom
+        with pytest.raises(ServiceError) as fault:
+            client.cache_stats()
+        # A server-side fault is a JSON 500, not a dropped connection —
+        # and not a 400 blaming the client.
+        assert fault.value.status == 500
+        assert "stats backend exploded" in str(fault.value)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.shutdown()
+        thread.join(timeout=10)
+
+
 def test_results_of_an_unfinished_job_conflict(service, tmp_path):
     # A queued-then-cancelled job has no results to serve.
     job = service.submit(CAMPAIGN, seed=1)
