@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from . import (
     analysis,
@@ -44,6 +44,7 @@ from . import (
     pixel,
     screening,
     service,
+    wafer,
 )
 from .campaigns import CampaignResult, CampaignSpec, run_campaign
 from .engine import VectorizedDnaChip
@@ -93,6 +94,7 @@ from .neuro import (
 )
 from .pixel import DnaSensorPixel, SawtoothAdc
 from .screening import CompoundLibrary, ScreeningFunnel, compare_cmos_vs_conventional
+from .wafer import WaferSpec
 
 __all__ = [
     "AdcTransferSpec",
@@ -138,6 +140,7 @@ __all__ = [
     "Target",
     "Trace",
     "VectorizedDnaChip",
+    "WaferSpec",
     "analysis",
     "analyze",
     "campaigns",
@@ -159,4 +162,5 @@ __all__ = [
     "screening",
     "service",
     "units",
+    "wafer",
 ]

@@ -149,8 +149,17 @@ def _metrics_list(option_value: Optional[str]) -> Optional[list[str]]:
 # Subcommands
 # ---------------------------------------------------------------------------
 def _cmd_kinds(args: argparse.Namespace) -> int:
+    """Each kind with its sweepable axes (the spec's dataclass fields) —
+    every listed field works with ``sweep --grid``/``--zip``, so wafer
+    axes like ``reticle_sigma`` are discoverable without reading code."""
+    import dataclasses
+
+    from .experiments import experiment_type
+
+    width = max(len(kind) for kind in experiment_kinds())
     for kind in experiment_kinds():
-        print(kind)
+        fields = [field.name for field in dataclasses.fields(experiment_type(kind))]
+        print(f"{kind:<{width}}  {','.join(fields)}")
     return 0
 
 

@@ -31,6 +31,14 @@ from ..pixel.pixel import PixelVariation
 
 DRAW_MODES = ("paired", "fast")
 
+#: Process-mismatch sigmas shared by every draw path.  The wafer layer
+#: (:mod:`repro.wafer`) decomposes exactly these totals into radial /
+#: reticle / white components, so they are named here rather than
+#: hidden in the ``draw`` signature.
+DEFAULT_SIGMA_OFFSET_V = 0.008
+DEFAULT_SIGMA_CINT_REL = 0.015
+DEFAULT_LEAKAGE_MEAN_A = 2.0e-15
+
 
 @dataclass
 class PixelArrayParams:

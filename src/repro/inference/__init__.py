@@ -22,6 +22,8 @@ Sub-modules, usable standalone:
   and threshold selection at a target false-positive rate;
 * :mod:`~repro.inference.yield_stats` — pass/fail yield with Wilson
   intervals, dead-pixel rates, per-chip spread;
+* :mod:`~repro.inference.wafermap` — ASCII wafer maps for die-binning
+  results (``wafer_yield`` reports render them into ``repro report``);
 * :mod:`~repro.inference.tabulate` — columnar access to stores (the
   campaign report tables are built on it);
 * :mod:`~repro.inference.specs` — the ``AnalysisSpec`` registry that
@@ -63,6 +65,7 @@ from .specs import (
     AnalysisSpec,
     DetectionAnalysis,
     DoseResponseAnalysis,
+    WaferYieldAnalysis,
     YieldAnalysis,
     analysis_from_dict,
     analysis_kinds,
@@ -72,6 +75,7 @@ from .specs import (
     register_analysis,
 )
 from .tabulate import CampaignFrame, report_rows
+from .wafermap import render_wafer_map, wafer_map_diagram
 from .yield_stats import (
     CRITERIA,
     DeadPixelStats,
@@ -104,6 +108,7 @@ __all__ = [
     "RocCurve",
     "SeparationStats",
     "SpreadStats",
+    "WaferYieldAnalysis",
     "YieldAnalysis",
     "YieldStats",
     "analysis_from_dict",
@@ -125,10 +130,12 @@ __all__ = [
     "operating_point",
     "pass_fail_yield",
     "register_analysis",
+    "render_wafer_map",
     "report_rows",
     "resample_statistics",
     "roc_curve",
     "separation_stats",
     "spread",
+    "wafer_map_diagram",
     "wilson_interval",
 ]

@@ -86,9 +86,12 @@ class AnalysisReport:
     scalars: dict[str, Any] = field(default_factory=dict)
     tables: list[ReportTable] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Preformatted monospace diagrams (e.g. ASCII wafer maps), each
+    #: ``{"title": str, "lines": [str, ...]}``.  Rendered verbatim.
+    diagrams: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema": "repro-analysis/1",
             "kind": self.kind,
             "analysis": _json_safe(self.analysis),
@@ -97,6 +100,14 @@ class AnalysisReport:
             "tables": [table.to_dict() for table in self.tables],
             "notes": list(self.notes),
         }
+        # Only when present, so analyses without diagrams keep their
+        # exact pre-existing JSON bytes.
+        if self.diagrams:
+            data["diagrams"] = [
+                {"title": str(d.get("title", "")), "lines": [str(line) for line in d["lines"]]}
+                for d in self.diagrams
+            ]
+        return data
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, allow_nan=False)
@@ -107,6 +118,10 @@ class AnalysisReport:
             blocks.append(render_kv("results", list(self.scalars.items())))
         for table in self.tables:
             blocks.append(table.to_text())
+        for diagram in self.diagrams:
+            title = diagram.get("title", "")
+            body = "\n".join(diagram["lines"])
+            blocks.append(f"{title}\n{body}" if title else body)
         for note in self.notes:
             blocks.append(f"note: {note}")
         return "\n\n".join(blocks)
@@ -127,6 +142,15 @@ class AnalysisReport:
             lines.append("")
         for table in self.tables:
             lines.append(table.to_markdown())
+            lines.append("")
+        for diagram in self.diagrams:
+            title = diagram.get("title", "")
+            if title:
+                lines.append(f"### {title}")
+                lines.append("")
+            lines.append("```")
+            lines.extend(str(line) for line in diagram["lines"])
+            lines.append("```")
             lines.append("")
         for note in self.notes:
             lines.append(f"> {note}")

@@ -13,7 +13,10 @@ kinds ship:
   separation, ROC/AUC, threshold at a target false-positive rate
   (Fig. 2's discrimination claim, made operational);
 * ``yield`` — chip-level Monte-Carlo aggregation: pass/fail yield with
-  Wilson intervals, metric spread, dead-pixel rates (Fig. 6).
+  Wilson intervals, metric spread, dead-pixel rates (Fig. 6);
+* ``wafer_yield`` — die binning over stored wafer campaigns: ASCII
+  wafer maps, per-wafer yield with Wilson intervals, cross-wafer yield
+  with a seeded bootstrap CI.
 
 ``analyze(source, analysis)`` is the front door: it accepts a
 :class:`~repro.campaigns.store.CampaignResult`, any ResultStore, or a
@@ -531,6 +534,169 @@ class YieldAnalysis(AnalysisSpec):
 
 
 # ---------------------------------------------------------------------------
+# wafer_yield
+# ---------------------------------------------------------------------------
+@register_analysis("wafer_yield")
+@dataclass(frozen=True)
+class WaferYieldAnalysis(AnalysisSpec):
+    """Die binning and cross-wafer yield over stored wafer campaigns.
+
+    Each stored point is one wafer whose records carry one row per die
+    (the ``wafer`` workload); ``metric op threshold`` bins dies pass or
+    fail (default: at most 2% dead pixels).  The report layers three
+    levels: per-die binning (rendered as ASCII wafer maps, up to
+    ``max_maps``), per-wafer yield with Wilson intervals, and
+    cross-wafer yield statistics with a seeded bootstrap CI on the mean
+    wafer yield.
+    """
+
+    metric: str = "dead_fraction"
+    op: str = "<="
+    threshold: float = 0.02
+    confidence: float = 0.95
+    n_resamples: int = 1000
+    seed: int = 0
+    max_maps: int = 4
+
+    def __post_init__(self) -> None:
+        if self.op not in _yield.CRITERIA:
+            raise ValueError(
+                f"unknown criterion {self.op!r}; choose from {sorted(_yield.CRITERIA)}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if self.n_resamples < 1:
+            raise ValueError("n_resamples must be >= 1")
+        if self.max_maps < 0:
+            raise ValueError("max_maps must be non-negative")
+
+    def run(self, source: Any) -> AnalysisReport:
+        from .wafermap import wafer_map_diagram
+
+        frame = CampaignFrame.from_store(source)
+        if frame.n_points == 0:
+            raise ValueError("store holds no results to analyse")
+        store = getattr(source, "store", source)
+        criterion = f"{self.metric} {self.op} {format(self.threshold, 'g')}"
+        # Stream one wafer at a time; keep only per-die binning columns.
+        per_point: dict[int, dict[str, Any]] = {}
+        for meta, result in store.iter_results():
+            records = result.records
+            if self.metric not in records:
+                raise ValueError(
+                    f"records carry no per-die column {self.metric!r}; "
+                    f"available: {sorted(records)}"
+                )
+            if "grid_x" not in records or "grid_y" not in records:
+                raise ValueError(
+                    "records carry no die grid coordinates; "
+                    "wafer_yield needs a wafer-kind campaign"
+                )
+            values = np.asarray(records[self.metric], dtype=float)
+            passed = _yield.apply_criterion(values, self.op, self.threshold)
+            per_point[meta["point"]] = {
+                "grid_x": np.asarray(records["grid_x"], dtype=int),
+                "grid_y": np.asarray(records["grid_y"], dtype=int),
+                "passed": passed,
+                "stats": _yield.pass_fail_yield(passed, confidence=self.confidence),
+                "n_grid_x": result.metrics.get("n_grid_x"),
+                "n_grid_y": result.metrics.get("n_grid_y"),
+            }
+        points = sorted(per_point)
+        pooled = _yield.pass_fail_yield(
+            np.concatenate([per_point[p]["passed"] for p in points]),
+            confidence=self.confidence,
+        )
+        wafer_yields = np.asarray(
+            [per_point[p]["stats"].fraction for p in points], dtype=float
+        )
+        scalars: dict[str, Any] = {
+            "metric": self.metric,
+            "criterion": criterion,
+            "n_wafers": int(len(points)),
+            "n_dies": pooled.n,
+            "die_passes": pooled.passes,
+            "die_yield": _fmt(pooled.fraction),
+            "die_yield_ci_low": _fmt(pooled.ci_low),
+            "die_yield_ci_high": _fmt(pooled.ci_high),
+            "wafer_yield_mean": _fmt(wafer_yields.mean()),
+            "wafer_yield_min": _fmt(wafer_yields.min()),
+            "wafer_yield_max": _fmt(wafer_yields.max()),
+        }
+        notes: list[str] = []
+        if len(points) > 1:
+            ci = bootstrap_ci(
+                wafer_yields,
+                "mean",
+                n_resamples=self.n_resamples,
+                confidence=self.confidence,
+                seed=self.seed,
+                label=("wafer-yield-mean",),
+            )
+            scalars["wafer_yield_std"] = _fmt(wafer_yields.std(ddof=1))
+            scalars["wafer_yield_mean_ci_low"] = _fmt(ci.low)
+            scalars["wafer_yield_mean_ci_high"] = _fmt(ci.high)
+        else:
+            notes.append("cross-wafer bootstrap CI needs at least two wafers")
+
+        rows: list[list[Any]] = []
+        replicates = frame.replicates()
+        for row_index, meta in enumerate(frame.metas):
+            stats = per_point[meta["point"]]["stats"]
+            rows.append(
+                [
+                    meta["point"],
+                    int(replicates[row_index]),
+                    *[meta.get("assignment", {}).get(name, "") for name in frame.axis_names],
+                    stats.n,
+                    stats.passes,
+                    _fmt(stats.fraction),
+                    _fmt(stats.ci_low),
+                    _fmt(stats.ci_high),
+                ]
+            )
+        table = ReportTable(
+            title=f"per-wafer die yield ({criterion}; Wilson {self.confidence:g} CIs)",
+            headers=[
+                "point",
+                "replicate",
+                *frame.axis_names,
+                "n_dies",
+                "passes",
+                "yield",
+                "ci_low",
+                "ci_high",
+            ],
+            rows=rows,
+        )
+        diagrams = [
+            wafer_map_diagram(
+                per_point[p]["grid_x"],
+                per_point[p]["grid_y"],
+                per_point[p]["passed"],
+                title=f"wafer map — point {p} ({criterion})",
+                n_grid_x=per_point[p]["n_grid_x"],
+                n_grid_y=per_point[p]["n_grid_y"],
+            )
+            for p in points[: self.max_maps]
+        ]
+        if len(points) > self.max_maps:
+            notes.append(
+                f"wafer maps rendered for the first {self.max_maps} of "
+                f"{len(points)} wafers (raise max_maps for more)"
+            )
+        return AnalysisReport(
+            kind=self.kind,
+            analysis=self.to_dict(),
+            source=_source_block(store, frame),
+            scalars=scalars,
+            tables=[table],
+            notes=notes,
+            diagrams=diagrams,
+        )
+
+
+# ---------------------------------------------------------------------------
 # Front door
 # ---------------------------------------------------------------------------
 def default_analysis_for(source: Any) -> AnalysisSpec:
@@ -550,6 +716,8 @@ def default_analysis_for(source: Any) -> AnalysisSpec:
         return DoseResponseAnalysis()
     if kinds == ["array_scale"]:
         return YieldAnalysis(metric="zero_site_fraction", op="<=", threshold=0.05)
+    if kinds == ["wafer"]:
+        return WaferYieldAnalysis()
     if kinds == ["dna_assay"]:
         return DetectionAnalysis()
     if frame.metric_names:

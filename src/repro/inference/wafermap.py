@@ -1,0 +1,83 @@
+"""ASCII wafer maps — die-binning results inspectable in a terminal.
+
+One character per die on the wafer's grid, top grid row first (the
+geometry layer places ``grid_y`` 0 at the top, so maps render in wafer
+orientation without flipping).  Grid positions the edge exclusion
+removed render as ``empty_char``, which traces the wafer's circular
+outline for free.
+
+The renderer is deliberately data-only: it takes grid coordinates and
+per-die values, not a ``WaferSpec``, so it works on stored campaign
+records long after the spec module that produced them has moved on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_wafer_map", "wafer_map_diagram"]
+
+
+def render_wafer_map(
+    grid_x: Sequence[int],
+    grid_y: Sequence[int],
+    flags: Sequence[Any],
+    *,
+    pass_char: str = "#",
+    fail_char: str = "x",
+    empty_char: str = ".",
+    n_grid_x: Optional[int] = None,
+    n_grid_y: Optional[int] = None,
+) -> list[str]:
+    """Render per-die pass/fail flags as map lines, one char per die.
+
+    ``flags`` is truthy-per-die (pass).  The grid extent defaults to the
+    bounding box of the given coordinates; pass ``n_grid_x``/``n_grid_y``
+    to pin it (e.g. the layout's full extent) so maps from sparser
+    wafers stay comparable.
+    """
+    gx = np.asarray(grid_x, dtype=int)
+    gy = np.asarray(grid_y, dtype=int)
+    ok = np.asarray(flags, dtype=bool)
+    if not (len(gx) == len(gy) == len(ok)):
+        raise ValueError("grid_x, grid_y and flags must have equal length")
+    if len(gx) == 0:
+        return []
+    width = int(n_grid_x) if n_grid_x is not None else int(gx.max()) + 1
+    height = int(n_grid_y) if n_grid_y is not None else int(gy.max()) + 1
+    if gx.min() < 0 or gy.min() < 0 or gx.max() >= width or gy.max() >= height:
+        raise ValueError("grid coordinates fall outside the grid extent")
+    cells = [[empty_char] * width for _ in range(height)]
+    for x, y, flag in zip(gx, gy, ok):
+        cells[y][x] = pass_char if flag else fail_char
+    return [" ".join(row) for row in cells]
+
+
+def wafer_map_diagram(
+    grid_x: Sequence[int],
+    grid_y: Sequence[int],
+    flags: Sequence[Any],
+    *,
+    title: str,
+    pass_char: str = "#",
+    fail_char: str = "x",
+    empty_char: str = ".",
+    n_grid_x: Optional[int] = None,
+    n_grid_y: Optional[int] = None,
+) -> dict[str, Any]:
+    """A report-ready diagram block (title + legend + map lines) for
+    :attr:`repro.inference.report.AnalysisReport.diagrams`."""
+    lines = render_wafer_map(
+        grid_x,
+        grid_y,
+        flags,
+        pass_char=pass_char,
+        fail_char=fail_char,
+        empty_char=empty_char,
+        n_grid_x=n_grid_x,
+        n_grid_y=n_grid_y,
+    )
+    legend = f"{pass_char}=pass {fail_char}=fail {empty_char}=no die"
+    return {"title": title, "lines": [legend, *lines]}

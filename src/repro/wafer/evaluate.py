@@ -1,0 +1,357 @@
+"""Tiled wafer evaluation — bounded memory, per-die bit-parity.
+
+A full wafer of 128x128 dies is millions of pixels; materialising every
+die's parameter planes at once would cost gigabytes.  This module
+streams dies through the engine in tiles of at most
+:data:`WAFER_TILE_SITES` sites (~10 full-precision planes per site live
+at a time), the same bounded-chunk discipline as the batched campaign
+executor — and with the same determinism contract:
+
+* **Per-die streams.**  Every die draws from its own
+  ``SeedTree(wafer_die_seed(root, grid_x, grid_y))`` using the
+  *array-scale workload's* exact stream paths for that die's spec.  Die
+  identity is the grid coordinate, so results never depend on tile
+  size, evaluation order, or which other dies the edge exclusion admits.
+* **White-only parity.**  With no correlated component configured, the
+  per-die draws are left completely untouched (the field transform is
+  skipped, not multiplied by 1.0), so each die's records and metrics
+  are bit-identical to ``Runner(wafer_die_seed(...)).run(die_spec)`` —
+  the invariant ``tests/test_wafer_parity.py`` enforces.
+* **Correlated mode.**  Each die's white draws are scaled by
+  ``sqrt(white_fraction)`` and the wafer field's radial + reticle
+  planes are added before any counting, mirroring how the physical
+  parameters would actually be shifted; tiling remains bit-invariant
+  because the field is a pure function of (wafer stream, die position).
+
+Draw replay follows ``campaigns.batched._compile_array_scale``: the
+counting kernel's per-die ``uniform`` (start phase) then ``normal``
+(cycle jitter) draws are taken from each die's own stream and passed to
+one stacked kernel call per tile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from ..chip.dna_chip import ChipSpecs
+from ..core.rng import SeedTree, stable_entropy
+from ..devices.bandgap import BandgapReference
+from ..devices.current_mirror import ReferenceCurrentFanout
+from ..devices.dac import ResistorStringDac
+from ..engine import PixelArrayParams, kernels
+from ..experiments.specs import ArrayScaleSpec
+from ..experiments.workloads import (
+    array_scale_records_and_metrics,
+    _array_scale_streams,
+)
+from .field import WaferField, sample_field
+from .geometry import Die
+from .spec import WaferSpec
+
+__all__ = [
+    "WAFER_TILE_SITES",
+    "wafer_die_seed",
+    "wafer_field_for",
+    "iter_die_outputs",
+    "wafer_records_and_metrics",
+]
+
+#: Sites per evaluation tile.  One tile holds ~10 full-precision planes
+#: per site (params + draws + counts), so 2^18 sites ≈ 20 MB resident —
+#: the wafer-level analogue of ``ARRAY_SCALE_CHUNK_SITES``.
+WAFER_TILE_SITES = 1 << 18
+
+
+def wafer_die_seed(root: int, grid_x: int, grid_y: int) -> int:
+    """The Runner root seed for the die at grid ``(grid_x, grid_y)`` of
+    a wafer rooted at ``root``.
+
+    Keyed by grid coordinate — not list position — through the same
+    process-stable digest as ``campaigns.replicate_seed``, so widening
+    the edge exclusion adds or removes dies without reseeding the rest.
+    """
+    words = stable_entropy("wafer", "die", int(root), int(grid_x), int(grid_y))
+    return int(words[0] | (words[1] << 32))
+
+
+def wafer_field_for(spec: WaferSpec, seed: int) -> WaferField:
+    """The correlated field a Runner rooted at ``seed`` would sample —
+    the standalone twin of the Runner's ``"field"`` stream."""
+    rng = SeedTree(seed).generator("wafer", "field", spec.field_key())
+    return sample_field(spec, rng)
+
+
+def _apply_field(
+    params: PixelArrayParams, field: WaferField, tile: list[Die]
+) -> PixelArrayParams:
+    """Scale the stacked white draws to their variance share and add the
+    correlated planes; capacitances are re-derived from the adjusted
+    relative error (leakage stays white — defects are point events)."""
+    n = len(tile)
+    offset_planes = np.empty((n, field.rows, field.cols))
+    cint_planes = np.empty((n, field.rows, field.cols))
+    for index, die in enumerate(tile):
+        offset_planes[index], cint_planes[index] = field.die_planes(die)
+    offset = params.comparator_offset_v * field.white_scale + offset_planes
+    cint_rel = params.cint_relative_error * field.white_scale + cint_planes
+    return dataclasses.replace(
+        params,
+        comparator_offset_v=offset,
+        cint_relative_error=cint_rel,
+        cint_f=params.cint_nominal_f * (1.0 + cint_rel),
+    )
+
+
+def _tiles(dies: list[Die], dies_per_tile: int) -> Iterator[list[Die]]:
+    for start in range(0, len(dies), dies_per_tile):
+        yield dies[start : start + dies_per_tile]
+
+
+def _evaluate_group(
+    seed: int,
+    die_spec: ArrayScaleSpec,
+    dies: list[Die],
+    field: WaferField,
+    tile_sites: int,
+    outputs: dict[int, tuple],
+) -> None:
+    """Evaluate one same-spec die group tile by tile, filling
+    ``outputs[die.index]`` with ``(die, die_spec, records, metrics)``."""
+    chip_specs = ChipSpecs(rows=die_spec.rows, cols=die_spec.cols)
+    spawn_keys = {
+        name: stable_entropy(*path)
+        for name, path in _array_scale_streams(die_spec).items()
+    }
+    currents = die_spec.site_currents()
+    dies_per_tile = max(1, tile_sites // max(1, chip_specs.sites))
+    for tile in _tiles(dies, dies_per_tile):
+        params_list: list[PixelArrayParams] = []
+        trees_list: list = []
+        rng_sets: list[dict] = []
+        for die in tile:
+            die_seed = wafer_die_seed(seed, die.grid_x, die.grid_y)
+            rngs = {
+                name: np.random.default_rng(
+                    np.random.SeedSequence(entropy=die_seed, spawn_key=key)
+                )
+                for name, key in spawn_keys.items()
+            }
+            rng_sets.append(rngs)
+            chip_rng = rngs["chip"]
+            params_list.append(
+                PixelArrayParams.draw(
+                    die_spec.rows,
+                    die_spec.cols,
+                    rng=chip_rng,
+                    mode="fast",
+                    counter_bits=chip_specs.counter_bits,
+                )
+            )
+            if die_spec.calibrate:
+                # The periphery consumes the chip stream after the pixel
+                # draws (constructor order); only the reference trees
+                # feed calibration, but the DACs keep the position exact.
+                bandgap = BandgapReference.sample(chip_rng)
+                ResistorStringDac.sample(chip_rng, bits=8, v_low=0.0, v_high=2.0)
+                ResistorStringDac.sample(chip_rng, bits=8, v_low=-1.0, v_high=1.0)
+                trees_list.append(
+                    ReferenceCurrentFanout.build(
+                        master_current=bandgap.reference_current(1.2e6),
+                        count=8,
+                        rng=chip_rng,
+                    )
+                )
+        params = PixelArrayParams.stack(params_list)
+        if not field.white_only:
+            params = _apply_field(params, field, tile)
+        shape = params.shape
+
+        def _stacked_draws(stream: str) -> tuple[np.ndarray, np.ndarray]:
+            """Each die's (uniform phase, standard-normal jitter) draws
+            in the kernel's own order, stacked along the die axis."""
+            phase = np.empty(shape)
+            z = np.empty(shape)
+            block = (1, die_spec.rows, die_spec.cols)
+            for index, rngs in enumerate(rng_sets):
+                generator = rngs[stream]
+                phase[index : index + 1] = generator.uniform(0.0, 1.0, size=block)
+                z[index : index + 1] = generator.normal(0.0, 1.0, size=block)
+            return phase, z
+
+        if die_spec.calibrate:
+            site_index = np.arange(chip_specs.sites)
+            i_ref = np.empty((len(tile), chip_specs.sites))
+            for position, tree in enumerate(trees_list):
+                branches = tree.branch_currents() / 100.0
+                i_ref[position] = branches[site_index % len(branches)]
+            i_ref = i_ref.reshape(shape)
+            phase, z = _stacked_draws("calibration")
+            counts_cal = kernels.count_in_frame(
+                i_ref,
+                die_spec.calibration_frame_s,
+                start_phase=phase,
+                jitter_z=z,
+                counter_bits=chip_specs.counter_bits,
+                **params.kernel_kwargs(),
+            )
+            # Raises exactly where per-die auto_calibrate would.
+            kernels.calibration_corrections(
+                counts_cal, i_ref, die_spec.calibration_frame_s, params.dead_time_s
+            )
+        phase, z = _stacked_draws("measure")
+        counts = kernels.count_in_frame(
+            np.broadcast_to(currents, shape),
+            die_spec.frame_s,
+            start_phase=phase,
+            jitter_z=z,
+            counter_bits=chip_specs.counter_bits,
+            **params.kernel_kwargs(),
+        )
+        dead = (
+            kernels.dead_pixel_mask(params.leakage_a)
+            .reshape(len(tile), -1)
+            .sum(axis=1)
+        )
+        for index, die in enumerate(tile):
+            records, metrics = array_scale_records_and_metrics(
+                die_spec,
+                "vectorized",
+                counts[index : index + 1],
+                dead[index : index + 1],
+                chip_specs.counter_bits,
+                params.cint_nominal_f,
+                params.swing_nominal_v,
+                currents,
+            )
+            outputs[die.index] = (die, die_spec, records, metrics)
+
+
+def iter_die_outputs(
+    spec: WaferSpec,
+    seed: int,
+    *,
+    field: Optional[WaferField] = None,
+    tile_sites: int = WAFER_TILE_SITES,
+) -> Iterator[tuple[Die, ArrayScaleSpec, dict, dict]]:
+    """Evaluate every placed die, yielding ``(die, die_spec, records,
+    metrics)`` in die order — records/metrics are exactly what the
+    array-scale workload produces for that die, which is what the
+    parity tests compare field by field.
+
+    Dies sharing a spec (the common case; overrides split them) are
+    tiled together; resident memory is bounded by ``tile_sites``.
+    """
+    if tile_sites < 1:
+        raise ValueError("tile_sites must be positive")
+    if field is None:
+        field = wafer_field_for(spec, seed)
+    layout = spec.layout()
+    groups: dict[str, tuple[ArrayScaleSpec, list[Die]]] = {}
+    for die in layout.dies:
+        die_spec = spec.die_spec(die)
+        key = die_spec.content_hash()
+        groups.setdefault(key, (die_spec, []))[1].append(die)
+    outputs: dict[int, tuple] = {}
+    for die_spec, dies in groups.values():
+        _evaluate_group(seed, die_spec, dies, field, tile_sites, outputs)
+    for die in layout.dies:
+        yield outputs[die.index]
+
+
+def wafer_records_and_metrics(
+    spec: WaferSpec,
+    seed: int,
+    *,
+    field: Optional[WaferField] = None,
+    tile_sites: int = WAFER_TILE_SITES,
+) -> tuple[dict, dict]:
+    """Fold a full tiled wafer evaluation into per-die records plus
+    wafer-level metrics — the workload's result payload.
+
+    Only per-die scalars survive each tile, so peak memory is set by
+    ``tile_sites``, not the wafer size.  ``tile_sites`` never appears in
+    the output: results are bit-identical for any tiling.
+    """
+    layout = spec.layout()
+    columns: dict[str, list] = {
+        name: []
+        for name in (
+            "die",
+            "grid_x",
+            "grid_y",
+            "reticle_x",
+            "reticle_y",
+            "center_x_mm",
+            "center_y_mm",
+            "mean_count",
+            "median_count",
+            "min_count",
+            "max_count",
+            "zero_sites",
+            "saturated_sites",
+            "dead_pixels",
+            "zero_fraction",
+            "dead_fraction",
+        )
+    }
+    total_counts = 0
+    for die, die_spec, records, _metrics in iter_die_outputs(
+        spec, seed, field=field, tile_sites=tile_sites
+    ):
+        sites = die_spec.rows * die_spec.cols
+        columns["die"].append(die.index)
+        columns["grid_x"].append(die.grid_x)
+        columns["grid_y"].append(die.grid_y)
+        columns["reticle_x"].append(die.reticle_x)
+        columns["reticle_y"].append(die.reticle_y)
+        columns["center_x_mm"].append(die.center_x_mm)
+        columns["center_y_mm"].append(die.center_y_mm)
+        for name in (
+            "mean_count",
+            "median_count",
+            "min_count",
+            "max_count",
+            "zero_sites",
+            "saturated_sites",
+            "dead_pixels",
+        ):
+            columns[name].append(records[name][0])
+        columns["zero_fraction"].append(records["zero_sites"][0] / sites)
+        columns["dead_fraction"].append(records["dead_pixels"][0] / sites)
+        total_counts += int(_metrics["total_counts"])
+    records_out: dict[str, np.ndarray] = {}
+    for name, values in columns.items():
+        if name in ("center_x_mm", "center_y_mm", "mean_count", "median_count",
+                    "zero_fraction", "dead_fraction"):
+            records_out[name] = np.asarray(values, dtype=float)
+        else:
+            records_out[name] = np.asarray(values, dtype=int)
+    sites_total = spec.sites_per_die * layout.n_dies
+    metrics: dict[str, Any] = {
+        "backend": "vectorized",
+        "rows": spec.rows,
+        "cols": spec.cols,
+        "n_dies": layout.n_dies,
+        "n_reticles": layout.n_reticles,
+        "n_grid_x": layout.n_grid_x,
+        "n_grid_y": layout.n_grid_y,
+        "sites_per_die": spec.sites_per_die,
+        "sites_total": int(sites_total),
+        "wafer_diameter_mm": spec.wafer_diameter_mm,
+        "usable_radius_mm": layout.usable_radius_mm,
+        "radial_gradient": spec.radial_gradient,
+        "reticle_sigma": spec.reticle_sigma,
+        "white_fraction": spec.white_fraction,
+        "total_counts": int(total_counts),
+        "mean_count": float(total_counts / sites_total),
+        "zero_site_fraction": float(
+            int(records_out["zero_sites"].sum()) / sites_total
+        ),
+        "dead_pixel_fraction": float(
+            int(records_out["dead_pixels"].sum()) / sites_total
+        ),
+    }
+    return records_out, metrics

@@ -1,0 +1,174 @@
+"""Wafer geometry: die placement on a circular wafer with edge exclusion.
+
+A wafer is a circle of ``wafer_diameter_mm`` holding a rectangular grid
+of dies (each ``die_width_mm`` x ``die_height_mm``), printed reticle by
+reticle — a reticle stamps a ``reticle_rows`` x ``reticle_cols`` block
+of dies in one exposure, so process errors that are systematic per
+exposure (focus, dose) are shared by every die in a reticle.
+
+Placement rule: the grid is centred on the wafer, and a die is included
+iff **all four of its corners** lie inside the usable radius
+``wafer_radius - edge_exclusion`` — the standard "full die only" rule.
+Die identity is the grid coordinate ``(grid_x, grid_y)``, *not* the
+position in the included list: derived seeds key off grid coordinates,
+so shrinking the edge exclusion adds dies without renumbering (or
+reseeding) existing ones.
+
+Coordinates are millimetres with the origin at the wafer centre,
+``x`` rightward and ``y`` upward; grid indices run in image order
+(``grid_x`` 0 at the left, ``grid_y`` 0 at the *top* row), matching how
+wafer maps are rendered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Die", "WaferLayout", "build_layout"]
+
+
+@dataclass(frozen=True)
+class Die:
+    """One placed die: grid identity, reticle membership, position."""
+
+    index: int  # position in WaferLayout.dies (row-major over the grid)
+    grid_x: int
+    grid_y: int
+    reticle_x: int
+    reticle_y: int
+    center_x_mm: float
+    center_y_mm: float
+
+    @property
+    def radius_mm(self) -> float:
+        return math.hypot(self.center_x_mm, self.center_y_mm)
+
+
+@dataclass(frozen=True)
+class WaferLayout:
+    """The resolved die placement for one wafer geometry."""
+
+    wafer_diameter_mm: float
+    edge_exclusion_mm: float
+    die_width_mm: float
+    die_height_mm: float
+    reticle_rows: int
+    reticle_cols: int
+    n_grid_x: int  # full grid extent (including excluded positions)
+    n_grid_y: int
+    dies: tuple[Die, ...]  # included dies only, row-major (grid_y, grid_x)
+
+    @property
+    def usable_radius_mm(self) -> float:
+        return self.wafer_diameter_mm / 2.0 - self.edge_exclusion_mm
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.dies)
+
+    @property
+    def n_reticle_x(self) -> int:
+        return -(-self.n_grid_x // self.reticle_cols)
+
+    @property
+    def n_reticle_y(self) -> int:
+        return -(-self.n_grid_y // self.reticle_rows)
+
+    @property
+    def n_reticles(self) -> int:
+        """Number of distinct reticle exposures that own at least one die."""
+        return len({(d.reticle_x, d.reticle_y) for d in self.dies})
+
+    def die_at(self, grid_x: int, grid_y: int) -> Die:
+        for die in self.dies:
+            if die.grid_x == grid_x and die.grid_y == grid_y:
+                return die
+        raise KeyError(f"no die at grid ({grid_x}, {grid_y})")
+
+    def pixel_positions(self, die: Die, rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pixel-centre coordinates (mm, wafer frame) for a ``rows x cols``
+        array filling the die; returns ``(x, y)`` each of shape
+        ``(rows, cols)``.  Row 0 is the top of the die (largest ``y``),
+        matching image-order array indexing."""
+        pitch_x = self.die_width_mm / cols
+        pitch_y = self.die_height_mm / rows
+        x0 = die.center_x_mm - self.die_width_mm / 2.0 + pitch_x / 2.0
+        y0 = die.center_y_mm + self.die_height_mm / 2.0 - pitch_y / 2.0
+        x = x0 + pitch_x * np.arange(cols, dtype=float)
+        y = y0 - pitch_y * np.arange(rows, dtype=float)
+        return np.broadcast_to(x[None, :], (rows, cols)), np.broadcast_to(
+            y[:, None], (rows, cols)
+        )
+
+
+def build_layout(
+    wafer_diameter_mm: float,
+    edge_exclusion_mm: float,
+    die_width_mm: float,
+    die_height_mm: float,
+    reticle_rows: int,
+    reticle_cols: int,
+) -> WaferLayout:
+    """Place dies on the wafer and return the resolved layout.
+
+    The grid spans every column/row whose dies could possibly intersect
+    the wafer; inclusion then applies the four-corner rule against the
+    usable radius.  Raises if the geometry admits no die at all.
+    """
+    if wafer_diameter_mm <= 0:
+        raise ValueError("wafer diameter must be positive")
+    if edge_exclusion_mm < 0:
+        raise ValueError("edge exclusion must be non-negative")
+    if die_width_mm <= 0 or die_height_mm <= 0:
+        raise ValueError("die dimensions must be positive")
+    if reticle_rows < 1 or reticle_cols < 1:
+        raise ValueError("reticle grid must be at least 1x1")
+    usable = wafer_diameter_mm / 2.0 - edge_exclusion_mm
+    if usable <= 0:
+        raise ValueError("edge exclusion leaves no usable wafer area")
+    n_grid_x = max(1, int(math.floor(2.0 * usable / die_width_mm)))
+    n_grid_y = max(1, int(math.floor(2.0 * usable / die_height_mm)))
+    half_span_x = n_grid_x * die_width_mm / 2.0
+    half_span_y = n_grid_y * die_height_mm / 2.0
+    dies: list[Die] = []
+    index = 0
+    for gy in range(n_grid_y):
+        cy = half_span_y - (gy + 0.5) * die_height_mm  # grid_y 0 = top row
+        for gx in range(n_grid_x):
+            cx = -half_span_x + (gx + 0.5) * die_width_mm
+            corner = math.hypot(
+                abs(cx) + die_width_mm / 2.0, abs(cy) + die_height_mm / 2.0
+            )
+            if corner > usable:
+                continue
+            dies.append(
+                Die(
+                    index=index,
+                    grid_x=gx,
+                    grid_y=gy,
+                    reticle_x=gx // reticle_cols,
+                    reticle_y=gy // reticle_rows,
+                    center_x_mm=cx,
+                    center_y_mm=cy,
+                )
+            )
+            index += 1
+    if not dies:
+        raise ValueError(
+            "no die fits inside the usable radius "
+            f"({usable:.1f} mm) with a {die_width_mm}x{die_height_mm} mm die"
+        )
+    return WaferLayout(
+        wafer_diameter_mm=float(wafer_diameter_mm),
+        edge_exclusion_mm=float(edge_exclusion_mm),
+        die_width_mm=float(die_width_mm),
+        die_height_mm=float(die_height_mm),
+        reticle_rows=int(reticle_rows),
+        reticle_cols=int(reticle_cols),
+        n_grid_x=n_grid_x,
+        n_grid_y=n_grid_y,
+        dies=tuple(dies),
+    )

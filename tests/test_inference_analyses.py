@@ -42,7 +42,7 @@ def fig4_result():
 
 class TestRegistry:
     def test_kinds(self):
-        assert analysis_kinds() == ["detection", "dose_response", "yield"]
+        assert analysis_kinds() == ["detection", "dose_response", "wafer_yield", "yield"]
         assert analysis_type("yield") is YieldAnalysis
 
     def test_unknown_kind(self):

@@ -1,0 +1,152 @@
+"""The wafer-yield analysis axis: die binning, wafer maps, cross-wafer CIs."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, run_campaign
+from repro.inference import (
+    WaferYieldAnalysis,
+    analysis_from_dict,
+    analysis_kinds,
+    analyze,
+    default_analysis_for,
+    render_wafer_map,
+    wafer_map_diagram,
+)
+from repro.wafer import WaferSpec
+
+SPEC = WaferSpec(
+    wafer_diameter_mm=60.0, die_width_mm=12.0, die_height_mm=12.0, rows=8, cols=8
+)
+
+
+@pytest.fixture(scope="module")
+def wafer_campaign():
+    campaign = CampaignSpec(
+        base=SPEC, grid={"reticle_sigma": (0.0, 0.3)}, replicates=2
+    )
+    return run_campaign(campaign, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# Renderer
+# ---------------------------------------------------------------------------
+def test_render_wafer_map_basic():
+    lines = render_wafer_map([0, 1, 1], [0, 0, 1], [True, False, True])
+    assert lines == ["# x", ". #"]
+
+
+def test_render_wafer_map_pins_the_extent():
+    lines = render_wafer_map([1], [1], [True], n_grid_x=3, n_grid_y=3)
+    assert lines == [". . .", ". # .", ". . ."]
+
+
+def test_render_wafer_map_rejects_out_of_extent_coordinates():
+    with pytest.raises(ValueError, match="outside the grid extent"):
+        render_wafer_map([3], [0], [True], n_grid_x=2, n_grid_y=2)
+    with pytest.raises(ValueError, match="equal length"):
+        render_wafer_map([0, 1], [0], [True])
+
+
+def test_render_wafer_map_empty_input():
+    assert render_wafer_map([], [], []) == []
+
+
+def test_wafer_map_diagram_carries_title_and_legend():
+    diagram = wafer_map_diagram([0], [0], [False], title="wafer 0")
+    assert diagram["title"] == "wafer 0"
+    assert diagram["lines"][0] == "#=pass x=fail .=no die"
+    assert diagram["lines"][1] == "x"
+
+
+# ---------------------------------------------------------------------------
+# Analysis spec
+# ---------------------------------------------------------------------------
+def test_wafer_yield_is_registered():
+    assert "wafer_yield" in analysis_kinds()
+    rebuilt = analysis_from_dict(WaferYieldAnalysis(threshold=0.05).to_dict())
+    assert rebuilt == WaferYieldAnalysis(threshold=0.05)
+
+
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(op="!="), "unknown criterion"),
+        (dict(confidence=1.0), "strictly between"),
+        (dict(n_resamples=0), "n_resamples"),
+        (dict(max_maps=-1), "max_maps"),
+    ],
+)
+def test_invalid_analysis_parameters_raise(kwargs, message):
+    with pytest.raises(ValueError, match=message):
+        WaferYieldAnalysis(**kwargs)
+
+
+def test_default_analysis_for_wafer_campaigns(wafer_campaign):
+    assert isinstance(default_analysis_for(wafer_campaign), WaferYieldAnalysis)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+def test_wafer_yield_report(wafer_campaign):
+    report = analyze(wafer_campaign)
+    assert report.kind == "wafer_yield"
+    assert report.scalars["n_wafers"] == 4
+    assert report.scalars["n_dies"] == 4 * 12
+    assert 0.0 <= report.scalars["die_yield"] <= 1.0
+    assert report.scalars["die_yield_ci_low"] <= report.scalars["die_yield"]
+    assert report.scalars["die_yield"] <= report.scalars["die_yield_ci_high"]
+    # Cross-wafer bootstrap CI is present (more than one wafer stored).
+    assert "wafer_yield_mean_ci_low" in report.scalars
+    (table,) = report.tables
+    assert len(table.rows) == 4
+    assert "reticle_sigma" in table.headers
+    assert len(report.diagrams) == 4
+
+
+def test_report_renders_wafer_maps_in_every_format(wafer_campaign):
+    report = analyze(wafer_campaign)
+    text = report.to_text()
+    assert "#=pass x=fail .=no die" in text
+    assert "wafer map — point 0" in text
+    markdown = report.to_markdown()
+    assert "### wafer map — point 0" in markdown
+    assert "```" in markdown
+    payload = json.loads(report.to_json())
+    assert len(payload["diagrams"]) == 4
+    assert payload["diagrams"][0]["lines"][0] == "#=pass x=fail .=no die"
+
+
+def test_max_maps_truncates_with_a_note(wafer_campaign):
+    report = analyze(wafer_campaign, WaferYieldAnalysis(max_maps=1))
+    assert len(report.diagrams) == 1
+    assert any("first 1 of 4" in note for note in report.notes)
+    # max_maps=0 -> no diagrams, and the JSON payload omits the key so
+    # analyses without diagrams keep their pre-existing bytes.
+    bare = analyze(wafer_campaign, WaferYieldAnalysis(max_maps=0))
+    assert "diagrams" not in bare.to_dict()
+
+
+def test_analysis_is_deterministic(wafer_campaign):
+    first = analyze(wafer_campaign).to_json()
+    second = analyze(wafer_campaign).to_json()
+    assert first == second
+
+
+def test_missing_metric_column_raises(wafer_campaign):
+    with pytest.raises(ValueError, match="no per-die column 'nope'"):
+        analyze(wafer_campaign, WaferYieldAnalysis(metric="nope"))
+
+
+def test_non_wafer_campaigns_are_rejected():
+    from repro.experiments import ArrayScaleSpec
+
+    campaign = CampaignSpec(
+        base=ArrayScaleSpec(rows=4, cols=4, n_chips=1, backend="vectorized"),
+        replicates=2,
+    )
+    result = run_campaign(campaign, seed=1)
+    with pytest.raises(ValueError, match="grid coordinates"):
+        analyze(result, WaferYieldAnalysis(metric="zero_sites"))

@@ -1,0 +1,145 @@
+"""Wafer die placement: four-corner rule, reticle indexing, pixel frames."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wafer import build_layout
+
+
+def small_layout():
+    # 60 mm wafer, 3 mm exclusion -> usable radius 27 mm; 12x12 mm dies
+    # on a 4x4 grid with the four corner positions excluded -> 12 dies.
+    return build_layout(60.0, 3.0, 12.0, 12.0, 2, 2)
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+def test_small_layout_places_twelve_dies_on_a_4x4_grid():
+    layout = small_layout()
+    assert (layout.n_grid_x, layout.n_grid_y) == (4, 4)
+    assert layout.n_dies == 12
+    coords = {(d.grid_x, d.grid_y) for d in layout.dies}
+    # Exactly the four corners fall outside the usable radius.
+    assert coords == {
+        (gx, gy) for gx in range(4) for gy in range(4)
+    } - {(0, 0), (3, 0), (0, 3), (3, 3)}
+
+
+def test_four_corner_rule_bounds_every_die():
+    layout = small_layout()
+    usable = layout.usable_radius_mm
+    for die in layout.dies:
+        corner = math.hypot(
+            abs(die.center_x_mm) + layout.die_width_mm / 2.0,
+            abs(die.center_y_mm) + layout.die_height_mm / 2.0,
+        )
+        assert corner <= usable
+
+
+def test_dies_are_row_major_with_grid_y_zero_on_top():
+    layout = small_layout()
+    indices = [d.index for d in layout.dies]
+    assert indices == list(range(layout.n_dies))
+    keys = [(d.grid_y, d.grid_x) for d in layout.dies]
+    assert keys == sorted(keys)
+    top = layout.die_at(1, 0)
+    bottom = layout.die_at(1, 3)
+    assert top.center_y_mm > bottom.center_y_mm  # image order: row 0 on top
+
+
+def test_grid_is_centred_on_the_wafer():
+    layout = small_layout()
+    assert layout.die_at(1, 1).center_x_mm == pytest.approx(-6.0)
+    assert layout.die_at(2, 1).center_x_mm == pytest.approx(6.0)
+    assert layout.die_at(1, 1).center_y_mm == pytest.approx(6.0)
+    assert layout.die_at(1, 2).center_y_mm == pytest.approx(-6.0)
+
+
+def test_widening_the_exclusion_only_removes_dies():
+    tight = build_layout(60.0, 1.0, 12.0, 12.0, 2, 2)
+    loose = build_layout(60.0, 6.0, 12.0, 12.0, 2, 2)
+    tight_coords = {(d.grid_x, d.grid_y) for d in tight.dies}
+    loose_coords = {(d.grid_x, d.grid_y) for d in loose.dies}
+    assert loose_coords < tight_coords
+
+
+def test_die_at_unknown_position_raises():
+    with pytest.raises(KeyError, match=r"no die at grid \(0, 0\)"):
+        small_layout().die_at(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Reticles
+# ---------------------------------------------------------------------------
+def test_reticle_indices_follow_the_grid_blocks():
+    layout = small_layout()
+    for die in layout.dies:
+        assert die.reticle_x == die.grid_x // layout.reticle_cols
+        assert die.reticle_y == die.grid_y // layout.reticle_rows
+    assert layout.n_reticle_x == 2
+    assert layout.n_reticle_y == 2
+    assert layout.n_reticles == 4  # every 2x2 block owns at least one die
+
+
+def test_reticle_extent_uses_ceiling_division():
+    layout = build_layout(60.0, 3.0, 12.0, 12.0, 3, 3)
+    assert (layout.n_grid_x, layout.n_grid_y) == (4, 4)
+    assert (layout.n_reticle_x, layout.n_reticle_y) == (2, 2)
+
+
+# ---------------------------------------------------------------------------
+# Pixel positions
+# ---------------------------------------------------------------------------
+def test_pixel_positions_fill_the_die_in_image_order():
+    layout = small_layout()
+    die = layout.die_at(1, 1)
+    x, y = layout.pixel_positions(die, 4, 6)
+    assert x.shape == y.shape == (4, 6)
+    # Row 0 is the top of the die (largest y); column 0 the left edge.
+    assert y[0, 0] > y[-1, 0]
+    assert x[0, 0] < x[0, -1]
+    # Pixel centres average back to the die centre and stay inside it.
+    assert float(x.mean()) == pytest.approx(die.center_x_mm)
+    assert float(y.mean()) == pytest.approx(die.center_y_mm)
+    assert np.all(np.abs(x - die.center_x_mm) < layout.die_width_mm / 2.0)
+    assert np.all(np.abs(y - die.center_y_mm) < layout.die_height_mm / 2.0)
+    # Uniform pitch: die extent / pixel count.
+    assert np.diff(x[0]) == pytest.approx(layout.die_width_mm / 6)
+    assert np.diff(y[:, 0]) == pytest.approx(-layout.die_height_mm / 4)
+
+
+def test_die_radius_property():
+    die = small_layout().die_at(1, 1)
+    assert die.radius_mm == pytest.approx(math.hypot(6.0, 6.0))
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(wafer_diameter_mm=0.0), "diameter must be positive"),
+        (dict(edge_exclusion_mm=-1.0), "edge exclusion must be non-negative"),
+        (dict(die_width_mm=0.0), "die dimensions must be positive"),
+        (dict(die_height_mm=-2.0), "die dimensions must be positive"),
+        (dict(reticle_rows=0), "reticle grid must be at least 1x1"),
+        (dict(edge_exclusion_mm=40.0), "no usable wafer area"),
+        (dict(die_width_mm=80.0, die_height_mm=80.0), "no die fits"),
+    ],
+)
+def test_invalid_geometry_raises(kwargs, message):
+    base = dict(
+        wafer_diameter_mm=60.0,
+        edge_exclusion_mm=3.0,
+        die_width_mm=12.0,
+        die_height_mm=12.0,
+        reticle_rows=2,
+        reticle_cols=2,
+    )
+    base.update(kwargs)
+    with pytest.raises(ValueError, match=message):
+        build_layout(**base)
