@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from . import (
     analysis,

@@ -380,12 +380,12 @@ class BatchedExecutor(Executor):
             # Chunks stream out as they compile (each chunk's wall time
             # amortised over its points), so resident memory is bounded
             # by the chunk size, not the campaign size.
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: allow-wallclock
             for compiled in compiler(group, "vectorized"):
-                wall_each = (time.perf_counter() - start) / max(1, len(compiled))
+                wall_each = (time.perf_counter() - start) / max(1, len(compiled))  # repro: allow-wallclock
                 for point, result in compiled:
                     yield PointOutcome(point=point, result=result, wall_s=wall_each)
-                start = time.perf_counter()
+                start = time.perf_counter()  # repro: allow-wallclock
         runners: "OrderedDict[int, Runner]" = OrderedDict()
         for point in fallback:
             yield _run_point(runners, Runner, point, backend, None)

@@ -1,6 +1,6 @@
 """The ``repro`` command line — run specs and campaigns from JSON.
 
-Seven subcommands wrap the experiment front door::
+Eight subcommands wrap the experiment front door::
 
     repro kinds                               # registered experiment kinds
     repro run    --spec examples/specs/dna_assay.json [--backend vectorized]
@@ -12,6 +12,7 @@ Seven subcommands wrap the experiment front door::
     repro analyze results/ [--analysis dose_response] [--json | --markdown]
     repro serve   --cache-dir cache/ --jobs-root jobs/
     repro submit  --campaign campaign.json --wait
+    repro lint    src/ [--json] [--select D,S] [--list-rules]
 
 ``run`` executes one spec and prints its scalar metrics (``--json`` for
 the full ResultSet payload).  ``sweep`` builds a
@@ -37,7 +38,9 @@ JSONL campaign in place, skipping every point its partial
 ``results.jsonl`` already holds — bit-identically to an uninterrupted
 run.  ``serve`` starts the background job service (HTTP/JSON, see
 :mod:`repro.service.server` for the endpoint table) and ``submit``
-sends a campaign to it.
+sends a campaign to it.  ``lint`` runs the AST-based determinism/purity
+linter (:mod:`repro.lint`) over the tree — the static half of the
+bit-parity contract, wired into CI at zero findings.
 
 Installed as a console script (``repro``) and runnable as
 ``python -m repro`` from a plain checkout.
@@ -70,6 +73,7 @@ from .experiments import (
     spec_from_dict,
     validate_backend,
 )
+from .lint.cli import add_lint_parser
 
 
 def _load_json(path: str) -> Any:
@@ -597,6 +601,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--json", action="store_true", help="print the status snapshot JSON")
     submit.set_defaults(func=_cmd_submit)
+
+    add_lint_parser(sub)
     return parser
 
 

@@ -1,0 +1,177 @@
+"""Rule registry and per-module analysis context.
+
+A rule is a pure function from a parsed module to findings — no
+filesystem access, no configuration, no state between files.  Rules
+register under stable ids (``D1xx`` determinism, ``S2xx`` specs,
+``C3xx`` concurrency) so that suppression pragmas, ``--select`` /
+``--ignore`` and baselines survive refactors of the linter itself.
+
+:class:`ModuleContext` does the shared work once per file — parent
+links, import alias resolution — so individual rules stay small AST
+walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from .findings import Finding
+
+#: Rule categories in id order.  The letter is the id prefix.
+CATEGORIES = {
+    "D": "determinism",
+    "S": "specs",
+    "C": "concurrency",
+}
+
+
+class ModuleContext:
+    """One parsed module plus the lookups every rule needs.
+
+    Parent links are attached to the AST nodes themselves (attribute
+    ``_repro_parent``) rather than kept in an address-keyed map: node
+    addresses are not stable run to run, and the linter holds itself to
+    the determinism rules it enforces.
+    """
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+        self.lines = text.splitlines()
+        #: local name -> imported module ("np" -> "numpy").
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> qualified origin ("pc" -> "time.perf_counter").
+        self.from_imports: dict[str, str] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, "_repro_parent", parent)
+            if isinstance(parent, ast.Import):
+                for alias in parent.names:
+                    if alias.asname is not None:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.module_aliases[root] = root
+            elif isinstance(parent, ast.ImportFrom) and parent.level == 0:
+                module = parent.module or ""
+                for alias in parent.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{module}.{alias.name}"
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        found = getattr(node, "_repro_parent", None)
+        return found if isinstance(found, ast.AST) else None
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function/method definition containing ``node``."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def qualified(self, node: ast.AST) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain through this module's
+        imports to a fully qualified dotted name.
+
+        ``np.random.normal`` (under ``import numpy as np``) resolves to
+        ``"numpy.random.normal"``; ``perf_counter`` (under ``from time
+        import perf_counter``) to ``"time.perf_counter"``.  Chains not
+        rooted at an import resolve to ``None``.
+        """
+        attrs: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = current.id
+        base = self.from_imports.get(root) or self.module_aliases.get(root)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(attrs)]) if attrs else base
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """The raw (unresolved) dotted spelling of a ``Name``/``Attribute``
+        chain, e.g. ``"self._lock"`` — ``None`` for non-chain shapes."""
+        attrs: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        return ".".join([current.id, *reversed(attrs)])
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``'s location in this module."""
+        return Finding(
+            path=self.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule=rule,
+            message=message,
+        )
+
+
+CheckFunction = Callable[[ModuleContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    id: str
+    summary: str
+    rationale: str
+    check: CheckFunction
+
+    @property
+    def category(self) -> str:
+        return CATEGORIES[self.id[0]]
+
+
+#: All registered rules by id.  Populated by the ``rules_*`` modules at
+#: import time; read through :func:`all_rules` for sorted access.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, summary: str, rationale: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Decorator: register a check function under a stable rule id."""
+    if rule_id[0] not in CATEGORIES:
+        raise ValueError(f"rule id {rule_id!r} must start with one of {sorted(CATEGORIES)}")
+
+    def decorate(check: CheckFunction) -> CheckFunction:
+        if rule_id in RULES:
+            raise ValueError(f"rule {rule_id!r} already registered")
+        RULES[rule_id] = Rule(id=rule_id, summary=summary, rationale=rationale, check=check)
+        return check
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, id order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """The first attribute off ``self`` in an access chain, descending
+    through nested attributes and subscripts: ``self._jobs[k]`` ->
+    ``"_jobs"``, ``self.stats.hits`` -> ``"stats"``."""
+    current = node
+    while True:
+        if isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Attribute):
+            if isinstance(current.value, ast.Name) and current.value.id == "self":
+                return current.attr
+            current = current.value
+        else:
+            return None

@@ -1,0 +1,148 @@
+"""``repro lint`` — the command-line face of the determinism linter.
+
+Exit codes follow the convention CI scripts expect::
+
+    0   clean (no findings after pragmas/select/baseline)
+    1   findings reported
+    2   usage error (unknown rule id, missing path, unreadable baseline)
+
+Output is line-per-finding, sorted, stable; ``--json`` emits the same
+findings as a machine-readable object whose layout doubles as the
+``--baseline`` file format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, NoReturn, Optional, Sequence
+
+from .engine import all_rules, apply_baseline, lint_paths
+from .findings import Finding
+
+
+def _usage_error(message: str) -> NoReturn:
+    # SystemExit(str) would exit 1 — indistinguishable from "findings
+    # reported".  Usage errors get their own code so CI can tell a
+    # broken invocation from a failing tree.
+    print(f"repro lint: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _split_rule_list(value: Optional[str]) -> Optional[list[str]]:
+    if value is None:
+        return None
+    return [token.strip() for token in value.split(",") if token.strip()]
+
+
+def _load_baseline(path: str) -> list[dict[str, Any]]:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        _usage_error(f"no such baseline file: {path}")
+    except (OSError, json.JSONDecodeError) as error:
+        _usage_error(f"cannot read baseline {path}: {error}")
+    entries = payload.get("findings") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        _usage_error(
+            f"baseline {path} must be a findings list or a "
+            f"--json payload with a 'findings' key"
+        )
+    return entries
+
+
+def _render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "rules": [rule.id for rule in all_rules()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_rule_table() -> str:
+    rules = all_rules()
+    width = max(len(rule.id) for rule in rules)
+    cat_width = max(len(rule.category) for rule in rules)
+    lines = [
+        f"{rule.id:<{width}}  {rule.category:<{cat_width}}  {rule.summary}"
+        for rule in rules
+    ]
+    lines.append("")
+    lines.append(
+        "suppress per line with `# repro: noqa RULE[,RULE...]`; wall-clock "
+        "timing sites use `# repro: allow-wallclock`"
+    )
+    return "\n".join(lines)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(_render_rule_table())
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+    try:
+        findings = lint_paths(
+            paths,
+            select=_split_rule_list(args.select),
+            ignore=_split_rule_list(args.ignore),
+        )
+    except (ValueError, OSError) as error:
+        _usage_error(str(error))
+    if args.baseline:
+        findings = apply_baseline(findings, _load_baseline(args.baseline))
+    if args.json:
+        print(_render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+    return 1 if findings else 0
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    """Attach the ``lint`` subcommand to the ``repro`` CLI."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism/purity invariants",
+        description=(
+            "AST-based linter for the repo's reproduction contract: no global "
+            "RNG, no wall-clock in result paths, stable iteration orders, "
+            "frozen serializable specs, lock discipline.  Exit 0 clean, 1 "
+            "findings, 2 usage error."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids or category letters to run (e.g. D102,C)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids or category letters to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE (a previous --json payload)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, category, summary) and exit",
+    )
+    parser.set_defaults(func=cmd_lint)

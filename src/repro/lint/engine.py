@@ -1,0 +1,157 @@
+"""The lint engine: files -> parsed modules -> rules -> sorted findings.
+
+Everything downstream of this module (CLI, CI gate, baselines, the
+self-clean test) depends on one property: **the same tree produces the
+same report, byte for byte**.  Files are walked in sorted order,
+findings sort totally, rule registries iterate by id — the linter obeys
+the determinism discipline it enforces.
+
+Exit semantics live in :mod:`repro.lint.cli`; this module only computes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+# Importing the rule modules populates the registry as a side effect.
+from . import rules_concurrency as _rules_concurrency  # noqa: F401
+from . import rules_determinism as _rules_determinism  # noqa: F401
+from . import rules_specs as _rules_specs  # noqa: F401
+from .base import CATEGORIES, RULES, ModuleContext, Rule, all_rules
+from .findings import Finding
+from .pragmas import is_suppressed, line_suppressions
+
+#: Rule id reserved for files the parser rejects — always active, never
+#: selectable or suppressible (a file that does not parse cannot be
+#: vouched for by any rule).
+PARSE_ERROR_RULE = "P001"
+
+
+def resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Rule]:
+    """The active rule set for a run.
+
+    ``select``/``ignore`` entries are exact rule ids (``D102``) or
+    category letters (``D``); unknown tokens raise ``ValueError`` so a
+    typo in CI configuration fails loudly instead of silently linting
+    with the wrong gate.
+    """
+
+    def expand(tokens: Iterable[str], option: str) -> frozenset[str]:
+        chosen: set[str] = set()
+        for token in tokens:
+            token = token.strip()
+            if not token:
+                continue
+            if token in RULES:
+                chosen.add(token)
+            elif token in CATEGORIES:
+                chosen.update(rule_id for rule_id in RULES if rule_id.startswith(token))
+            else:
+                raise ValueError(
+                    f"unknown rule or category {token!r} in {option}; "
+                    f"known rules: {', '.join(sorted(RULES))}"
+                )
+        return frozenset(chosen)
+
+    active = frozenset(RULES)
+    if select is not None:
+        active = expand(select, "--select")
+    if ignore is not None:
+        active = active - expand(ignore, "--ignore")
+    return [rule for rule in all_rules() if rule.id in active]
+
+
+def lint_source(
+    text: str,
+    path: str = "<memory>",
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint one module's source text. Findings come back sorted, with
+    pragma suppressions already applied."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=int(error.lineno or 1),
+                col=int(error.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = ModuleContext(path=path, text=text, tree=tree)
+    suppressions = line_suppressions(context.lines)
+    findings = [
+        finding
+        for rule in active
+        for finding in rule.check(context)
+        if not is_suppressed(suppressions, finding.line, finding.rule)
+    ]
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise ValueError(f"no such file or directory: {entry}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def display_path(path: Path) -> str:
+    """Stable, portable spelling for report lines: relative to the
+    working directory when possible, POSIX separators always."""
+    try:
+        relative = path.resolve().relative_to(Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint files and directory trees; the public front door.
+
+    Returns all findings sorted by ``(path, line, col, rule)`` — the
+    order every output format and baseline comparison relies on.
+    """
+    rules = resolve_rules(select, ignore)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        text = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(text, path=display_path(file_path), rules=rules))
+    return sorted(findings)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Iterable[dict[str, object]]
+) -> list[Finding]:
+    """Drop findings recorded in a baseline (a previous ``--json``
+    payload): matching is by (path, rule, line)."""
+    known = set()
+    for entry in baseline:
+        known.add((str(entry["path"]), str(entry["rule"]), int(entry["line"])))  # type: ignore[arg-type]
+    return [finding for finding in findings if finding.baseline_key() not in known]

@@ -1,0 +1,46 @@
+"""Lint findings — the one value type every layer of the linter trades in.
+
+A finding is frozen and totally ordered so that the linter's output is
+*stable*: the same tree always renders the same report, line for line,
+whatever order files were walked or rules ran in.  That matters for the
+same reason the rest of the repo sorts its JSON keys — diffs, baselines
+and CI logs must be reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, rule, message)`` — the render order
+    of every report format.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe payload (``repro lint --json`` and baseline files)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The human-readable report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> tuple[str, str, int]:
+        """Identity used by ``--baseline`` suppression: a finding is
+        "known" if the same rule fired at the same path and line."""
+        return (self.path, self.rule, self.line)

@@ -1,0 +1,71 @@
+"""In-source suppression pragmas.
+
+Two spellings, both line-scoped comments:
+
+``# repro: noqa RULE[,RULE...]``
+    Suppress the named rules on this line (no rule list suppresses
+    every rule — reserve that for generated code).
+
+``# repro: allow-wallclock``
+    The blessed spelling for timing-only call sites: equivalent to
+    ``# repro: noqa D102`` but self-documenting — it says *why* the
+    wall-clock read is acceptable (it measures, it never feeds
+    results).
+
+Pragmas are deliberately per-line, never per-file: a suppression should
+sit next to the code it excuses, where review sees both together.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+#: ``None`` in the map means "every rule suppressed on this line".
+Suppressions = dict[int, Optional[frozenset[str]]]
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*(?P<kind>noqa|allow-wallclock|allow-env)"
+    r"(?:\s+(?P<rules>[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*))?"
+)
+
+#: The self-documenting pragmas and the rule each one suppresses.
+_NAMED_PRAGMAS = {
+    "allow-wallclock": "D102",
+    "allow-env": "D107",
+}
+
+
+def line_suppressions(lines: list[str]) -> Suppressions:
+    """Map 1-based line numbers to their suppressed rule ids.
+
+    A value of ``None`` suppresses all rules on that line (bare
+    ``noqa``); a frozenset suppresses exactly those ids.  Lines without
+    pragmas are absent from the map.
+    """
+    table: Suppressions = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text or "repro:" not in text:
+            continue
+        for match in _PRAGMA.finditer(text):
+            kind = match.group("kind")
+            if kind in _NAMED_PRAGMAS:
+                ids: Optional[frozenset[str]] = frozenset({_NAMED_PRAGMAS[kind]})
+            elif match.group("rules"):
+                ids = frozenset(
+                    token.strip() for token in match.group("rules").split(",")
+                )
+            else:
+                ids = None  # bare noqa: everything
+            previous = table.get(lineno, frozenset())
+            if ids is None or previous is None:
+                table[lineno] = None
+            else:
+                table[lineno] = previous | ids
+    return table
+
+
+def is_suppressed(table: Suppressions, line: int, rule: str) -> bool:
+    """Whether ``rule`` is pragma-suppressed on ``line``."""
+    entry = table.get(line, frozenset())
+    return entry is None or rule in entry

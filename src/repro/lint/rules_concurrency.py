@@ -1,0 +1,195 @@
+"""C-rules: lock discipline.
+
+The JobManager and ResultCache serve concurrent clients; their
+correctness rests on a simple protocol — state mutated under
+``self._lock`` is *only* touched under ``self._lock``.  These rules
+machine-check that protocol: C301 infers the guarded attribute set from
+the with-blocks themselves and flags stray accesses; C302 bans bare
+``.acquire()``/``.release()`` pairs that a mid-body exception can leave
+unbalanced.
+
+Convention: a helper that deliberately runs with the lock already held
+is named with a ``_locked`` suffix (``_remember_locked``) — the name
+carries the precondition, and C301 exempts it.  ``__init__`` is exempt
+too: construction happens-before any concurrent access.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import ModuleContext, register_rule, self_attribute
+from .findings import Finding
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "move_to_end",
+        "put",
+        "put_nowait",
+    }
+)
+
+_LOCK_CONSTRUCTORS = frozenset(
+    {"threading.Lock", "threading.RLock", "multiprocessing.Lock", "multiprocessing.RLock"}
+)
+
+_LOCKED_MARK = "_repro_under_lock"
+
+
+def _lock_attribute_names(ctx: ModuleContext, cls: ast.ClassDef) -> frozenset[str]:
+    """Attributes of ``self`` assigned a Lock/RLock anywhere in the class."""
+    names: set[str] = set()
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        constructor = ctx.qualified(node.value.func)
+        if constructor is None and isinstance(node.value.func, ast.Name):
+            constructor = node.value.func.id
+        if constructor not in _LOCK_CONSTRUCTORS and constructor not in ("Lock", "RLock"):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names.add(target.attr)
+    return frozenset(names)
+
+
+def _is_self_lock(node: ast.expr, lock_names: frozenset[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in lock_names
+    )
+
+
+def _mark_locked_regions(cls: ast.ClassDef, lock_names: frozenset[str]) -> None:
+    """Tag every node inside a ``with self.<lock>:`` body."""
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(_is_self_lock(item.context_expr, lock_names) for item in node.items):
+            continue
+        for statement in node.body:
+            for inner in ast.walk(statement):
+                setattr(inner, _LOCKED_MARK, True)
+
+
+def _guarded_attributes(cls: ast.ClassDef, lock_names: frozenset[str]) -> frozenset[str]:
+    """Attributes written (assigned, augmented or mutated in place)
+    inside any locked region of the class."""
+    guarded: set[str] = set()
+    for node in ast.walk(cls):
+        if not getattr(node, _LOCKED_MARK, False):
+            continue
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = self_attribute(target)
+                if name is not None:
+                    guarded.add(name)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            name = self_attribute(node.target)
+            if name is not None:
+                guarded.add(name)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                name = self_attribute(target)
+                if name is not None:
+                    guarded.add(name)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            name = self_attribute(node.func.value)
+            if name is not None:
+                guarded.add(name)
+    return frozenset(guarded - lock_names)
+
+
+@register_rule(
+    "C301",
+    "lock-guarded attributes must stay under the lock",
+    "an attribute mutated inside `with self._lock:` in one method is shared "
+    "state; reading or writing it elsewhere without the lock races the "
+    "mutation (torn LRU order, lost counter increments).  Helpers that run "
+    "with the lock held are named `*_locked`; __init__ is exempt "
+    "(construction happens-before sharing).",
+)
+def check_lock_discipline(ctx: ModuleContext) -> Iterator[Finding]:
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        lock_names = _lock_attribute_names(ctx, cls)
+        if not lock_names:
+            continue
+        _mark_locked_regions(cls, lock_names)
+        guarded = _guarded_attributes(cls, lock_names)
+        if not guarded:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            for node in ast.walk(method):
+                if getattr(node, _LOCKED_MARK, False):
+                    continue
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guarded
+                ):
+                    continue
+                yield ctx.finding(
+                    "C301",
+                    node,
+                    f"self.{node.attr} is mutated under self lock elsewhere in "
+                    f"{cls.name} but accessed here without `with self._lock:` "
+                    f"(lock-held helpers are named *_locked)",
+                )
+
+
+@register_rule(
+    "C302",
+    "no bare lock acquire()/release()",
+    "a manual acquire/release pair leaks the lock on any exception between "
+    "the two calls, deadlocking every later client; `with lock:` releases "
+    "on all exits.",
+)
+def check_bare_acquire(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("acquire", "release")
+        ):
+            continue
+        receiver = ctx.dotted(node.func.value)
+        if receiver is None or "lock" not in receiver.lower():
+            continue
+        yield ctx.finding(
+            "C302",
+            node,
+            f"bare {receiver}.{node.func.attr}() — use `with {receiver}:` so "
+            f"the lock is released on every exit path",
+        )

@@ -1,0 +1,385 @@
+"""D-rules: determinism.
+
+The repo's core contract — same spec + seed => bit-identical results,
+content keys over canonical JSON — dies quietly when code reaches for
+ambient state: the global RNG, the wall clock, filesystem enumeration
+order, hash randomisation, object addresses, environment variables.
+Each rule here bans one such channel at the syntax level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .base import ModuleContext, register_rule
+from .findings import Finding
+
+# ---------------------------------------------------------------------------
+# D101 — global RNG
+# ---------------------------------------------------------------------------
+#: numpy.random names that are seedable plumbing, not global draws.
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register_rule(
+    "D101",
+    "no global-RNG draws",
+    "np.random.* module functions and the stdlib random module share hidden "
+    "global state, so results depend on draw order across the whole process; "
+    "all randomness must flow from a seeded numpy Generator (SeedTree).",
+)
+def check_global_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        qualified = ctx.qualified(node)
+        if qualified is None:
+            continue
+        parts = qualified.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _NP_RANDOM_OK
+        ):
+            yield ctx.finding(
+                "D101",
+                node,
+                f"global numpy RNG `{qualified}` — draw from a seeded "
+                f"Generator (SeedTree stream) instead",
+            )
+        elif len(parts) == 2 and parts[0] == "random":
+            yield ctx.finding(
+                "D101",
+                node,
+                f"stdlib global RNG `{qualified}` — draw from a seeded "
+                f"numpy Generator (SeedTree stream) instead",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D102 — wall clock
+# ---------------------------------------------------------------------------
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule(
+    "D102",
+    "no wall-clock reads outside pragma-marked timing sites",
+    "time.time/monotonic/perf_counter and datetime.now leak the clock into "
+    "whatever consumes them; result-producing code must be clock-free.  "
+    "Timing-only sites (wall_s bookkeeping, deadlines) carry "
+    "`# repro: allow-wallclock` to assert the value never reaches results.",
+)
+def check_wallclock(ctx: ModuleContext) -> Iterator[Finding]:
+    # References, not just calls: `field(default_factory=time.monotonic)`
+    # reads the clock without a visible call expression.
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        qualified = ctx.qualified(node)
+        if qualified in _WALLCLOCK:
+            yield ctx.finding(
+                "D102",
+                node,
+                f"wall-clock read `{qualified}` — results must not depend on "
+                f"the clock; a timing-only site needs `# repro: allow-wallclock`",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D103 — filesystem enumeration order
+# ---------------------------------------------------------------------------
+_LISTING_FUNCTIONS = frozenset({"os.listdir", "os.scandir", "os.walk"})
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+#: Builtins whose result does not depend on argument order.
+_ORDER_FREE_CALLERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+
+def _order_insensitive_context(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Whether ``node``'s value is consumed in a way that erases
+    iteration order (sorted(), set(), a set comprehension, len(), ...)."""
+    parent = ctx.parent(node)
+    if (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in _ORDER_FREE_CALLERS
+        and any(argument is node for argument in parent.args)
+    ):
+        return True
+    if isinstance(parent, ast.comprehension) and parent.iter is node:
+        comp = ctx.parent(parent)
+        if isinstance(comp, ast.SetComp):
+            return True
+        if isinstance(comp, ast.GeneratorExp):
+            return _order_insensitive_context(ctx, comp)
+    if isinstance(parent, ast.Compare) and any(
+        comparator is node for comparator in parent.comparators
+    ):
+        return True  # membership test
+    return False
+
+
+@register_rule(
+    "D103",
+    "no order-sensitive use of filesystem enumeration",
+    "os.listdir/scandir/walk and Path.glob/iterdir return entries in "
+    "filesystem order, which differs across machines and over time; wrap "
+    "the listing in sorted() (or consume it order-free: set/len/membership) "
+    "before it can feed manifests, keys or serialized output.",
+)
+def check_fs_order(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = ctx.qualified(node.func)
+        is_listing = qualified in _LISTING_FUNCTIONS or (
+            isinstance(node.func, ast.Attribute) and node.func.attr in _LISTING_METHODS
+        )
+        if not is_listing:
+            continue
+        if _order_insensitive_context(ctx, node):
+            continue
+        spelled = qualified or ctx.dotted(node.func) or getattr(node.func, "attr", "listing")
+        yield ctx.finding(
+            "D103",
+            node,
+            f"filesystem enumeration `{spelled}` used order-sensitively — "
+            f"wrap it in sorted() so results cannot depend on directory order",
+        )
+
+
+# ---------------------------------------------------------------------------
+# D104 — set iteration order
+# ---------------------------------------------------------------------------
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+_SEQUENCING_CALLERS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _set_valued_names(scope: ast.AST) -> frozenset[str]:
+    """Local names whose every assignment in ``scope`` is a set expression."""
+    set_assigned: set[str] = set()
+    otherwise: set[str] = set()
+    for node in _scope_nodes(scope):
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets, value = [node.target], None  # loop target: unknown type
+        if value is None and not targets:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if value is not None and _is_set_expression(value):
+                    set_assigned.add(target.id)
+                else:
+                    otherwise.add(target.id)
+    return frozenset(set_assigned - otherwise)
+
+
+def _order_sensitive_consumption(
+    ctx: ModuleContext, node: ast.AST
+) -> Optional[str]:
+    """Describe how ``node`` (a set-valued expression or name) is consumed
+    order-sensitively, or ``None`` when the use is order-free."""
+    parent = ctx.parent(node)
+    if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+        return "iterated by a for loop"
+    if isinstance(parent, ast.comprehension) and parent.iter is node:
+        comp = ctx.parent(parent)
+        if isinstance(comp, ast.SetComp):
+            return None  # set -> set: order never materialises
+        if isinstance(comp, ast.GeneratorExp) and _order_insensitive_context(ctx, comp):
+            return None
+        return "iterated by a comprehension"
+    if isinstance(parent, ast.Call):
+        if (
+            isinstance(parent.func, ast.Name)
+            and parent.func.id in _SEQUENCING_CALLERS
+            and any(argument is node for argument in parent.args)
+        ):
+            return f"sequenced by {parent.func.id}()"
+        if (
+            isinstance(parent.func, ast.Attribute)
+            and parent.func.attr == "join"
+            and any(argument is node for argument in parent.args)
+        ):
+            return "joined into a string"
+    return None
+
+
+@register_rule(
+    "D104",
+    "no order-sensitive iteration over sets",
+    "set iteration order depends on insertion history and per-process hash "
+    "salting; a set that reaches a for loop, list()/tuple()/enumerate() or "
+    "str.join leaks that order into results and serialized text.  Sort "
+    "first: sorted(the_set).",
+)
+def check_set_order(ctx: ModuleContext) -> Iterator[Finding]:
+    scopes: list[ast.AST] = [ctx.tree]
+    scopes.extend(
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    for scope in scopes:
+        tracked = _set_valued_names(scope)
+        for node in _scope_nodes(scope):
+            is_set_valued = _is_set_expression(node) or (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in tracked
+            )
+            if not is_set_valued:
+                continue
+            how = _order_sensitive_consumption(ctx, node)
+            if how is None:
+                continue
+            spelled = node.id if isinstance(node, ast.Name) else "set expression"
+            yield ctx.finding(
+                "D104",
+                node,
+                f"set `{spelled}` {how} — iteration order is "
+                f"nondeterministic; use sorted(...) before consuming",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D105 — id()
+# ---------------------------------------------------------------------------
+@register_rule(
+    "D105",
+    "no id() in keys or ordering",
+    "id() returns a memory address: unique only within one process lifetime "
+    "and different on every run, so any key, hash input or sort order built "
+    "on it is irreproducible by construction.",
+)
+def check_id_call(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield ctx.finding(
+                "D105",
+                node,
+                "builtin id() is an object address — never stable across "
+                "runs; derive identity from content instead",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D106 — hash()
+# ---------------------------------------------------------------------------
+@register_rule(
+    "D106",
+    "no builtin hash() outside __hash__",
+    "str/bytes hashing is salted per process (PYTHONHASHSEED), so hash() "
+    "values must never be persisted, serialized or used to derive keys; "
+    "content digests go through hashlib (see service/keys.py).  Delegating "
+    "inside a __hash__ method is the one legitimate, in-process use.",
+)
+def check_hash_call(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            continue
+        function = ctx.enclosing_function(node)
+        if function is not None and getattr(function, "name", "") == "__hash__":
+            continue
+        yield ctx.finding(
+            "D106",
+            node,
+            "builtin hash() is salted per process — use hashlib digests "
+            "(service.keys) for anything that outlives the process",
+        )
+
+
+# ---------------------------------------------------------------------------
+# D107 — environment reads
+# ---------------------------------------------------------------------------
+@register_rule(
+    "D107",
+    "no environment reads in library code",
+    "os.environ/os.getenv make results depend on invisible machine state; "
+    "configuration must arrive through specs and explicit arguments so the "
+    "content key captures it.  A deliberate site carries "
+    "`# repro: allow-env`.",
+)
+def check_env_read(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        qualified = ctx.qualified(node)
+        if qualified in ("os.environ", "os.getenv", "os.environb"):
+            yield ctx.finding(
+                "D107",
+                node,
+                f"environment read `{qualified}` — config must flow through "
+                f"specs/arguments so content keys capture it "
+                f"(`# repro: allow-env` for deliberate sites)",
+            )

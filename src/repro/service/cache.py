@@ -185,7 +185,7 @@ class ResultCache:
                 with self._lock:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
-                    self._remember(key, result)
+                    self._remember_locked(key, result)
                 return result
         with self._lock:
             self.stats.misses += 1
@@ -207,10 +207,11 @@ class ResultCache:
             self._atomic_write(self._entry_path(key), json.dumps(entry, sort_keys=True) + "\n")
         with self._lock:
             self.stats.puts += 1
-            self._remember(key, stored)
+            self._remember_locked(key, stored)
 
-    def _remember(self, key: str, result: ResultSet) -> None:
-        """LRU insert into the memory layer (callers hold the lock)."""
+    def _remember_locked(self, key: str, result: ResultSet) -> None:
+        """LRU insert into the memory layer (``_locked``: callers hold
+        ``self._lock`` — the lint C301 convention)."""
         if self.max_memory == 0:
             return
         self._memory[key] = result
@@ -278,9 +279,13 @@ class ResultCache:
 
     def summary(self) -> str:
         where = "memory" if self.root is None else str(self.root)
+        # Snapshot the counters under the lock: stats are mutated by
+        # concurrent get/put and must not be read torn (lint C301).
+        with self._lock:
+            hits, misses = self.stats.hits, self.stats.misses
         return (
             f"<ResultCache {where}: {self.n_entries()} entries, "
-            f"{self.stats.hits} hits / {self.stats.misses} misses>"
+            f"{hits} hits / {misses} misses>"
         )
 
 
@@ -387,12 +392,12 @@ class CachedDispatch:
     def outcomes(self) -> Iterator[PointOutcome]:
         pending: list[list[PlanPoint]] = []
         for key, points in self.groups.items():
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: allow-wallclock
             result = self.cache.get(key)
             if result is None:
                 pending.append(points)
                 continue
-            wall_s = time.perf_counter() - start
+            wall_s = time.perf_counter() - start  # repro: allow-wallclock
             self.hits += len(points)
             for point in points:
                 yield PointOutcome(point=point, result=result, wall_s=wall_s)

@@ -108,12 +108,12 @@ class ServiceClient:
         """Poll until the job reaches a terminal state; returns the
         final status snapshot (check ``status``/``error`` yourself —
         a failed job is an answer, not an exception)."""
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout  # repro: allow-wallclock
         while True:
             status = self.status(job_id)
             if status["status"] in ("done", "failed", "cancelled"):
                 return status
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= deadline:  # repro: allow-wallclock
                 raise TimeoutError(
                     f"job {job_id} still {status['status']} after {timeout}s"
                 )

@@ -146,7 +146,10 @@ class WaferSpec(ExperimentSpec):
         # Template (and every overridden die spec) must be constructible:
         # ArrayScaleSpec's own validation covers the field values.
         template = self.die_template()
-        for gx, gy in {(gx, gy) for gx, gy, _, _ in self.die_overrides}:
+        # Sorted so a bad override always fails on the same die — set
+        # iteration order would make the first error message vary run to
+        # run.
+        for gx, gy in sorted({(gx, gy) for gx, gy, _, _ in self.die_overrides}):
             template.replace(**self.overrides_for(gx, gy))
 
     # ------------------------------------------------------------------

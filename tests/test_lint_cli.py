@@ -1,0 +1,160 @@
+"""`repro lint` end-to-end: exit codes, JSON payloads, baselines.
+
+Most cases drive ``repro.cli.main`` in-process (same entry the console
+script uses); a subprocess case proves ``python -m repro lint`` works
+without any PYTHONPATH tricks beyond what the test environment already
+has, and a console-script case runs when ``repro`` is on PATH.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+CLEAN = """\
+def stamp(clock):
+    return clock()
+"""
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+def run_lint(*argv):
+    try:
+        return main(["lint", *argv])
+    except SystemExit as exit_:  # usage errors raise SystemExit(2)
+        return exit_.code
+
+
+# ----------------------------------------------------------------------
+# Exit codes
+# ----------------------------------------------------------------------
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert run_lint(str(clean_file)) == 0
+    assert capsys.readouterr().out.strip().endswith("0 findings")
+
+
+def test_findings_exit_one(dirty_file, capsys):
+    assert run_lint(str(dirty_file)) == 1
+    out = capsys.readouterr().out
+    assert "D102" in out
+    assert out.strip().endswith("1 finding")
+
+
+def test_unknown_rule_exits_two(dirty_file, capsys):
+    assert run_lint(str(dirty_file), "--select", "Z999") == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert run_lint(str(tmp_path / "nope.py")) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Output formats and filters
+# ----------------------------------------------------------------------
+
+
+def test_json_payload_shape(dirty_file, capsys):
+    assert run_lint(str(dirty_file), "--json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert len(payload["rules"]) >= 13
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "D102"
+    assert finding["line"] == 5
+    assert finding["path"].endswith("dirty.py")
+
+
+def test_list_rules(capsys):
+    assert run_lint("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "D107", "S201", "S204", "C301", "C302"):
+        assert rule_id in out
+    assert "repro: noqa" in out
+
+
+def test_select_and_ignore(dirty_file, capsys):
+    assert run_lint(str(dirty_file), "--select", "C") == 0
+    capsys.readouterr()
+    assert run_lint(str(dirty_file), "--ignore", "D102") == 0
+    capsys.readouterr()
+    assert run_lint(str(dirty_file), "--select", "D102") == 1
+
+
+def test_baseline_round_trip(dirty_file, tmp_path, capsys):
+    assert run_lint(str(dirty_file), "--json") == 1
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(capsys.readouterr().out)
+    assert run_lint(str(dirty_file), "--baseline", str(baseline)) == 0
+    assert capsys.readouterr().out.strip().endswith("0 findings")
+
+
+def test_unreadable_baseline_exits_two(dirty_file, tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    assert run_lint(str(dirty_file), "--baseline", str(bad)) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_directory_walk_is_recursive_and_sorted(tmp_path, capsys):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text(DIRTY)
+    (tmp_path / "pkg" / "a.py").write_text("def key(obj):\n    return id(obj)\n")
+    assert run_lint(str(tmp_path)) == 1
+    lines = [line for line in capsys.readouterr().out.splitlines() if ": " in line]
+    assert len(lines) == 2
+    assert "a.py" in lines[0] and "b.py" in lines[1]
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def test_python_dash_m_repro_lint(dirty_file):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(dirty_file)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "D102" in proc.stdout
+
+
+@pytest.mark.skipif(shutil.which("repro") is None, reason="console script not installed")
+def test_console_script_lint(clean_file):
+    proc = subprocess.run(
+        ["repro", "lint", str(clean_file)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "0 findings" in proc.stdout
