@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from . import (
     analysis,
@@ -44,6 +44,7 @@ from . import (
     pixel,
     screening,
     service,
+    trace,
     wafer,
 )
 from .campaigns import CampaignResult, CampaignSpec, run_campaign
@@ -161,6 +162,7 @@ __all__ = [
     "score_detection",
     "screening",
     "service",
+    "trace",
     "units",
     "wafer",
 ]

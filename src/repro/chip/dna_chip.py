@@ -31,6 +31,7 @@ from ..pixel.pixel import DnaSensorPixel, PixelVariation
 from .registers import RegisterFile, dna_chip_registers
 from .sequencer import SiteSequence
 from .serial_interface import (
+    CHIP_TO_HOST,
     Command,
     Frame,
     SerialLink,
@@ -103,8 +104,16 @@ class DnaMicroarrayChip:
         bandgap, reference tree).
     """
 
-    def __init__(self, specs: ChipSpecs | None = None, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        specs: ChipSpecs | None = None,
+        rng: RngLike = None,
+        recorder: object = None,
+    ) -> None:
         self.specs = specs or ChipSpecs()
+        # A trace recorder (duck-typed; see repro.trace) observing the
+        # digital path: register traffic, serial frames, sample slots.
+        self.recorder = recorder
         generator = ensure_rng(rng)
         pixel_rngs = spawn_children(generator, self.specs.sites)
         self.pixels: list[DnaSensorPixel] = [
@@ -122,8 +131,8 @@ class DnaMicroarrayChip:
             count=8,
             rng=generator,
         )
-        self.registers: RegisterFile = dna_chip_registers()
-        self.link = SerialLink()
+        self.registers: RegisterFile = dna_chip_registers(recorder=recorder)
+        self.link = SerialLink(recorder=recorder)
         self.sequence = SiteSequence(
             rows=self.specs.rows,
             cols=self.specs.cols,
@@ -154,6 +163,8 @@ class DnaMicroarrayChip:
 
         Returns True when every pixel's sensor is correctly biased.
         """
+        if self.recorder is not None:
+            self.recorder.seq_state("configure", detail="electrode DAC programming")
         gen_code = self.generator_dac.code_for_voltage(v_generator)
         col_code = self.collector_dac.code_for_voltage(v_collector)
         self._write_register("generator_dac", gen_code)
@@ -178,6 +189,8 @@ class DnaMicroarrayChip:
         tree (divided 100:1 into the ADC's mid-range) to every pixel and
         store gain corrections.  Returns the array of correction
         factors."""
+        if self.recorder is not None:
+            self.recorder.seq_state("calibrate", detail=f"reference frame {frame_s} s")
         generator = ensure_rng(rng)
         branch_currents = self.reference_tree.branch_currents() / 100.0
         corrections = np.empty(self.specs.sites)
@@ -185,6 +198,8 @@ class DnaMicroarrayChip:
             i_ref = float(branch_currents[index % len(branch_currents)])
             corrections[index] = pixel.calibrate(i_ref, frame_s, rng=generator)
         self._write_register("calibration_enable", 1)
+        if self.recorder is not None:
+            self.recorder.advance(frame_s)  # the calibration counting frame
         return corrections
 
     # ------------------------------------------------------------------
@@ -201,6 +216,8 @@ class DnaMicroarrayChip:
                 f"assay grid {assay.rows}x{assay.cols} does not match the "
                 f"{self.specs.rows}x{self.specs.cols} chip"
             )
+        if self.recorder is not None:
+            self.recorder.seq_state("measure", detail=f"assay frame {frame_s} s")
         generator = ensure_rng(rng)
         counts = np.zeros((self.specs.rows, self.specs.cols), dtype=int)
         for site in assay.sites:
@@ -209,6 +226,8 @@ class DnaMicroarrayChip:
                 site.surface_concentration, frame_s, rng=generator
             )
         self._last_counts = counts.reshape(-1).astype(np.int64)
+        if self.recorder is not None:
+            self.recorder.advance(frame_s)  # the counting frame
         return counts
 
     def measure_currents(
@@ -218,6 +237,8 @@ class DnaMicroarrayChip:
         currents = np.asarray(currents, dtype=float)
         if currents.shape != (self.specs.rows, self.specs.cols):
             raise ValueError(f"expected {self.specs.rows}x{self.specs.cols} currents")
+        if self.recorder is not None:
+            self.recorder.seq_state("measure", detail=f"current pattern frame {frame_s} s")
         generator = ensure_rng(rng)
         counts = np.zeros_like(currents, dtype=int)
         for row in range(self.specs.rows):
@@ -227,6 +248,8 @@ class DnaMicroarrayChip:
                     float(currents[row, col]), frame_s, rng=generator
                 )
         self._last_counts = counts.reshape(-1).astype(np.int64)
+        if self.recorder is not None:
+            self.recorder.advance(frame_s)  # the counting frame
         return counts
 
     def current_estimates(self, counts: np.ndarray, frame_s: float) -> np.ndarray:
@@ -256,19 +279,46 @@ class DnaMicroarrayChip:
     # ------------------------------------------------------------------
     # Serial readout (the 6-pin data path)
     # ------------------------------------------------------------------
-    def read_counters_serial(self) -> list[int]:
+    def read_counters_serial(
+        self,
+        flip_bits: list[int] | None = None,
+        flip_frame: int = 0,
+    ) -> list[int]:
         """Full digital path: pack the latest counts, push them through
-        the bit-level link, unpack on the host side."""
+        the bit-level link, unpack on the host side.
+
+        ``flip_bits`` injects bit corruption into response chunk number
+        ``flip_frame`` (the checksum must catch it and raise
+        :class:`~repro.chip.serial_interface.FrameError`)."""
+        if self.recorder is not None:
+            self.recorder.seq_state("readout", detail="serial counter shift-out")
         request = Frame(Command.READ_COUNTERS, 0x00)
         self.link.transfer(request)
+        if self.recorder is not None:
+            # One sample-slot event per site, timestamped by the
+            # SiteSequence schedule relative to the start of shift-out.
+            base = self.recorder.now
+            for row in range(self.specs.rows):
+                for col in range(self.specs.cols):
+                    self.recorder.seq_sample(
+                        row,
+                        col,
+                        time_s=base + self.sequence.site_time_s(row, col),
+                        slot_s=self.sequence.site_slot_s,
+                        slot=row * self.specs.cols + col,
+                    )
         payload = pack_counters(self._last_counts.tolist(), self.specs.counter_bits)
         # Large payloads are split into <=255-byte frames.
         chunk = counter_chunk_bytes(self.specs.counter_bits)
         received = bytearray()
-        for start in range(0, len(payload), chunk):
+        for index, start in enumerate(range(0, len(payload), chunk)):
             part = payload[start : start + chunk]
             response = self.link.respond(part)
-            roundtrip = self.link.transfer(response)
+            roundtrip = self.link.transfer(
+                response,
+                flip_bits=flip_bits if index == flip_frame else None,
+                direction=CHIP_TO_HOST,
+            )
             received.extend(roundtrip.payload)
         return unpack_counters(bytes(received), self.specs.counter_bits)
 

@@ -71,8 +71,12 @@ class NeuralRecordingChip:
         design: NeuralPixelDesign | None = None,
         scan: ScanTiming | None = None,
         rng: RngLike = None,
+        recorder: object = None,
     ) -> None:
         generator = ensure_rng(rng)
+        # A trace recorder (duck-typed; see repro.trace) observing the
+        # digital path: register traffic, serial frames, scan states.
+        self.recorder = recorder
         self.geometry = geometry or NEURO_GEOMETRY
         self.scan = scan or ScanTiming(
             rows=self.geometry.rows,
@@ -83,8 +87,8 @@ class NeuralRecordingChip:
         self.array = NeuralArrayModel(self.geometry, design, rng=generator)
         channel_rngs = spawn_children(generator, self.scan.channels)
         self.channels = [ReadoutChannel.sample(r) for r in channel_rngs]
-        self.registers: RegisterFile = neuro_chip_registers()
-        self.link = SerialLink()
+        self.registers: RegisterFile = neuro_chip_registers(recorder=recorder)
+        self.link = SerialLink(recorder=recorder)
         self.calibrated = False
 
     # ------------------------------------------------------------------
@@ -93,12 +97,18 @@ class NeuralRecordingChip:
     def calibrate(self, include_imperfections: bool = True) -> None:
         """Pixel calibration (rows in parallel, columns in sequence, per
         the paper) plus the gain-stage offset calibration."""
+        if self.recorder is not None:
+            self.recorder.seq_state("calibrate", detail="row-parallel pixel calibration")
         self.array.calibrate(include_imperfections=include_imperfections)
         for channel in self.channels:
             channel.calibrate()
         frame = Frame(Command.CALIBRATE, 0x00)
         self.link.transfer(frame)
-        self.registers.write("status", 0x01)
+        # Status is read-only to the host; the chip's own hardware
+        # latches the calibrated flag.
+        self.registers.hw_write("status", 0x01)
+        if self.recorder is not None:
+            self.recorder.advance(self.calibration_sweep_time_s())
         self.calibrated = True
 
     def calibration_sweep_time_s(self) -> float:

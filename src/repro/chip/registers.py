@@ -7,17 +7,24 @@ mode) lives in an on-chip register file written over the serial link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Optional
 
 
 @dataclass(frozen=True)
 class RegisterSpec:
-    """One register's address, width and reset value."""
+    """One register's address, width, reset value and host access.
+
+    ``read_only`` registers (chip identification, status flags) reject
+    host writes over the serial link; only chip-internal hardware
+    (:meth:`RegisterFile.hw_write`) may update them.
+    """
 
     name: str
     address: int
     bits: int
     reset_value: int = 0
+    read_only: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.address <= 0xFF:
@@ -29,9 +36,14 @@ class RegisterSpec:
 
 
 class RegisterFile:
-    """Addressable register bank with range checking."""
+    """Addressable register bank with range and access checking.
 
-    def __init__(self, specs: list[RegisterSpec]) -> None:
+    An optional ``recorder`` (:class:`~repro.trace.TraceRecorder`,
+    duck-typed — this module never imports the trace package) gets one
+    event per write, read, reset and rejected write.
+    """
+
+    def __init__(self, specs: list[RegisterSpec], recorder: Optional[Any] = None) -> None:
         if not specs:
             raise ValueError("register file needs at least one register")
         addresses = [spec.address for spec in specs]
@@ -43,22 +55,54 @@ class RegisterFile:
         self._by_name = {spec.name: spec for spec in specs}
         self._by_address = {spec.address: spec for spec in specs}
         self._values = {spec.name: spec.reset_value for spec in specs}
+        self.recorder = recorder
 
     def reset(self) -> None:
         for name, spec in self._by_name.items():
             self._values[name] = spec.reset_value
+        if self.recorder is not None:
+            self.recorder.reg_reset(dict(self._values))
 
     # ------------------------------------------------------------------
-    def write(self, name_or_address: str | int, value: int) -> None:
+    def write(self, name_or_address: str | int, value: int, source: str = "host") -> None:
+        """Write a register.  ``source="host"`` models traffic arriving
+        over the serial link and is rejected on read-only registers; the
+        chip's own hardware writes via :meth:`hw_write`."""
         spec = self._lookup(name_or_address)
+        if spec.read_only and source == "host":
+            if self.recorder is not None:
+                self.recorder.reg_reject(
+                    spec.name, spec.address, value, "read-only register", source=source
+                )
+            raise ValueError(f"register {spec.name!r} is read-only to the host")
         if not 0 <= value < (1 << spec.bits):
+            if self.recorder is not None:
+                self.recorder.reg_reject(
+                    spec.name,
+                    spec.address,
+                    value,
+                    f"does not fit {spec.bits} bits",
+                    source=source,
+                )
             raise ValueError(
                 f"value {value} does not fit register {spec.name!r} ({spec.bits} bits)"
             )
+        old = self._values[spec.name]
         self._values[spec.name] = value
+        if self.recorder is not None:
+            self.recorder.reg_write(spec.name, spec.address, value, old, source=source)
+
+    def hw_write(self, name_or_address: str | int, value: int) -> None:
+        """Chip-internal write path (status flags etc.) — allowed on
+        read-only registers."""
+        self.write(name_or_address, value, source="hw")
 
     def read(self, name_or_address: str | int) -> int:
-        return self._values[self._lookup(name_or_address).name]
+        spec = self._lookup(name_or_address)
+        value = self._values[spec.name]
+        if self.recorder is not None:
+            self.recorder.reg_read(spec.name, spec.address, value)
+        return value
 
     def _lookup(self, key: str | int) -> RegisterSpec:
         if isinstance(key, str):
@@ -76,7 +120,7 @@ class RegisterFile:
         return dict(self._values)
 
 
-def dna_chip_registers() -> RegisterFile:
+def dna_chip_registers(recorder: Optional[Any] = None) -> RegisterFile:
     """Register map of the DNA microarray chip (Section 2 periphery)."""
     return RegisterFile(
         [
@@ -85,13 +129,14 @@ def dna_chip_registers() -> RegisterFile:
             RegisterSpec("frame_exponent", 0x02, 4, 8),  # frame = 2^n ms
             RegisterSpec("calibration_enable", 0x03, 1, 0),
             RegisterSpec("reference_current_sel", 0x04, 3, 2),
-            RegisterSpec("status", 0x05, 8, 0),
-            RegisterSpec("chip_id", 0x06, 8, 0x2D),
-        ]
+            RegisterSpec("status", 0x05, 8, 0, read_only=True),
+            RegisterSpec("chip_id", 0x06, 8, 0x2D, read_only=True),
+        ],
+        recorder=recorder,
     )
 
 
-def neuro_chip_registers() -> RegisterFile:
+def neuro_chip_registers(recorder: Optional[Any] = None) -> RegisterFile:
     """Register map of the 128x128 neural-recording chip (Section 3)."""
     return RegisterFile(
         [
@@ -100,7 +145,8 @@ def neuro_chip_registers() -> RegisterFile:
             RegisterSpec("row_start", 0x02, 8, 0),
             RegisterSpec("row_stop", 0x03, 8, 127),
             RegisterSpec("gain_trim", 0x04, 4, 8),
-            RegisterSpec("status", 0x05, 8, 0),
-            RegisterSpec("chip_id", 0x06, 8, 0x4E),
-        ]
+            RegisterSpec("status", 0x05, 8, 0, read_only=True),
+            RegisterSpec("chip_id", 0x06, 8, 0x4E, read_only=True),
+        ],
+        recorder=recorder,
     )

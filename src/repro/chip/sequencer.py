@@ -15,6 +15,7 @@ frame rate) and validates them against the amplifier bandwidths.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -84,15 +85,11 @@ class ScanTiming:
         """
         if amplifier_bw_hz <= 0:
             raise ValueError("bandwidth must be positive")
-        import math
-
         tau = 1.0 / (2.0 * math.pi * amplifier_bw_hz)
         return settle_taus * tau <= self.slot_time_s
 
     def max_frame_rate_hz(self, amplifier_bw_hz: float, settle_taus: float = 3.0) -> float:
         """Largest frame rate the amplifier bandwidth supports."""
-        import math
-
         tau = 1.0 / (2.0 * math.pi * amplifier_bw_hz)
         min_slot = settle_taus * tau
         return 1.0 / (min_slot * self.mux_depth * self.rows)
@@ -143,6 +140,18 @@ class SiteSequence:
     @property
     def sites(self) -> int:
         return self.rows * self.cols
+
+    @property
+    def site_slot_s(self) -> float:
+        """Serial shift time of one counter — the per-site readout slot."""
+        return self.counter_bits / self.serial_clock_hz
+
+    def site_time_s(self, row: int, col: int) -> float:
+        """Offset of a site's counter within the readout stream (sites
+        shift out row-major, one counter per slot)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"site ({row}, {col}) outside array")
+        return (row * self.cols + col) * self.site_slot_s
 
     def readout_time_s(self, overhead_bits: int = 40) -> float:
         """Serial time to shift out every counter once."""

@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import Any
 
 
 SOF = 0xA5
 
 PINS = ("VDD", "GND", "CLK", "DIN", "DOUT", "CS")
+
+#: Direction tags of the wire a frame crosses: host -> chip is DIN,
+#: chip -> host is DOUT.  Shared with the trace layer's event payloads.
+HOST_TO_CHIP = "->"
+CHIP_TO_HOST = "<-"
 
 
 class Command(IntEnum):
@@ -115,32 +121,87 @@ class SerialLink:
 
     ``flip_bits`` lists bit positions (in the full stream) to corrupt —
     the checksum must catch them.
+
+    The transcript records *both* sides of every wire crossing as
+    ``(direction, stage, bytes)`` triples: ``stage`` is ``"sent"`` (what
+    the transmitter drove) or ``"received"`` (what arrived after any
+    injected corruption), so flipped bits are visible as a byte diff.
+    An optional ``recorder`` (:class:`~repro.trace.TraceRecorder`,
+    duck-typed — this module never imports the trace package) gets one
+    serial-frame event per transfer and its simulated clock advanced by
+    the frame's wire time.
     """
 
     clock_hz: float = 1e6
-    transcript: list[tuple[str, bytes]] = field(default_factory=list)
+    transcript: list[tuple[str, str, bytes]] = field(default_factory=list)
+    recorder: Any = None
 
-    def transfer(self, frame: Frame, flip_bits: list[int] | None = None) -> Frame:
-        """Send a frame through the bit-level pipe and decode it again."""
+    def transfer(
+        self,
+        frame: Frame,
+        flip_bits: list[int] | None = None,
+        direction: str = HOST_TO_CHIP,
+    ) -> Frame:
+        """Send a frame through the bit-level pipe and decode it again.
+
+        ``direction`` tags which wire the frame crosses
+        (:data:`HOST_TO_CHIP` = DIN, :data:`CHIP_TO_HOST` = DOUT).
+        """
         raw = encode_frame(frame)
         bits = bytes_to_bits(raw)
-        for position in flip_bits or []:
+        flips = tuple(flip_bits or ())
+        for position in flips:
             if not 0 <= position < len(bits):
                 raise IndexError(f"bit position {position} outside stream")
             bits[position] ^= 1
         received = bits_to_bytes(bits)
-        self.transcript.append(("->", received))
-        return decode_frame(received)
+        self.transcript.append((direction, "sent", raw))
+        self.transcript.append((direction, "received", received))
+        duration_s = len(bits) / self.clock_hz
+        try:
+            decoded = decode_frame(received)
+        except FrameError as exc:
+            self._record(frame, direction, raw, received, flips, False, str(exc), duration_s)
+            raise
+        self._record(frame, direction, raw, received, flips, True, None, duration_s)
+        return decoded
+
+    def _record(
+        self,
+        frame: Frame,
+        direction: str,
+        raw: bytes,
+        received: bytes,
+        flips: tuple[int, ...],
+        ok: bool,
+        error: str | None,
+        duration_s: float,
+    ) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.serial_frame(
+            direction=direction,
+            command=frame.command.name,
+            address=frame.address,
+            length=len(frame.payload),
+            sent=raw,
+            received=received,
+            flipped=flips,
+            ok=ok,
+            error=error,
+            duration_s=duration_s,
+        )
+        self.recorder.advance(duration_s)
 
     def transfer_time_s(self, frame: Frame) -> float:
         """Wire time of one frame at the configured clock."""
         return len(bytes_to_bits(encode_frame(frame))) / self.clock_hz
 
     def respond(self, payload: bytes, command: Command = Command.READ_COUNTERS, address: int = 0) -> Frame:
-        """Chip-to-host response frame (DOUT direction)."""
-        frame = Frame(command=command, address=address, payload=payload)
-        self.transcript.append(("<-", encode_frame(frame)))
-        return frame
+        """Build a chip-to-host response frame.  The wire crossing (and
+        its transcript/trace record) happens when the frame is pushed
+        through :meth:`transfer` with ``direction=CHIP_TO_HOST``."""
+        return Frame(command=command, address=address, payload=payload)
 
 
 def pack_counters(counts: list[int], bits_per_counter: int = 24) -> bytes:

@@ -1,6 +1,6 @@
 """The ``repro`` command line — run specs and campaigns from JSON.
 
-Eight subcommands wrap the experiment front door::
+Nine subcommands wrap the experiment front door::
 
     repro kinds                               # registered experiment kinds
     repro run    --spec examples/specs/dna_assay.json [--backend vectorized]
@@ -13,6 +13,7 @@ Eight subcommands wrap the experiment front door::
     repro serve   --cache-dir cache/ --jobs-root jobs/
     repro submit  --campaign campaign.json --wait
     repro lint    src/ [--json] [--select D,S] [--list-rules]
+    repro trace   [--spec spec.json] [--flip 42,43] [--render waveform] [--check]
 
 ``run`` executes one spec and prints its scalar metrics (``--json`` for
 the full ResultSet payload).  ``sweep`` builds a
@@ -40,7 +41,11 @@ run.  ``serve`` starts the background job service (HTTP/JSON, see
 :mod:`repro.service.server` for the endpoint table) and ``submit``
 sends a campaign to it.  ``lint`` runs the AST-based determinism/purity
 linter (:mod:`repro.lint`) over the tree — the static half of the
-bit-parity contract, wired into CI at zero findings.
+bit-parity contract, wired into CI at zero findings.  ``trace`` replays
+a spec's digital readout under a cycle-accurate recorder
+(:mod:`repro.trace`) and renders the capture as an event table, ASCII
+waveform or per-bit frame dump, optionally injecting bit corruption
+(``--flip``) and checking readout invariants (``--check``).
 
 Installed as a console script (``repro``) and runnable as
 ``python -m repro`` from a plain checkout.
@@ -74,6 +79,7 @@ from .experiments import (
     validate_backend,
 )
 from .lint.cli import add_lint_parser
+from .trace.cli import add_trace_parser
 
 
 def _load_json(path: str) -> Any:
@@ -603,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.set_defaults(func=_cmd_submit)
 
     add_lint_parser(sub)
+    add_trace_parser(sub)
     return parser
 
 

@@ -30,7 +30,14 @@ import numpy as np
 from ..chip.dna_chip import ChipSpecs, counter_chunk_bytes, write_dna_register
 from ..chip.registers import RegisterFile, dna_chip_registers
 from ..chip.sequencer import SiteSequence
-from ..chip.serial_interface import Command, Frame, SerialLink, pack_counters, unpack_counters
+from ..chip.serial_interface import (
+    CHIP_TO_HOST,
+    Command,
+    Frame,
+    SerialLink,
+    pack_counters,
+    unpack_counters,
+)
 from ..core.rng import RngLike, ensure_rng, spawn_children
 from ..core.units import FARADAY
 from ..devices.bandgap import BandgapReference
@@ -316,7 +323,7 @@ class VectorizedDnaChip:
             for start in range(0, len(payload), chunk):
                 part = payload[start : start + chunk]
                 response = self.link.respond(part)
-                roundtrip = self.link.transfer(response)
+                roundtrip = self.link.transfer(response, direction=CHIP_TO_HOST)
                 received.extend(roundtrip.payload)
             per_chip.append(unpack_counters(bytes(received), self.specs.counter_bits))
         return per_chip[0] if self.n_chips == 1 else per_chip

@@ -92,7 +92,7 @@ class VectorizedNeuroChip:
             channel.calibrate()
         frame = Frame(Command.CALIBRATE, 0x00)
         self.link.transfer(frame)
-        self.registers.write("status", 0x01)
+        self.registers.hw_write("status", 0x01)
         self.calibrated = True
 
     def calibration_sweep_time_s(self) -> float:

@@ -31,6 +31,11 @@ class ResultSet:
     records: dict[str, np.ndarray] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
     artifacts: dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
+    #: Optional digital-path capture (:class:`repro.trace.TraceTable`):
+    #: attached when the producing chip carried a trace recorder.
+    #: Serializes with the result (unlike artifacts) — the trace *is*
+    #: provenance — but is excluded from equality like artifacts.
+    trace: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         lengths = {name: len(column) for name, column in self.records.items()}
@@ -90,6 +95,8 @@ class ResultSet:
             # to float64 and string columns to '<U..' instead of object.
             "dtypes": {name: _dtype_token(column) for name, column in self.records.items()},
             "metrics": {name: _as_python(value) for name, value in self.metrics.items()},
+            # Traceless payloads stay byte-identical to pre-trace ones.
+            **({"trace": self.trace.to_dict()} if self.trace is not None else {}),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -103,6 +110,11 @@ class ResultSet:
         columns fall back to ``np.asarray`` inference.
         """
         dtypes = data.get("dtypes", {})
+        trace = None
+        if data.get("trace") is not None:
+            from ..trace.table import TraceTable
+
+            trace = TraceTable.from_dict(data["trace"])
         return cls(
             kind=data["kind"],
             spec=data["spec"],
@@ -114,6 +126,7 @@ class ResultSet:
                 for name, column in data["records"].items()
             },
             metrics=data.get("metrics", {}),
+            trace=trace,
         )
 
     @classmethod

@@ -275,6 +275,7 @@ class Runner:
         records: dict[str, Any],
         metrics: dict[str, Any],
         artifacts: dict[str, Any],
+        trace: Optional[Any] = None,
     ) -> ResultSet:
         from .. import __version__
 
@@ -287,4 +288,5 @@ class Runner:
             records=records,
             metrics=metrics,
             artifacts=artifacts,
+            trace=trace,
         )

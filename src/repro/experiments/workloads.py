@@ -80,6 +80,15 @@ def register_workload(
     WORKLOADS[kind] = Workload(kind=kind, streams=streams, execute=execute, backends=backends)
 
 
+def _chip_trace(chip: Any) -> Any:
+    """The digital-path capture of a recorder-carrying chip (or None).
+
+    Duck-typed so workloads work with object chips, vectorized twins
+    and caller-injected substrates alike."""
+    recorder = getattr(chip, "recorder", None)
+    return recorder.trace() if recorder is not None else None
+
+
 def workload_for(kind: str) -> Workload:
     try:
         return WORKLOADS[kind]
@@ -276,6 +285,7 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
             "counts": counts,
             "current_estimates": estimates,
         },
+        trace=_chip_trace(chip),
     )
 
 
@@ -498,6 +508,7 @@ def _execute_neural(
         records=records,
         metrics=metrics,
         artifacts={"chip": chip, "culture": culture, "recording": recording},
+        trace=_chip_trace(chip),
     )
 
 
@@ -734,6 +745,7 @@ def _execute_array_scale(
         records=records,
         metrics=metrics,
         artifacts={"chip": chips, "counts": counts, "currents": currents},
+        trace=_chip_trace(chips[0] if isinstance(chips, list) else chips),
     )
 
 

@@ -1,0 +1,104 @@
+"""Cycle-accurate digital-path tracing.
+
+Capture (:class:`TraceRecorder`), container (:class:`TraceTable`),
+rendering (``render_waveform``/``render_events``/``render_html``/
+``render_frame_bits``) and assertions (``check_trace`` and friends) for
+the chip's control plane: register traffic, sequencer states,
+per-pixel sample slots and serial frames down to individual DIN/DOUT
+bits.  All timestamps are simulated time derived from
+``ScanTiming``/``SiteSequence`` and serial wire arithmetic — a trace is
+a pure function of ``(spec, seed)`` and serializes byte-identically.
+
+The chip models never import this package; they accept a recorder
+duck-typed.  The replay helpers (``replay_readout``) import the chip
+and experiment layers, so they load lazily via PEP 562 to keep
+``repro.trace`` import-light and cycle-free.
+"""
+
+from .events import (
+    CHIP_TO_HOST,
+    DIN,
+    DOUT,
+    HOST_TO_CHIP,
+    KINDS,
+    REG_READ,
+    REG_REJECT,
+    REG_RESET,
+    REG_WRITE,
+    SCHEMA_VERSION,
+    SEQ_SAMPLE,
+    SEQ_STATE,
+    SERIAL_FRAME,
+    TraceEvent,
+    frame_data,
+)
+from .match import (
+    Ever,
+    Never,
+    Precedes,
+    SlotSettles,
+    TraceAssertionError,
+    Violation,
+    assert_trace,
+    check_trace,
+    readout_invariants,
+    where,
+)
+from .recorder import TraceRecorder
+from .render import (
+    render_events,
+    render_frame_bits,
+    render_html,
+    render_waveform,
+    signal_steps,
+)
+from .table import TraceTable
+
+_CAPTURE_EXPORTS = ("replay_readout", "record_scan_frame")
+
+__all__ = [
+    "CHIP_TO_HOST",
+    "DIN",
+    "DOUT",
+    "HOST_TO_CHIP",
+    "KINDS",
+    "REG_READ",
+    "REG_REJECT",
+    "REG_RESET",
+    "REG_WRITE",
+    "SCHEMA_VERSION",
+    "SEQ_SAMPLE",
+    "SEQ_STATE",
+    "SERIAL_FRAME",
+    "Ever",
+    "Never",
+    "Precedes",
+    "SlotSettles",
+    "TraceAssertionError",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceTable",
+    "Violation",
+    "assert_trace",
+    "check_trace",
+    "frame_data",
+    "readout_invariants",
+    "record_scan_frame",
+    "render_events",
+    "render_frame_bits",
+    "render_html",
+    "render_waveform",
+    "replay_readout",
+    "signal_steps",
+    "where",
+]
+
+
+def __getattr__(name: str):
+    # capture.py imports the chip/experiment layers; loading it eagerly
+    # would couple `import repro.trace` to the whole model stack.
+    if name in _CAPTURE_EXPORTS:
+        from . import capture
+
+        return getattr(capture, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

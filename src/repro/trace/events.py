@@ -1,0 +1,171 @@
+"""Typed events of the digital-path trace.
+
+One event is one observable fact on the chip's control plane: a
+register write crossing the serial link, a sequencer phase change, a
+per-pixel sample slot, a serial frame down to its DIN/DOUT bit streams.
+Every event carries a *simulated* timestamp — arithmetic over
+:class:`~repro.chip.sequencer.ScanTiming`/:class:`~repro.chip.sequencer.SiteSequence`
+and serial wire time, never the wall clock — so a recorded sequence is
+a pure function of ``(spec, seed)``.
+
+The serialized layout (``to_dict``/``from_dict``) is the trace schema;
+:data:`SCHEMA_VERSION` gates round-trips so stored traces fail loudly
+instead of silently re-interpreting fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Version of the serialized event/trace layout.  Bump when field
+#: names or meanings change; loaders reject mismatched traces.
+SCHEMA_VERSION = 1
+
+# Event kinds — the closed vocabulary of the digital path.  Kept as
+# plain strings (not an Enum) so serialized traces read naturally and
+# filters can be typed on a command line.
+REG_WRITE = "reg.write"
+REG_READ = "reg.read"
+REG_RESET = "reg.reset"
+REG_REJECT = "reg.reject"
+SEQ_STATE = "seq.state"
+SEQ_SAMPLE = "seq.sample"
+SERIAL_FRAME = "serial.frame"
+
+KINDS = (
+    REG_WRITE,
+    REG_READ,
+    REG_RESET,
+    REG_REJECT,
+    SEQ_STATE,
+    SEQ_SAMPLE,
+    SERIAL_FRAME,
+)
+
+#: Channel names of the serial wires, as rendered in waveforms.
+DIN = "serial.din"
+DOUT = "serial.dout"
+
+#: Direction tags: host -> chip crosses DIN, chip -> host crosses DOUT.
+HOST_TO_CHIP = "->"
+CHIP_TO_HOST = "<-"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record of the trace.
+
+    ``seq`` is the capture order (dense, 0-based), ``time_s`` the
+    simulated time, ``kind`` one of :data:`KINDS`, ``channel`` the
+    named signal/site the event belongs to (``reg.generator_dac``,
+    ``serial.din``, ``seq.state`` ...), and ``data`` the kind-specific
+    payload with JSON-serializable values only.
+    """
+
+    seq: int
+    time_s: float
+    kind: str
+    channel: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("event seq must be non-negative")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; known: {KINDS}")
+        if not self.channel:
+            raise ValueError("event channel must be non-empty")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t": self.time_s,
+            "kind": self.kind,
+            "channel": self.channel,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            seq=int(payload["seq"]),
+            time_s=float(payload["t"]),
+            kind=payload["kind"],
+            channel=payload["channel"],
+            data=dict(payload.get("data", {})),
+        )
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON (sorted keys, no whitespace) — the
+        unit of the byte-identical serialization contract."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Short human description for event tables."""
+        d = self.data
+        if self.kind == REG_WRITE:
+            old = f" (was {d['old']})" if "old" in d else ""
+            return f"{d.get('source', 'host')} write {d.get('value')}{old}"
+        if self.kind == REG_READ:
+            return f"read -> {d.get('value')}"
+        if self.kind == REG_RESET:
+            return f"reset {len(d.get('values', {}))} registers"
+        if self.kind == REG_REJECT:
+            return f"REJECTED write {d.get('value')}: {d.get('reason')}"
+        if self.kind == SEQ_STATE:
+            detail = f" ({d['detail']})" if d.get("detail") else ""
+            return f"enter {d.get('state')}{detail}"
+        if self.kind == SEQ_SAMPLE:
+            where = f"({d.get('row')}, {d.get('col')})"
+            return f"sample {where} slot {d.get('slot_s'):.3e} s"
+        if self.kind == SERIAL_FRAME:
+            status = "ok" if d.get("ok") else f"CORRUPT: {d.get('error')}"
+            flips = f" flips={d['flipped']}" if d.get("flipped") else ""
+            return (
+                f"{d.get('direction')} {d.get('command')} addr {d.get('address'):#04x} "
+                f"len {d.get('length')} [{status}]{flips}"
+            )
+        return str(dict(d))
+
+
+def frame_data(
+    direction: str,
+    command: str,
+    address: int,
+    length: int,
+    sent: bytes,
+    received: bytes,
+    flipped: tuple[int, ...] = (),
+    ok: bool = True,
+    error: Optional[str] = None,
+    duration_s: float = 0.0,
+    bits: bool = True,
+) -> dict[str, Any]:
+    """Build the :data:`SERIAL_FRAME` payload in its one canonical
+    shape, shared by every producer so the schema cannot drift.
+
+    ``sent`` is what the transmitter drove onto the wire, ``received``
+    what arrived after any injected corruption; bytes are hex strings in
+    the payload, and ``bits`` expands both to MSB-first '0'/'1' strings
+    (the per-bit DIN/DOUT streams waveforms render).
+    """
+    payload: dict[str, Any] = {
+        "direction": direction,
+        "command": command,
+        "address": address,
+        "length": length,
+        "sent": sent.hex(),
+        "received": received.hex(),
+        "flipped": list(flipped),
+        "ok": bool(ok),
+        "error": error,
+        "duration_s": duration_s,
+    }
+    if bits:
+        payload["sent_bits"] = "".join(f"{byte:08b}" for byte in sent)
+        payload["received_bits"] = "".join(f"{byte:08b}" for byte in received)
+    return payload

@@ -1,0 +1,273 @@
+"""Trace assertions: match patterns over a capture, return structured
+violations.
+
+The protocol-level counterpart of the analog parity suites: instead of
+asserting on final numbers, these assert on the *shape* of the digital
+sequence — "every RUN_FRAME is preceded by a calibration_enable write",
+"no serial frame arrived corrupt", "no sample slot is shorter than the
+amplifier can settle".  Each check returns :class:`Violation` records
+(rule id, message, offending event) rather than booleans, so campaign
+tooling can store, count and render failures; :func:`assert_trace`
+raises with the rendered list for test use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .events import REG_REJECT, REG_WRITE, SEQ_SAMPLE, SERIAL_FRAME, TraceEvent
+from .table import TraceTable
+
+Predicate = Callable[[TraceEvent], bool]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed expectation, anchored to the trace."""
+
+    rule: str
+    message: str
+    seq: Optional[int] = None
+    time_s: Optional[float] = None
+    channel: Optional[str] = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "channel": self.channel,
+            "data": dict(self.data),
+        }
+
+    def render(self) -> str:
+        where = ""
+        if self.seq is not None:
+            where = f" [event {self.seq}"
+            if self.time_s is not None:
+                where += f" @ {self.time_s:.6g} s"
+            where += "]"
+        return f"{self.rule}: {self.message}{where}"
+
+
+class TraceAssertionError(AssertionError):
+    """Raised by :func:`assert_trace`; carries the structured list."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = list(violations)
+        lines = [f"{len(self.violations)} trace violation(s):"]
+        lines.extend("  " + violation.render() for violation in self.violations)
+        super().__init__("\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+def where(
+    kind: Optional[str] = None, channel: Optional[str] = None, **data_eq: Any
+) -> Predicate:
+    """Event predicate: kind and/or channel and/or data-field equality.
+
+    ``channel`` ending in ``.`` or ``*`` matches as a prefix, mirroring
+    :meth:`TraceTable.filter`.
+    """
+
+    prefix = None
+    if channel is not None and channel.endswith(("*", ".")):
+        prefix = channel.rstrip("*")
+
+    def predicate(event: TraceEvent) -> bool:
+        if kind is not None and event.kind != kind:
+            return False
+        if channel is not None:
+            if prefix is not None:
+                if not event.channel.startswith(prefix):
+                    return False
+            elif event.channel != channel:
+                return False
+        for name, expected in data_eq.items():
+            if event.data.get(name) != expected:
+                return False
+        return True
+
+    return predicate
+
+
+def _violation_from(rule: str, message: str, event: TraceEvent) -> Violation:
+    return Violation(
+        rule=rule,
+        message=message,
+        seq=event.seq,
+        time_s=event.time_s,
+        channel=event.channel,
+        data=dict(event.data),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assertions
+# ---------------------------------------------------------------------------
+class Never:
+    """No event may match ``predicate``."""
+
+    def __init__(self, predicate: Predicate, rule: str, message: str = "") -> None:
+        self.predicate = predicate
+        self.rule = rule
+        self.message = message or "matched a forbidden event"
+
+    def check(self, trace: TraceTable) -> list[Violation]:
+        return [
+            _violation_from(self.rule, f"{self.message}: {event.summary()}", event)
+            for event in trace
+            if self.predicate(event)
+        ]
+
+
+class Ever:
+    """At least one event must match ``predicate``."""
+
+    def __init__(self, predicate: Predicate, rule: str, message: str = "") -> None:
+        self.predicate = predicate
+        self.rule = rule
+        self.message = message or "no event matched the required pattern"
+
+    def check(self, trace: TraceTable) -> list[Violation]:
+        if any(self.predicate(event) for event in trace):
+            return []
+        return [Violation(rule=self.rule, message=self.message)]
+
+
+class Precedes:
+    """Every ``effect`` event must have an earlier ``cause`` event.
+
+    ``within_s`` optionally bounds how far back the cause may lie.
+    """
+
+    def __init__(
+        self,
+        cause: Predicate,
+        effect: Predicate,
+        rule: str,
+        message: str = "",
+        within_s: Optional[float] = None,
+    ) -> None:
+        self.cause = cause
+        self.effect = effect
+        self.rule = rule
+        self.message = message or "effect event without a preceding cause"
+        self.within_s = within_s
+
+    def check(self, trace: TraceTable) -> list[Violation]:
+        violations = []
+        cause_times: list[float] = []
+        for event in trace:
+            if self.cause(event):
+                cause_times.append(event.time_s)
+            if self.effect(event):
+                satisfied = any(
+                    t <= event.time_s
+                    and (self.within_s is None or event.time_s - t <= self.within_s)
+                    for t in cause_times
+                )
+                if not satisfied:
+                    violations.append(
+                        _violation_from(
+                            self.rule, f"{self.message}: {event.summary()}", event
+                        )
+                    )
+        return violations
+
+
+class SlotSettles:
+    """Every sample slot must give a single-pole amplifier of bandwidth
+    ``amplifier_bw_hz`` at least ``settle_taus`` time constants — the
+    :meth:`~repro.chip.sequencer.ScanTiming.settling_ok` criterion,
+    checked per recorded slot instead of once per timing solution."""
+
+    def __init__(
+        self,
+        amplifier_bw_hz: float,
+        settle_taus: float = 3.0,
+        rule: str = "slot-settling",
+    ) -> None:
+        if amplifier_bw_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.min_slot_s = settle_taus / (2.0 * math.pi * amplifier_bw_hz)
+        self.amplifier_bw_hz = amplifier_bw_hz
+        self.rule = rule
+
+    def check(self, trace: TraceTable) -> list[Violation]:
+        violations = []
+        for event in trace:
+            if event.kind != SEQ_SAMPLE:
+                continue
+            slot_s = float(event.data.get("slot_s", 0.0))
+            if slot_s < self.min_slot_s:
+                violations.append(
+                    _violation_from(
+                        self.rule,
+                        f"slot {slot_s:.3e} s < settling minimum "
+                        f"{self.min_slot_s:.3e} s at {self.amplifier_bw_hz:.3g} Hz",
+                        event,
+                    )
+                )
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+def check_trace(trace: TraceTable, assertions: Sequence[Any]) -> list[Violation]:
+    """Run every assertion, return all violations in trace order (then
+    assertion order for positionless ones)."""
+    violations: list[Violation] = []
+    for assertion in assertions:
+        violations.extend(assertion.check(trace))
+    violations.sort(key=lambda v: (v.seq is None, v.seq if v.seq is not None else 0))
+    return violations
+
+
+def assert_trace(trace: TraceTable, assertions: Sequence[Any]) -> None:
+    """Raise :class:`TraceAssertionError` if any assertion fails."""
+    violations = check_trace(trace, assertions)
+    if violations:
+        raise TraceAssertionError(violations)
+
+
+def readout_invariants(amplifier_bw_hz: Optional[float] = None) -> list[Any]:
+    """The standard contract of a well-formed readout sequence:
+
+    * ``frames-intact`` — no serial frame arrived corrupt,
+    * ``writes-accepted`` — no register write was rejected,
+    * ``calibrate-before-run`` — every RUN_FRAME command follows a
+      ``calibration_enable`` write of 1,
+    * ``slot-settling`` (when a bandwidth is given) — no sample slot is
+      shorter than the amplifier can settle.
+
+    Used by ``repro trace --assert`` and reusable in campaign checks.
+    """
+    invariants: list[Any] = [
+        Never(
+            where(kind=SERIAL_FRAME, ok=False),
+            rule="frames-intact",
+            message="serial frame failed decode",
+        ),
+        Never(
+            where(kind=REG_REJECT),
+            rule="writes-accepted",
+            message="register write rejected",
+        ),
+        Precedes(
+            cause=where(kind=REG_WRITE, channel="reg.calibration_enable", value=1),
+            effect=where(kind=SERIAL_FRAME, command="RUN_FRAME"),
+            rule="calibrate-before-run",
+            message="RUN_FRAME without prior calibration_enable=1",
+        ),
+    ]
+    if amplifier_bw_hz is not None:
+        invariants.append(SlotSettles(amplifier_bw_hz))
+    return invariants

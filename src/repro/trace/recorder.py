@@ -1,0 +1,212 @@
+"""The cycle-accurate trace recorder.
+
+A :class:`TraceRecorder` is handed to the digital-path models
+(:class:`~repro.chip.serial_interface.SerialLink`,
+:class:`~repro.chip.registers.RegisterFile`, the chip classes) and
+collects :class:`~repro.trace.events.TraceEvent` records as the models
+run.  It owns the *simulated clock*: components advance it by derived
+wire/frame time (bit counts over ``clock_hz``, ``ScanTiming`` slot
+arithmetic), so timestamps are deterministic functions of the replayed
+sequence and ``repro lint`` D102 (no wall clock) holds by construction.
+
+Memory is bounded: the in-memory buffer keeps the first ``limit``
+events and counts the rest as dropped; an optional ``sink`` (any object
+with ``write(str)``) streams *every* event out as canonical JSON lines
+regardless of the buffer, so arbitrarily long sequences can be captured
+to disk in O(1) memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from .events import (
+    REG_READ,
+    REG_REJECT,
+    REG_RESET,
+    REG_WRITE,
+    SEQ_SAMPLE,
+    SEQ_STATE,
+    SERIAL_FRAME,
+    TraceEvent,
+    frame_data,
+)
+from .table import TraceTable
+
+
+class _Writable(Protocol):  # pragma: no cover - typing only
+    def write(self, text: str) -> Any: ...
+
+
+class TraceRecorder:
+    """Capture digital-path events with a simulated clock.
+
+    Parameters
+    ----------
+    limit:
+        Maximum events retained in memory (the first ``limit`` captured;
+        later ones are counted in ``n_dropped``).  ``None`` = unbounded.
+    bit_level:
+        Record per-bit DIN/DOUT streams inside serial-frame events.
+        Costs ~8 chars/byte; turn off for very long captures.
+    sink:
+        Optional stream (``write(str)``): every event is appended as one
+        canonical JSON line the moment it is recorded, independent of
+        the in-memory buffer.
+    """
+
+    def __init__(
+        self,
+        limit: Optional[int] = 200_000,
+        bit_level: bool = True,
+        sink: Optional[_Writable] = None,
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None for unbounded)")
+        self.limit = limit
+        self.bit_level = bit_level
+        self.sink = sink
+        self._events: list[TraceEvent] = []
+        self._time_s = 0.0
+        self.n_events = 0
+        self.n_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Simulated clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._time_s
+
+    def advance(self, dt_s: float) -> float:
+        """Move simulated time forward by ``dt_s`` (wire time of a
+        frame, one counting frame, a settling pause...)."""
+        if dt_s < 0:
+            raise ValueError("cannot advance the simulated clock backwards")
+        self._time_s += dt_s
+        return self._time_s
+
+    # ------------------------------------------------------------------
+    # Core capture
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        channel: str,
+        data: Optional[dict[str, Any]] = None,
+        time_s: Optional[float] = None,
+    ) -> TraceEvent:
+        """Record one event (at ``now`` unless ``time_s`` is given)."""
+        event = TraceEvent(
+            seq=self.n_events,
+            time_s=self._time_s if time_s is None else time_s,
+            kind=kind,
+            channel=channel,
+            data=data or {},
+        )
+        self.n_events += 1
+        if self.sink is not None:
+            self.sink.write(event.to_json() + "\n")
+        if self.limit is None or len(self._events) < self.limit:
+            self._events.append(event)
+        else:
+            self.n_dropped += 1
+        return event
+
+    def trace(self) -> TraceTable:
+        """Snapshot the capture as a columnar :class:`TraceTable`."""
+        return TraceTable(list(self._events), n_dropped=self.n_dropped)
+
+    def clear(self) -> None:
+        """Drop captured events and rewind the clock (a fresh capture
+        with the same attachment points)."""
+        self._events.clear()
+        self._time_s = 0.0
+        self.n_events = 0
+        self.n_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Typed helpers — the one place event payload shapes are decided.
+    # The chip models call these duck-typed (no import of this package),
+    # so the schema lives here, next to the recorder.
+    # ------------------------------------------------------------------
+    def reg_write(
+        self, name: str, address: int, value: int, old: int, source: str = "host"
+    ) -> TraceEvent:
+        return self.emit(
+            REG_WRITE,
+            f"reg.{name}",
+            {"address": address, "value": value, "old": old, "source": source},
+        )
+
+    def reg_read(self, name: str, address: int, value: int) -> TraceEvent:
+        return self.emit(REG_READ, f"reg.{name}", {"address": address, "value": value})
+
+    def reg_reset(self, values: dict[str, int]) -> TraceEvent:
+        return self.emit(REG_RESET, "reg", {"values": dict(values)})
+
+    def reg_reject(
+        self, name: str, address: int, value: int, reason: str, source: str = "host"
+    ) -> TraceEvent:
+        return self.emit(
+            REG_REJECT,
+            f"reg.{name}",
+            {"address": address, "value": value, "reason": reason, "source": source},
+        )
+
+    def seq_state(self, state: str, detail: Optional[str] = None) -> TraceEvent:
+        return self.emit(SEQ_STATE, "seq.state", {"state": state, "detail": detail})
+
+    def seq_sample(
+        self,
+        row: int,
+        col: int,
+        time_s: float,
+        slot_s: float,
+        channel_index: Optional[int] = None,
+        slot: Optional[int] = None,
+    ) -> TraceEvent:
+        data: dict[str, Any] = {"row": row, "col": col, "slot_s": slot_s}
+        if channel_index is not None:
+            data["channel_index"] = channel_index
+        if slot is not None:
+            data["slot"] = slot
+        return self.emit(SEQ_SAMPLE, "seq.sample", data, time_s=time_s)
+
+    def serial_frame(
+        self,
+        direction: str,
+        command: str,
+        address: int,
+        length: int,
+        sent: bytes,
+        received: bytes,
+        flipped: tuple[int, ...] = (),
+        ok: bool = True,
+        error: Optional[str] = None,
+        duration_s: float = 0.0,
+    ) -> TraceEvent:
+        from .events import CHIP_TO_HOST, DIN, DOUT
+
+        channel = DOUT if direction == CHIP_TO_HOST else DIN
+        return self.emit(
+            SERIAL_FRAME,
+            channel,
+            frame_data(
+                direction,
+                command,
+                address,
+                length,
+                sent,
+                received,
+                flipped=flipped,
+                ok=ok,
+                error=error,
+                duration_s=duration_s,
+                bits=self.bit_level,
+            ),
+        )

@@ -1,0 +1,329 @@
+"""Waveform and table rendering of digital-path traces.
+
+Terminal-first, in the spirit of HDL "peeker" tools: every channel of a
+:class:`~repro.trace.table.TraceTable` becomes one lane of an ASCII
+waveform —
+
+* serial wires (``serial.din``/``serial.dout``) render their recorded
+  bit streams as high/low marks (``▔``/``▁``),
+* register and sequencer-state channels render as labelled buses
+  (``|value====``),
+* sample slots and injected bit flips render as tick lanes,
+
+plus an aligned event table (:func:`render_events`), an HTML table for
+notebooks (:func:`render_html`), and a per-frame bit dump
+(:func:`render_frame_bits`) that lines up sent vs received bits and
+points ``^`` at every flipped position.
+
+Rendering only reads the trace — no model state, no wall clock — so the
+same trace always renders to the same text.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Optional, Sequence, Union
+
+from ..core.tables import render_table
+from ..core.units import si_format
+from .events import (
+    REG_RESET,
+    REG_WRITE,
+    SEQ_SAMPLE,
+    SEQ_STATE,
+    SERIAL_FRAME,
+    TraceEvent,
+)
+from .table import TraceTable
+
+#: Lane glyphs.
+HIGH = "▔"  # ▔
+LOW = "▁"  # ▁
+IDLE = " "
+FLIP = "x"
+TICK = "|"
+
+Step = tuple[float, Optional[Union[int, str]]]
+
+
+# ---------------------------------------------------------------------------
+# Signal extraction
+# ---------------------------------------------------------------------------
+def signal_steps(trace: TraceTable, channel: str) -> list[Step]:
+    """Value-vs-time step series of one channel.
+
+    Returns ``(time_s, value)`` pairs sorted by time; each value holds
+    until the next step.  ``None`` means the line is idle/undriven.
+    Register channels step on writes and resets, ``seq.state`` on state
+    entries, serial wires on every recorded *bit* (received side, i.e.
+    what actually crossed the pin).
+    """
+    steps: list[Step] = []
+    for event in trace:
+        if event.channel != channel:
+            # A reset drives every register channel at once.
+            if event.kind == REG_RESET and channel.startswith("reg."):
+                name = channel[len("reg."):]
+                values = event.data.get("values", {})
+                if name in values:
+                    steps.append((event.time_s, values[name]))
+            continue
+        if event.kind == REG_WRITE:
+            steps.append((event.time_s, event.data["value"]))
+        elif event.kind == SEQ_STATE:
+            steps.append((event.time_s, event.data["state"]))
+        elif event.kind == SERIAL_FRAME:
+            steps.extend(_frame_bit_steps(event, which="received_bits"))
+            steps.append((event.time_s + float(event.data.get("duration_s", 0.0)), None))
+    steps.sort(key=lambda step: step[0])
+    return steps
+
+
+def _frame_bit_steps(event: TraceEvent, which: str) -> list[Step]:
+    bits = event.data.get(which)
+    if not bits:
+        # Bit streams not recorded: represent the frame as a single
+        # labelled segment so the lane still shows traffic.
+        return [(event.time_s, event.data.get("command", "frame"))]
+    duration = float(event.data.get("duration_s", 0.0))
+    bit_s = duration / len(bits) if duration > 0 else 0.0
+    return [
+        (event.time_s + index * bit_s, int(bit)) for index, bit in enumerate(bits)
+    ]
+
+
+def _flip_times(trace: TraceTable) -> list[float]:
+    """Simulated times of every injected bit flip on either wire."""
+    times = []
+    for event in trace:
+        if event.kind != SERIAL_FRAME or not event.data.get("flipped"):
+            continue
+        bits = event.data.get("received_bits") or event.data.get("sent_bits")
+        duration = float(event.data.get("duration_s", 0.0))
+        n_bits = len(bits) if bits else 8 * (5 + event.data.get("length", 0))
+        bit_s = duration / n_bits if duration > 0 and n_bits else 0.0
+        for position in event.data["flipped"]:
+            times.append(event.time_s + position * bit_s)
+    return times
+
+
+def _sample_times(trace: TraceTable) -> list[float]:
+    return [e.time_s for e in trace if e.kind == SEQ_SAMPLE]
+
+
+# ---------------------------------------------------------------------------
+# Lane rendering
+# ---------------------------------------------------------------------------
+def _value_at(steps: list[Step], t: float) -> Optional[Union[int, str]]:
+    value: Optional[Union[int, str]] = None
+    for step_t, step_value in steps:
+        if step_t > t:
+            break
+        value = step_value
+    return value
+
+
+def _binary_lane(steps: list[Step], t0: float, dt: float, width: int) -> str:
+    cells = []
+    for index in range(width):
+        value = _value_at(steps, t0 + (index + 0.5) * dt)
+        if value is None:
+            cells.append(IDLE)
+        else:
+            cells.append(HIGH if value else LOW)
+    return "".join(cells)
+
+
+def _bus_lane(steps: list[Step], t0: float, dt: float, width: int) -> str:
+    cells: list[str] = []
+    previous: Any = object()  # sentinel != any value
+    index = 0
+    while index < width:
+        value = _value_at(steps, t0 + (index + 0.5) * dt)
+        if value is None:
+            cells.append(IDLE)
+            previous = value
+            index += 1
+            continue
+        if value != previous:
+            # Segment boundary: '|' then the label, padded with '='.
+            span = 1
+            while index + span < width:
+                nxt = _value_at(steps, t0 + (index + span + 0.5) * dt)
+                if nxt != value:
+                    break
+                span += 1
+            label = str(value)[: max(0, span - 1)]
+            cells.append(TICK + label.ljust(span - 1, "="))
+            previous = value
+            index += span
+        else:  # continuation after an idle gap collapse
+            cells.append("=")
+            index += 1
+    return "".join(cells)
+
+
+def _tick_lane(times: Sequence[float], t0: float, dt: float, width: int, mark: str) -> str:
+    cells = [IDLE] * width
+    for t in times:
+        index = int((t - t0) / dt) if dt > 0 else 0
+        if index == width and t <= t0 + width * dt:
+            index = width - 1  # tick exactly on the window's end edge
+        if 0 <= index < width:
+            cells[index] = mark
+    return "".join(cells)
+
+
+def _is_binary(steps: list[Step]) -> bool:
+    values = {value for _, value in steps if value is not None}
+    return bool(values) and values <= {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# Public renderers
+# ---------------------------------------------------------------------------
+def render_waveform(
+    trace: TraceTable,
+    channels: Optional[Sequence[str]] = None,
+    width: int = 72,
+    start_s: Optional[float] = None,
+    stop_s: Optional[float] = None,
+) -> str:
+    """ASCII waveform, one lane per channel.
+
+    ``channels`` defaults to every channel in the trace (first-seen
+    order), with a ``serial.flip`` tick lane appended automatically when
+    the window contains injected corruption and a ``seq.sample`` tick
+    lane when it contains sample slots.
+    """
+    if width < 8:
+        raise ValueError("waveform width must be at least 8 columns")
+    if len(trace) == 0:
+        return "(empty trace)"
+    t0 = trace.start_s if start_s is None else start_s
+    t1 = trace.stop_s if stop_s is None else stop_s
+    if t1 <= t0:
+        t1 = t0 + 1e-9
+    dt = (t1 - t0) / width
+    lane_names = list(channels) if channels is not None else trace.channels()
+    if channels is None:
+        if any(e.kind == SERIAL_FRAME and e.data.get("flipped") for e in trace):
+            lane_names.append("serial.flip")
+
+    lanes: list[tuple[str, str]] = []
+    for name in lane_names:
+        if name == "seq.sample":
+            lanes.append((name, _tick_lane(_sample_times(trace), t0, dt, width, TICK)))
+            continue
+        if name == "serial.flip":
+            lanes.append((name, _tick_lane(_flip_times(trace), t0, dt, width, FLIP)))
+            continue
+        steps = signal_steps(trace, name)
+        if not steps:
+            lanes.append((name, IDLE * width))
+        elif _is_binary(steps):
+            lanes.append((name, _binary_lane(steps, t0, dt, width)))
+        else:
+            lanes.append((name, _bus_lane(steps, t0, dt, width)))
+
+    label_width = max(len(name) for name, _ in lanes)
+    header = (
+        f"t: {si_format(t0, 's')} .. {si_format(t1, 's')}  "
+        f"({si_format(dt, 's/col')})"
+    )
+    lines = [header]
+    for name, lane in lanes:
+        lines.append(f"{name.ljust(label_width)}  {lane}")
+    return "\n".join(lines)
+
+
+def render_events(trace: TraceTable, limit: Optional[int] = None) -> str:
+    """Aligned event table: seq, simulated time, kind, channel, detail."""
+    events = trace.events
+    clipped = ""
+    if limit is not None and len(events) > limit:
+        events = events[:limit]
+        clipped = f"\n... {len(trace) - limit} more events"
+    rows = [
+        (event.seq, si_format(event.time_s, "s"), event.kind, event.channel, event.summary())
+        for event in events
+    ]
+    title = f"trace: {len(trace)} events"
+    if trace.n_dropped:
+        title += f" (+{trace.n_dropped} dropped at the recorder limit)"
+    return render_table(["seq", "t", "kind", "channel", "detail"], rows, title=title) + clipped
+
+
+def render_html(trace: TraceTable, limit: Optional[int] = None) -> str:
+    """Minimal notebook-ready HTML table of the event stream."""
+    events = trace.events
+    if limit is not None:
+        events = events[:limit]
+    head = "".join(
+        f"<th>{name}</th>" for name in ("seq", "t [s]", "kind", "channel", "detail")
+    )
+    rows = []
+    for event in events:
+        corrupt = event.kind == SERIAL_FRAME and not event.data.get("ok", True)
+        style = ' style="background:#fdd"' if corrupt or event.kind == "reg.reject" else ""
+        cells = (
+            str(event.seq),
+            f"{event.time_s:.9g}",
+            event.kind,
+            event.channel,
+            event.summary(),
+        )
+        rows.append(
+            f"<tr{style}>" + "".join(f"<td>{_html.escape(cell)}</td>" for cell in cells) + "</tr>"
+        )
+    caption = f"{len(trace)} events"
+    if trace.n_dropped:
+        caption += f" (+{trace.n_dropped} dropped)"
+    return (
+        '<table class="repro-trace">'
+        f"<caption>{caption}</caption>"
+        f"<thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_frame_bits(event: TraceEvent, bytes_per_line: int = 8) -> str:
+    """Bit-level dump of one serial frame, flips pointed out.
+
+    Lines up the transmitted and received MSB-first bit streams byte by
+    byte and draws ``^`` under every position where they differ — the
+    view that localizes injected corruption to exact bits.
+    """
+    if event.kind != SERIAL_FRAME:
+        raise ValueError(f"expected a {SERIAL_FRAME} event, got {event.kind!r}")
+    sent = event.data.get("sent_bits")
+    received = event.data.get("received_bits")
+    if not sent or not received:
+        raise ValueError(
+            "frame was recorded without bit streams (recorder bit_level=False)"
+        )
+    status = "ok" if event.data.get("ok") else f"CORRUPT ({event.data.get('error')})"
+    lines = [
+        f"frame seq={event.seq} {event.data.get('direction')} "
+        f"{event.data.get('command')} addr {event.data.get('address'):#04x} "
+        f"len {event.data.get('length')} at {si_format(event.time_s, 's')} -- {status}"
+    ]
+    n_bytes = len(sent) // 8
+    for start_byte in range(0, n_bytes, bytes_per_line):
+        stop_byte = min(start_byte + bytes_per_line, n_bytes)
+        chunks = slice(start_byte * 8, stop_byte * 8)
+        sent_chunk = _group_bytes(sent[chunks])
+        received_chunk = _group_bytes(received[chunks])
+        marks = "".join(
+            "^" if s != r else " " for s, r in zip(sent[chunks], received[chunks])
+        )
+        lines.append(f"  byte {start_byte:>3}  sent      {sent_chunk}")
+        lines.append(f"            received  {received_chunk}")
+        mark_line = _group_bytes(marks)
+        if mark_line.strip():
+            lines.append(f"            flipped   {mark_line}")
+    return "\n".join(lines)
+
+
+def _group_bytes(bits: str) -> str:
+    return " ".join(bits[i : i + 8] for i in range(0, len(bits), 8))

@@ -1,0 +1,218 @@
+"""Columnar trace container with a stable serialized schema.
+
+A :class:`TraceTable` is the immutable snapshot of a capture: events in
+``seq`` order, exposed both as typed records and as numpy columns
+(``seq``, ``time_s``, ``kind``, ``channel``) for vectorized filtering.
+Serialization round-trips byte-identically: ``to_jsonl`` emits a header
+line plus one canonical JSON line per event, so "same spec + seed =>
+byte-identical trace" is testable with a string comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .events import SCHEMA_VERSION, TraceEvent
+
+
+class TraceTable:
+    """Ordered, columnar view of captured trace events."""
+
+    def __init__(self, events: Sequence[TraceEvent], n_dropped: int = 0) -> None:
+        self._events = list(events)
+        if n_dropped < 0:
+            raise ValueError("n_dropped must be non-negative")
+        self.n_dropped = n_dropped
+        self._columns: Optional[dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def column(self, name: str) -> np.ndarray:
+        """One of the core columns: ``seq``, ``time_s``, ``kind``,
+        ``channel``."""
+        if self._columns is None:
+            self._columns = {
+                "seq": np.asarray([e.seq for e in self._events], dtype=np.int64),
+                "time_s": np.asarray([e.time_s for e in self._events], dtype=float),
+                "kind": np.asarray([e.kind for e in self._events], dtype=object),
+                "channel": np.asarray([e.channel for e in self._events], dtype=object),
+            }
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {sorted(self._columns)}"
+            ) from None
+
+    def channels(self) -> list[str]:
+        """Channel names in first-seen order (the waveform lane order)."""
+        seen: dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.channel, None)
+        return list(seen)
+
+    def kinds(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.kind, None)
+        return list(seen)
+
+    @property
+    def start_s(self) -> float:
+        return float(self.column("time_s").min()) if self._events else 0.0
+
+    @property
+    def stop_s(self) -> float:
+        """End of the last event (its timestamp plus any duration)."""
+        if not self._events:
+            return 0.0
+        ends = self.column("time_s") + np.asarray(
+            [float(e.data.get("duration_s", 0.0)) for e in self._events]
+        )
+        return float(ends.max())
+
+    @property
+    def duration_s(self) -> float:
+        return self.stop_s - self.start_s
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        channels: Optional[Sequence[str]] = None,
+        start_s: Optional[float] = None,
+        stop_s: Optional[float] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> "TraceTable":
+        """Events matching every given criterion, original order kept.
+
+        ``channels`` entries ending in ``.`` or ``*`` match as prefixes
+        (``reg.`` selects every register channel)."""
+        kind_set = set(kinds) if kinds is not None else None
+        exact: Optional[set] = None
+        prefixes: list[str] = []
+        if channels is not None:
+            exact = set()
+            for name in channels:
+                if name.endswith("*"):
+                    prefixes.append(name[:-1])
+                elif name.endswith("."):
+                    prefixes.append(name)
+                else:
+                    exact.add(name)
+        selected = []
+        for event in self._events:
+            if kind_set is not None and event.kind not in kind_set:
+                continue
+            if exact is not None or prefixes:
+                if not (
+                    (exact is not None and event.channel in exact)
+                    or any(event.channel.startswith(p) for p in prefixes)
+                ):
+                    continue
+            if start_s is not None and event.time_s < start_s:
+                continue
+            if stop_s is not None and event.time_s > stop_s:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return TraceTable(selected, n_dropped=self.n_dropped)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self._events]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "n_events": len(self._events),
+            "n_dropped": self.n_dropped,
+            "events": self.to_dicts(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceTable":
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema {schema!r} does not match this library's "
+                f"{SCHEMA_VERSION}; re-record or convert the trace"
+            )
+        return cls(
+            [TraceEvent.from_dict(entry) for entry in payload["events"]],
+            n_dropped=int(payload.get("n_dropped", 0)),
+        )
+
+    def to_jsonl(self) -> str:
+        """Header line + one canonical JSON line per event.  Canonical
+        means sorted keys, no whitespace — byte-identical for identical
+        captures."""
+        header = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "n_events": len(self._events),
+                "n_dropped": self.n_dropped,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        lines = [header]
+        lines.extend(event.to_json() for event in self._events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceTable":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls([])
+        first = json.loads(lines[0])
+        if "schema" in first and "kind" not in first:
+            if first["schema"] != SCHEMA_VERSION:
+                raise ValueError(
+                    f"trace schema {first['schema']!r} does not match this "
+                    f"library's {SCHEMA_VERSION}; re-record or convert the trace"
+                )
+            n_dropped = int(first.get("n_dropped", 0))
+            body = lines[1:]
+        else:  # headerless stream (a raw recorder sink file)
+            n_dropped = 0
+            body = lines
+        return cls(
+            [TraceEvent.from_dict(json.loads(line)) for line in body],
+            n_dropped=n_dropped,
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceTable):
+            return NotImplemented
+        return self._events == other._events and self.n_dropped == other.n_dropped
+
+    def __repr__(self) -> str:
+        dropped = f" (+{self.n_dropped} dropped)" if self.n_dropped else ""
+        return (
+            f"<TraceTable {len(self._events)} events{dropped}, "
+            f"{len(self.channels())} channels, {self.duration_s:.3g} s>"
+        )

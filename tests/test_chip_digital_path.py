@@ -1,0 +1,160 @@
+"""Seed digital-path coverage: frame corruption fuzz, scan order,
+register-file semantics (the trace layer's substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip.registers import RegisterFile, RegisterSpec, dna_chip_registers
+from repro.chip.sequencer import NEURO_SCAN, ScanTiming, SiteSequence
+from repro.chip.serial_interface import (
+    Command,
+    Frame,
+    FrameError,
+    SerialLink,
+    bytes_to_bits,
+    encode_frame,
+)
+
+frames = st.builds(
+    Frame,
+    command=st.sampled_from(list(Command)),
+    address=st.integers(min_value=0, max_value=0xFF),
+    payload=st.binary(min_size=0, max_size=16),
+)
+
+
+class TestFrameCorruptionFuzz:
+    @given(frame=frames, data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_any_single_flip_in_any_frame_is_caught(self, frame, data):
+        """Checksum/structure checks leave no blind spot: one flipped
+        bit anywhere in any well-formed frame must fail decode."""
+        n_bits = len(bytes_to_bits(encode_frame(frame)))
+        position = data.draw(st.integers(min_value=0, max_value=n_bits - 1))
+        link = SerialLink()
+        with pytest.raises(FrameError):
+            link.transfer(frame, flip_bits=[position])
+
+    @given(frame=frames)
+    @settings(max_examples=60, deadline=None)
+    def test_every_position_caught_exhaustively(self, frame):
+        """Exhaustive sweep per sampled frame — each of the 8*(5+len)
+        positions individually trips the decoder."""
+        n_bits = len(bytes_to_bits(encode_frame(frame)))
+        for position in range(n_bits):
+            with pytest.raises(FrameError):
+                SerialLink().transfer(frame, flip_bits=[position])
+
+    @given(frame=frames)
+    @settings(max_examples=60, deadline=None)
+    def test_clean_transfer_round_trips(self, frame):
+        assert SerialLink().transfer(frame) == frame
+
+
+class TestPixelOrderCoverage:
+    @pytest.mark.parametrize(
+        "scan",
+        [
+            NEURO_SCAN,
+            ScanTiming(rows=8, cols=8, channels=4, frame_rate_hz=1000.0),
+            ScanTiming(rows=3, cols=6, channels=2, frame_rate_hz=100.0),
+            ScanTiming(rows=1, cols=4, channels=4, frame_rate_hz=100.0),
+        ],
+        ids=["neuro-128x128", "8x8", "3x6", "1x4"],
+    )
+    def test_every_pixel_exactly_once(self, scan):
+        order = scan.pixel_order()
+        assert len(order) == scan.rows * scan.cols
+        assert len(set(order)) == scan.rows * scan.cols
+        assert set(order) == {
+            (r, c) for r in range(scan.rows) for c in range(scan.cols)
+        }
+
+    def test_rows_are_sequential_and_slots_interleave_channels(self):
+        scan = ScanTiming(rows=2, cols=8, channels=4, frame_rate_hz=100.0)
+        order = scan.pixel_order()
+        # Rows in order, no interleaving across rows.
+        assert [r for r, _ in order] == [0] * 8 + [1] * 8
+        # Within a row: slot 0 of all channels, then slot 1 (mux_depth=2).
+        assert [c for _, c in order[:8]] == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_sample_times_are_unique_per_channel_slot(self):
+        scan = ScanTiming(rows=2, cols=8, channels=4, frame_rate_hz=100.0)
+        # Channels sample in parallel: pixels sharing (row, slot) share a
+        # time; distinct (row, slot) pairs never collide.
+        times = {}
+        for row, col in scan.pixel_order():
+            times.setdefault(scan.sample_time_s(row, col), []).append((row, col))
+        assert len(times) == scan.rows * scan.mux_depth
+        assert all(len(group) == scan.channels for group in times.values())
+
+    def test_sample_time_bounds(self):
+        scan = ScanTiming(rows=2, cols=8, channels=4, frame_rate_hz=100.0)
+        last = max(scan.sample_time_s(r, c) for r, c in scan.pixel_order())
+        assert last < scan.frame_time_s
+        with pytest.raises(IndexError):
+            scan.sample_time_s(2, 0)
+        with pytest.raises(IndexError):
+            scan.sample_time_s(0, 8)
+
+
+class TestSiteSequenceTiming:
+    def test_site_slot_is_counter_shift_time(self):
+        seq = SiteSequence()
+        assert seq.site_slot_s == pytest.approx(24 / 1e6)
+
+    def test_site_times_are_row_major(self):
+        seq = SiteSequence(rows=4, cols=2)
+        offsets = [seq.site_time_s(r, c) for r in range(4) for c in range(2)]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+        assert offsets[-1] == pytest.approx(7 * seq.site_slot_s)
+
+    def test_site_time_bounds(self):
+        seq = SiteSequence(rows=4, cols=2)
+        with pytest.raises(IndexError):
+            seq.site_time_s(4, 0)
+        with pytest.raises(IndexError):
+            seq.site_time_s(0, 2)
+
+
+class TestRegisterFileSemantics:
+    def test_reset_restores_every_register(self):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", 99)
+        regs.write("frame_exponent", 3)
+        regs.hw_write("status", 0xFF)
+        regs.reset()
+        assert regs.dump() == {
+            "generator_dac": 0,
+            "collector_dac": 0,
+            "frame_exponent": 8,
+            "calibration_enable": 0,
+            "reference_current_sel": 2,
+            "status": 0,
+            "chip_id": 0x2D,
+        }
+
+    def test_dump_is_a_snapshot_not_a_view(self):
+        regs = dna_chip_registers()
+        dump = regs.dump()
+        dump["generator_dac"] = 123
+        assert regs.read("generator_dac") == 0
+        regs.write("generator_dac", 45)
+        assert dump["generator_dac"] == 123  # old snapshot untouched
+
+    def test_failed_write_leaves_value_unchanged(self):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", 10)
+        with pytest.raises(ValueError):
+            regs.write("generator_dac", 256)  # out of 8-bit range
+        assert regs.read("generator_dac") == 10
+
+    def test_names_sorted(self):
+        regs = RegisterFile([RegisterSpec("b", 0x00, 8), RegisterSpec("a", 0x01, 8)])
+        assert regs.names() == ["a", "b"]
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile([])

@@ -147,3 +147,53 @@ class TestSiteSequence:
     def test_invalid_dims(self):
         with pytest.raises(ValueError):
             SiteSequence(rows=0)
+
+
+class TestReadOnlyRegisters:
+    @pytest.mark.parametrize("factory", [dna_chip_registers, neuro_chip_registers])
+    @pytest.mark.parametrize("name", ["status", "chip_id"])
+    def test_host_write_rejected(self, factory, name):
+        regs = factory()
+        with pytest.raises(ValueError, match="read-only"):
+            regs.write(name, 1)
+
+    def test_rejected_by_address_too(self):
+        regs = dna_chip_registers()
+        with pytest.raises(ValueError, match="read-only"):
+            regs.write(0x05, 1)  # status lives at 0x05
+
+    def test_value_survives_rejected_write(self):
+        regs = dna_chip_registers()
+        with pytest.raises(ValueError):
+            regs.write("chip_id", 0x00)
+        assert regs.read("chip_id") == 0x2D
+
+    def test_hw_write_path_allowed(self):
+        regs = dna_chip_registers()
+        regs.hw_write("status", 0x01)
+        assert regs.read("status") == 0x01
+        # hw_write still range-checks.
+        with pytest.raises(ValueError):
+            regs.hw_write("status", 0x100)
+
+    def test_writable_registers_unaffected(self):
+        regs = dna_chip_registers()
+        regs.write("generator_dac", 200)
+        assert regs.read("generator_dac") == 200
+
+    def test_reject_recorded_on_trace(self):
+        from repro.trace import TraceRecorder
+
+        rec = TraceRecorder()
+        regs = dna_chip_registers(recorder=rec)
+        with pytest.raises(ValueError):
+            regs.write("status", 1)
+        trace = rec.trace()
+        rejects = trace.filter(kinds=["reg.reject"])
+        assert len(rejects) == 1
+        assert rejects[0].channel == "reg.status"
+        assert rejects[0].data["reason"] == "read-only register"
+        # The hw path records a plain write, not a reject.
+        regs.hw_write("status", 1)
+        writes = rec.trace().filter(kinds=["reg.write"])
+        assert len(writes) == 1 and writes[0].data["source"] == "hw"

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chip.serial_interface import (
+    CHIP_TO_HOST,
     Command,
     Frame,
     FrameError,
@@ -106,7 +107,24 @@ class TestLink:
         link = SerialLink()
         frame = Frame(Command.WRITE_REG, 0x01, b"\x10")
         assert link.transfer(frame) == frame
-        assert len(link.transcript) == 1
+        # Both sides of the wire crossing are recorded.
+        assert [(d, stage) for d, stage, _ in link.transcript] == [
+            ("->", "sent"),
+            ("->", "received"),
+        ]
+        sent, received = link.transcript[0][2], link.transcript[1][2]
+        assert sent == received == encode_frame(frame)
+
+    def test_transcript_shows_corruption(self):
+        # The injected flip is visible as a sent/received byte diff.
+        link = SerialLink()
+        frame = Frame(Command.WRITE_REG, 0x01, b"\x10")
+        with pytest.raises(FrameError):
+            link.transfer(frame, flip_bits=[13])
+        sent, received = link.transcript[0][2], link.transcript[1][2]
+        assert sent == encode_frame(frame)
+        assert sent != received
+        assert received[13 // 8] == sent[13 // 8] ^ (1 << (7 - 13 % 8))
 
     def test_single_bit_flip_caught(self):
         link = SerialLink()
@@ -145,10 +163,18 @@ class TestLink:
         frame = Frame(Command.RESET, 0)
         assert link.transfer_time_s(frame) == pytest.approx(5 * 8 / 1e6)
 
-    def test_respond_logs_transcript(self):
+    def test_respond_builds_frame_without_logging(self):
+        # respond() only constructs the frame; the wire crossing (and
+        # its transcript entries) happen in transfer(direction="<-").
         link = SerialLink()
-        link.respond(b"\x01\x02")
-        assert link.transcript[0][0] == "<-"
+        frame = link.respond(b"\x01\x02")
+        assert frame.payload == b"\x01\x02"
+        assert link.transcript == []
+        link.transfer(frame, direction=CHIP_TO_HOST)
+        assert [(d, stage) for d, stage, _ in link.transcript] == [
+            ("<-", "sent"),
+            ("<-", "received"),
+        ]
 
 
 class TestCounterPacking:

@@ -318,3 +318,62 @@ def test_analyze_error_paths(analyzed_campaign, tmp_path):
               "--spec", str(analyzed_campaign / "manifest.json")])
     with pytest.raises(SystemExit, match="unknown fields"):
         main(["analyze", str(analyzed_campaign), "--set", "bogus=1"])
+
+
+# ---------------------------------------------------------------------------
+# repro trace
+# ---------------------------------------------------------------------------
+def test_trace_event_table(small_spec_file, capsys):
+    assert main(["trace", "--spec", str(small_spec_file), "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "serial.din" in out and "WRITE_REG" in out and "seq.sample" in out
+
+
+def test_trace_waveform(small_spec_file, capsys):
+    assert main(["trace", "--spec", str(small_spec_file), "--seed", "3",
+                 "--render", "waveform", "--width", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "seq.state" in out and "|" in out
+
+
+def test_trace_check_passes_clean(small_spec_file, capsys):
+    assert main(["trace", "--spec", str(small_spec_file), "--seed", "3",
+                 "--check"]) == 0
+    assert "all invariants hold" in capsys.readouterr().out
+
+
+def test_trace_corruption_fails_check_and_localizes(small_spec_file, capsys):
+    code = main(["trace", "--spec", str(small_spec_file), "--seed", "3",
+                 "--flip", "42,43", "--render", "bits", "--check"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "CORRUPT" in out and "^^" in out
+    assert "readout FAILED" in out and "frames-intact" in out
+
+
+def test_trace_out_jsonl_is_deterministic(small_spec_file, tmp_path, capsys):
+    from repro.trace import TraceTable
+
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    for path in (first, second):
+        assert main(["trace", "--spec", str(small_spec_file), "--seed", "3",
+                     "--out", str(path)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    assert len(TraceTable.from_jsonl(first.read_text())) > 0
+
+
+def test_trace_filters_and_renders_jsonl(small_spec_file, capsys):
+    assert main(["trace", "--spec", str(small_spec_file), "--seed", "3",
+                 "--kinds", "serial.frame", "--channels", "serial.",
+                 "--render", "jsonl"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert json.loads(lines[0])["schema"] == 1
+
+
+def test_trace_error_paths(tmp_path):
+    with pytest.raises(SystemExit, match="no such file"):
+        main(["trace", "--spec", str(tmp_path / "ghost.json")])
+    with pytest.raises(SystemExit, match="--flip expects"):
+        main(["trace", "--flip", "abc"])

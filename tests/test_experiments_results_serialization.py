@@ -130,3 +130,42 @@ def test_stack_metrics_defaults_to_common_scalars():
         stack_metrics(results, names=["nope"])
     with pytest.raises(ValueError):
         stack_metrics([])
+
+
+# ---------------------------------------------------------------------------
+# Trace attachment (the digital-path capture IS provenance)
+# ---------------------------------------------------------------------------
+def test_traceless_payload_has_no_trace_key():
+    """Results without a trace serialize exactly as before the trace
+    field existed — stored payloads stay stable."""
+    result = Runner(seed=2).run(SMALL_SPECS[0])
+    assert result.trace is None
+    payload = result.to_dict()
+    assert "trace" not in payload
+
+
+def test_trace_round_trips_with_the_result():
+    from repro.trace import TraceRecorder
+
+    result = Runner(seed=2).run(SMALL_SPECS[0])
+    rec = TraceRecorder()
+    rec.reg_write("generator_dac", 0x00, 58, 0)
+    rec.seq_state("measure")
+    traced = ResultSet(
+        kind=result.kind, spec=result.spec, seeds=result.seeds,
+        version=result.version, record_name=result.record_name,
+        records=result.records, metrics=result.metrics, trace=rec.trace(),
+    )
+    back = ResultSet.from_json(traced.to_json())
+    assert back.trace == traced.trace
+    assert back.to_json() == traced.to_json()
+    # Equality ignores the trace, like artifacts.
+    assert traced == result
+
+
+def test_trace_schema_mismatch_fails_loudly():
+    result = Runner(seed=2).run(SMALL_SPECS[0])
+    payload = result.to_dict()
+    payload["trace"] = {"schema": 999, "n_events": 0, "n_dropped": 0, "events": []}
+    with pytest.raises(ValueError, match="schema"):
+        ResultSet.from_dict(payload)

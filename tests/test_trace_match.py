@@ -1,0 +1,208 @@
+"""Trace assertions: predicates, pattern checks, structured violations."""
+
+import math
+
+import pytest
+
+from repro.trace import (
+    REG_REJECT,
+    REG_WRITE,
+    SEQ_SAMPLE,
+    SERIAL_FRAME,
+    Ever,
+    Never,
+    Precedes,
+    SlotSettles,
+    TraceAssertionError,
+    TraceRecorder,
+    Violation,
+    assert_trace,
+    check_trace,
+    readout_invariants,
+    where,
+)
+
+
+def _event(rec=None, **kwargs):
+    rec = rec if rec is not None else TraceRecorder()
+    return rec.reg_write(
+        kwargs.get("name", "generator_dac"), 0x00, kwargs.get("value", 58), 0
+    )
+
+
+class TestWhere:
+    def test_kind_match(self):
+        event = _event()
+        assert where(kind=REG_WRITE)(event)
+        assert not where(kind=SEQ_SAMPLE)(event)
+
+    def test_channel_exact_and_prefix(self):
+        event = _event()
+        assert where(channel="reg.generator_dac")(event)
+        assert not where(channel="reg.collector_dac")(event)
+        assert where(channel="reg.")(event)
+        assert where(channel="reg.*")(event)
+        assert not where(channel="serial.")(event)
+
+    def test_data_equality(self):
+        event = _event(value=58)
+        assert where(value=58)(event)
+        assert not where(value=59)(event)
+        assert not where(missing_field=1)(event)
+
+    def test_conjunction(self):
+        event = _event()
+        assert where(kind=REG_WRITE, channel="reg.", value=58)(event)
+        assert not where(kind=REG_WRITE, channel="reg.", value=0)(event)
+
+
+class TestViolation:
+    def test_render_anchors_to_event(self):
+        v = Violation(rule="r", message="m", seq=7, time_s=1.5e-3)
+        text = v.render()
+        assert "r: m" in text and "event 7" in text and "0.0015 s" in text
+
+    def test_render_positionless(self):
+        assert Violation(rule="r", message="m").render() == "r: m"
+
+    def test_to_dict(self):
+        v = Violation(rule="r", message="m", seq=1, channel="c", data={"k": 2})
+        assert v.to_dict() == {
+            "rule": "r", "message": "m", "seq": 1, "time_s": None,
+            "channel": "c", "data": {"k": 2},
+        }
+
+
+class TestAssertions:
+    def test_never_flags_each_match(self):
+        rec = TraceRecorder()
+        rec.reg_reject("status", 0x05, 1, "read-only register")
+        rec.reg_reject("chip_id", 0x06, 2, "read-only register")
+        violations = Never(where(kind=REG_REJECT), rule="no-rejects").check(rec.trace())
+        assert len(violations) == 2
+        assert violations[0].seq == 0 and violations[1].seq == 1
+        assert violations[0].channel == "reg.status"
+
+    def test_never_passes_clean(self):
+        rec = TraceRecorder()
+        _event(rec)
+        assert Never(where(kind=REG_REJECT), rule="no-rejects").check(rec.trace()) == []
+
+    def test_ever_requires_one_match(self):
+        rec = TraceRecorder()
+        _event(rec)
+        trace = rec.trace()
+        assert Ever(where(kind=REG_WRITE), rule="wrote").check(trace) == []
+        missing = Ever(where(kind=SEQ_SAMPLE), rule="sampled").check(trace)
+        assert len(missing) == 1 and missing[0].seq is None
+
+    def test_precedes_satisfied(self):
+        rec = TraceRecorder()
+        rec.reg_write("calibration_enable", 0x03, 1, 0)
+        rec.advance(1e-3)
+        rec.serial_frame("->", "RUN_FRAME", 0, 0, b"", b"")
+        violations = Precedes(
+            cause=where(kind=REG_WRITE, value=1),
+            effect=where(kind=SERIAL_FRAME, command="RUN_FRAME"),
+            rule="calibrate-first",
+        ).check(rec.trace())
+        assert violations == []
+
+    def test_precedes_violated_when_cause_missing_or_late(self):
+        rec = TraceRecorder()
+        rec.serial_frame("->", "RUN_FRAME", 0, 0, b"", b"")
+        rec.advance(1e-3)
+        rec.reg_write("calibration_enable", 0x03, 1, 0)  # too late
+        violations = Precedes(
+            cause=where(kind=REG_WRITE, value=1),
+            effect=where(kind=SERIAL_FRAME, command="RUN_FRAME"),
+            rule="calibrate-first",
+        ).check(rec.trace())
+        assert len(violations) == 1
+        assert violations[0].rule == "calibrate-first"
+        assert violations[0].seq == 0
+
+    def test_precedes_within_window(self):
+        rec = TraceRecorder()
+        rec.reg_write("calibration_enable", 0x03, 1, 0)
+        rec.advance(10.0)
+        rec.serial_frame("->", "RUN_FRAME", 0, 0, b"", b"")
+        check = Precedes(
+            cause=where(kind=REG_WRITE, value=1),
+            effect=where(kind=SERIAL_FRAME, command="RUN_FRAME"),
+            rule="fresh-calibration",
+            within_s=1.0,
+        )
+        assert len(check.check(rec.trace())) == 1  # cause is stale
+
+    def test_slot_settles_thresholds(self):
+        # 3 taus at 4 MHz -> ~119 ns minimum slot.
+        check = SlotSettles(4e6)
+        assert check.min_slot_s == pytest.approx(3.0 / (2 * math.pi * 4e6))
+        rec = TraceRecorder()
+        rec.seq_sample(0, 0, time_s=0.0, slot_s=4.88e-7)   # paper slot: fine
+        rec.seq_sample(0, 1, time_s=1e-6, slot_s=5e-8)     # too short
+        violations = check.check(rec.trace())
+        assert len(violations) == 1
+        assert violations[0].data["col"] == 1
+        assert "settling minimum" in violations[0].message
+
+    def test_slot_settles_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            SlotSettles(0.0)
+
+
+class TestDrivers:
+    def _trace_with_two_problems(self):
+        rec = TraceRecorder()
+        rec.serial_frame("->", "RUN_FRAME", 0, 0, b"", b"")       # no prior cal
+        rec.advance(1e-3)
+        rec.reg_reject("status", 0x05, 1, "read-only register")   # rejected write
+        return rec.trace()
+
+    def test_check_trace_orders_by_event(self):
+        violations = check_trace(self._trace_with_two_problems(), readout_invariants())
+        assert [v.rule for v in violations] == ["calibrate-before-run", "writes-accepted"]
+        assert [v.seq for v in violations] == [0, 1]
+
+    def test_positionless_violations_sort_last(self):
+        rec = TraceRecorder()
+        rec.reg_reject("status", 0x05, 1, "read-only register")
+        violations = check_trace(
+            rec.trace(),
+            [Ever(where(kind=SEQ_SAMPLE), rule="sampled"),
+             Never(where(kind=REG_REJECT), rule="no-rejects")],
+        )
+        assert [v.rule for v in violations] == ["no-rejects", "sampled"]
+
+    def test_assert_trace_raises_with_structured_list(self):
+        trace = self._trace_with_two_problems()
+        with pytest.raises(TraceAssertionError) as excinfo:
+            assert_trace(trace, readout_invariants())
+        error = excinfo.value
+        assert isinstance(error, AssertionError)
+        assert len(error.violations) == 2
+        assert "2 trace violation(s)" in str(error)
+        assert all(isinstance(v, Violation) for v in error.violations)
+
+    def test_assert_trace_passes_clean(self):
+        rec = TraceRecorder()
+        rec.reg_write("calibration_enable", 0x03, 1, 0)
+        rec.serial_frame("->", "RUN_FRAME", 0, 0, b"", b"")
+        assert_trace(rec.trace(), readout_invariants())
+
+    def test_readout_invariants_optional_settling(self):
+        rules = {inv.rule for inv in readout_invariants()}
+        assert rules == {"frames-intact", "writes-accepted", "calibrate-before-run"}
+        with_bw = readout_invariants(amplifier_bw_hz=4e6)
+        assert {inv.rule for inv in with_bw} == rules | {"slot-settling"}
+
+    def test_frames_intact_catches_corruption(self):
+        rec = TraceRecorder()
+        rec.reg_write("calibration_enable", 0x03, 1, 0)
+        rec.serial_frame("<-", "READ_COUNTERS", 0, 3, b"\x01\x02\x03",
+                         b"\x01\x02\x07", flipped=(21,), ok=False,
+                         error="checksum mismatch")
+        violations = check_trace(rec.trace(), readout_invariants())
+        assert [v.rule for v in violations] == ["frames-intact"]
+        assert violations[0].data["flipped"] == [21]

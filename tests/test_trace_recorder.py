@@ -1,0 +1,258 @@
+"""TraceRecorder, TraceEvent and TraceTable: capture, clock, bounds,
+round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    CHIP_TO_HOST,
+    HOST_TO_CHIP,
+    KINDS,
+    REG_REJECT,
+    REG_RESET,
+    REG_WRITE,
+    SCHEMA_VERSION,
+    SEQ_SAMPLE,
+    SEQ_STATE,
+    SERIAL_FRAME,
+    TraceEvent,
+    TraceRecorder,
+    TraceTable,
+)
+
+
+class TestTraceEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TraceEvent(seq=0, time_s=0.0, kind="bogus", channel="x")
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError):
+            TraceEvent(seq=-1, time_s=0.0, kind=REG_WRITE, channel="reg.x")
+
+    def test_rejects_empty_channel(self):
+        with pytest.raises(ValueError):
+            TraceEvent(seq=0, time_s=0.0, kind=REG_WRITE, channel="")
+
+    def test_dict_round_trip(self):
+        event = TraceEvent(
+            seq=3, time_s=1.5e-6, kind=REG_WRITE, channel="reg.generator_dac",
+            data={"value": 58, "old": 0, "address": 0, "source": "host"},
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        event = TraceEvent(seq=0, time_s=0.0, kind=SEQ_STATE, channel="seq.state",
+                           data={"state": "measure", "detail": None})
+        line = event.to_json()
+        assert ": " not in line and ", " not in line
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+
+    def test_summary_covers_every_kind(self):
+        samples = {
+            REG_WRITE: {"value": 1, "old": 0, "source": "host"},
+            "reg.read": {"value": 7},
+            REG_RESET: {"values": {"a": 0, "b": 1}},
+            REG_REJECT: {"value": 9, "reason": "read-only register"},
+            SEQ_STATE: {"state": "calibrate", "detail": "sweep"},
+            SEQ_SAMPLE: {"row": 1, "col": 2, "slot_s": 4.88e-7},
+            SERIAL_FRAME: {
+                "direction": HOST_TO_CHIP, "command": "WRITE_REG", "address": 0,
+                "length": 1, "ok": True, "flipped": [],
+            },
+        }
+        for kind in KINDS:
+            event = TraceEvent(seq=0, time_s=0.0, kind=kind, channel="c",
+                               data=samples[kind])
+            assert isinstance(event.summary(), str) and event.summary()
+        reject = TraceEvent(seq=0, time_s=0.0, kind=REG_REJECT, channel="reg.status",
+                            data=samples[REG_REJECT])
+        assert "REJECTED" in reject.summary()
+
+
+class TestRecorderClock:
+    def test_starts_at_zero_and_advances(self):
+        rec = TraceRecorder()
+        assert rec.now == 0.0
+        rec.advance(1e-3)
+        rec.advance(5e-4)
+        assert rec.now == pytest.approx(1.5e-3)
+
+    def test_rejects_backwards_time(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError):
+            rec.advance(-1e-9)
+
+    def test_emit_stamps_current_time_unless_given(self):
+        rec = TraceRecorder()
+        rec.advance(2.0)
+        at_now = rec.seq_state("measure")
+        explicit = rec.seq_sample(0, 0, time_s=2.5, slot_s=1e-6)
+        assert at_now.time_s == 2.0
+        assert explicit.time_s == 2.5
+
+    def test_clear_rewinds(self):
+        rec = TraceRecorder()
+        rec.advance(1.0)
+        rec.seq_state("measure")
+        rec.clear()
+        assert rec.now == 0.0 and len(rec) == 0 and rec.n_events == 0
+
+
+class TestRecorderBounds:
+    def test_limit_bounds_memory_and_counts_drops(self):
+        rec = TraceRecorder(limit=3)
+        for i in range(10):
+            rec.emit(SEQ_STATE, "seq.state", {"state": f"s{i}"})
+        assert len(rec) == 3
+        assert rec.n_events == 10
+        assert rec.n_dropped == 7
+        trace = rec.trace()
+        assert len(trace) == 3 and trace.n_dropped == 7
+        # The kept events are the first three, in order.
+        assert [e.data["state"] for e in trace] == ["s0", "s1", "s2"]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(limit=-1)
+
+    def test_sink_streams_past_the_limit(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(limit=2, sink=sink)
+        for i in range(5):
+            rec.emit(SEQ_STATE, "seq.state", {"state": f"s{i}"})
+        # The buffer is bounded but the sink saw everything.
+        assert len(rec) == 2
+        restored = TraceTable.from_jsonl(sink.getvalue())
+        assert len(restored) == 5
+        assert [e.data["state"] for e in restored] == [f"s{i}" for i in range(5)]
+
+    def test_bit_level_off_drops_bit_streams(self):
+        rec = TraceRecorder(bit_level=False)
+        event = rec.serial_frame(HOST_TO_CHIP, "WRITE_REG", 0x00, 1,
+                                 b"\xa5\x01\x00\x01\x3a\x1f", b"\xa5\x01\x00\x01\x3a\x1f")
+        assert "sent_bits" not in event.data and "received_bits" not in event.data
+
+
+class TestTypedHelpers:
+    def test_reg_write_payload(self):
+        rec = TraceRecorder()
+        event = rec.reg_write("generator_dac", 0x00, 58, 0)
+        assert event.kind == REG_WRITE
+        assert event.channel == "reg.generator_dac"
+        assert event.data == {"address": 0, "value": 58, "old": 0, "source": "host"}
+
+    def test_serial_frame_picks_wire_by_direction(self):
+        rec = TraceRecorder()
+        down = rec.serial_frame(HOST_TO_CHIP, "WRITE_REG", 0, 1, b"\x00", b"\x00")
+        up = rec.serial_frame(CHIP_TO_HOST, "READ_COUNTERS", 0, 1, b"\x00", b"\x00")
+        assert down.channel == "serial.din"
+        assert up.channel == "serial.dout"
+
+    def test_seq_numbers_are_dense(self):
+        rec = TraceRecorder()
+        events = [rec.seq_state(f"s{i}") for i in range(4)]
+        assert [e.seq for e in events] == [0, 1, 2, 3]
+
+
+def _small_trace():
+    rec = TraceRecorder()
+    rec.reg_write("generator_dac", 0x00, 58, 0)
+    rec.advance(1e-3)
+    rec.reg_write("collector_dac", 0x01, 72, 0)
+    rec.seq_state("measure")
+    rec.advance(1e-3)
+    rec.seq_sample(0, 0, time_s=rec.now, slot_s=2.4e-5)
+    return rec.trace()
+
+
+class TestTraceTable:
+    def test_columns(self):
+        trace = _small_trace()
+        assert trace.column("seq").tolist() == [0, 1, 2, 3]
+        assert trace.column("kind").tolist() == [
+            REG_WRITE, REG_WRITE, SEQ_STATE, SEQ_SAMPLE,
+        ]
+        with pytest.raises(KeyError):
+            trace.column("bogus")
+
+    def test_channels_first_seen_order(self):
+        trace = _small_trace()
+        assert trace.channels() == [
+            "reg.generator_dac", "reg.collector_dac", "seq.state", "seq.sample",
+        ]
+        assert trace.kinds() == [REG_WRITE, SEQ_STATE, SEQ_SAMPLE]
+
+    def test_time_extent(self):
+        trace = _small_trace()
+        assert trace.start_s == 0.0
+        assert trace.stop_s == pytest.approx(2e-3)
+        assert trace.duration_s == pytest.approx(2e-3)
+
+    def test_stop_includes_frame_duration(self):
+        rec = TraceRecorder()
+        rec.serial_frame(HOST_TO_CHIP, "WRITE_REG", 0, 1, b"\x00", b"\x00",
+                         duration_s=4.8e-5)
+        assert rec.trace().stop_s == pytest.approx(4.8e-5)
+
+    def test_empty_trace_extent(self):
+        trace = TraceTable([])
+        assert trace.start_s == 0.0 and trace.stop_s == 0.0 and len(trace) == 0
+
+    def test_filter_by_kind_channel_time_predicate(self):
+        trace = _small_trace()
+        assert len(trace.filter(kinds=[REG_WRITE])) == 2
+        # 'reg.' is a prefix; 'reg.generator_dac' is exact.
+        assert len(trace.filter(channels=["reg."])) == 2
+        assert len(trace.filter(channels=["reg.*"])) == 2
+        assert len(trace.filter(channels=["reg.generator_dac"])) == 1
+        assert len(trace.filter(start_s=1e-3)) == 3
+        assert len(trace.filter(stop_s=0.0)) == 1
+        assert len(trace.filter(predicate=lambda e: e.data.get("value") == 72)) == 1
+
+    def test_filter_keeps_order_and_drop_count(self):
+        rec = TraceRecorder(limit=2)
+        for i in range(4):
+            rec.seq_state(f"s{i}")
+        filtered = rec.trace().filter(kinds=[SEQ_STATE])
+        assert filtered.n_dropped == 2
+        assert [e.seq for e in filtered] == [0, 1]
+
+    def test_dict_round_trip(self):
+        trace = _small_trace()
+        assert TraceTable.from_dict(trace.to_dict()) == trace
+
+    def test_schema_mismatch_rejected(self):
+        payload = _small_trace().to_dict()
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            TraceTable.from_dict(payload)
+
+    def test_jsonl_round_trip_byte_identical(self):
+        trace = _small_trace()
+        text = trace.to_jsonl()
+        restored = TraceTable.from_jsonl(text)
+        assert restored == trace
+        assert restored.to_jsonl() == text
+
+    def test_jsonl_header_carries_counts(self):
+        rec = TraceRecorder(limit=1)
+        rec.seq_state("a")
+        rec.seq_state("b")
+        header = json.loads(rec.trace().to_jsonl().splitlines()[0])
+        assert header == {"schema": SCHEMA_VERSION, "n_events": 1, "n_dropped": 1}
+
+    def test_jsonl_schema_mismatch_rejected(self):
+        text = json.dumps({"schema": 999, "n_events": 0, "n_dropped": 0}) + "\n"
+        with pytest.raises(ValueError, match="schema"):
+            TraceTable.from_jsonl(text)
+
+    def test_from_jsonl_empty(self):
+        assert len(TraceTable.from_jsonl("")) == 0
+
+    def test_repr_mentions_shape(self):
+        text = repr(_small_trace())
+        assert "4 events" in text and "channels" in text

@@ -1,0 +1,199 @@
+"""Waveform/table/bit-dump rendering: pure functions of the trace."""
+
+import pytest
+
+from repro.chip.serial_interface import Command, Frame, SerialLink
+from repro.trace import (
+    HOST_TO_CHIP,
+    TraceRecorder,
+    TraceTable,
+    render_events,
+    render_frame_bits,
+    render_html,
+    render_waveform,
+    signal_steps,
+)
+from repro.trace.render import HIGH, LOW, _bus_lane, _tick_lane
+
+
+def _recorder_with_frame(flip_bits=None):
+    rec = TraceRecorder()
+    link = SerialLink(recorder=rec)
+    frame = Frame(Command.WRITE_REG, 0x00, payload=bytes([58]))
+    try:
+        link.transfer(frame, flip_bits=flip_bits)
+    except Exception:
+        pass  # corrupt frames are still recorded
+    return rec
+
+
+class TestSignalSteps:
+    def test_register_channel_steps_on_writes(self):
+        rec = TraceRecorder()
+        rec.reg_write("generator_dac", 0x00, 58, 0)
+        rec.advance(1e-3)
+        rec.reg_write("generator_dac", 0x00, 100, 58)
+        steps = signal_steps(rec.trace(), "reg.generator_dac")
+        assert steps == [(0.0, 58), (1e-3, 100)]
+
+    def test_reset_fans_out_to_register_channels(self):
+        rec = TraceRecorder()
+        rec.reg_write("generator_dac", 0x00, 58, 0)
+        rec.advance(1e-3)
+        rec.reg_reset({"generator_dac": 0, "collector_dac": 0})
+        steps = signal_steps(rec.trace(), "reg.generator_dac")
+        assert steps == [(0.0, 58), (1e-3, 0)]
+        # A register not in the reset payload is untouched.
+        assert signal_steps(rec.trace(), "reg.frame_exponent") == []
+
+    def test_serial_channel_expands_bits_over_duration(self):
+        rec = _recorder_with_frame()
+        trace = rec.trace()
+        steps = signal_steps(trace, "serial.din")
+        event = trace[0]
+        n_bits = len(event.data["received_bits"])
+        # One step per bit, then a None idle step at frame end.
+        assert len(steps) == n_bits + 1
+        assert steps[-1] == (pytest.approx(event.data["duration_s"]), None)
+        assert [v for _, v in steps[:8]] == [1, 0, 1, 0, 0, 1, 0, 1]  # SOF 0xA5
+
+    def test_state_channel_steps_on_entries(self):
+        rec = TraceRecorder()
+        rec.seq_state("calibrate")
+        rec.advance(0.5)
+        rec.seq_state("measure")
+        assert signal_steps(rec.trace(), "seq.state") == [
+            (0.0, "calibrate"), (0.5, "measure"),
+        ]
+
+
+class TestWaveform:
+    def test_empty_trace(self):
+        assert render_waveform(TraceTable([])) == "(empty trace)"
+
+    def test_width_validated(self):
+        rec = TraceRecorder()
+        rec.seq_state("x")
+        with pytest.raises(ValueError):
+            render_waveform(rec.trace(), width=4)
+
+    def test_binary_lane_uses_level_glyphs(self):
+        rec = TraceRecorder()
+        rec.reg_write("calibration_enable", 0x03, 1, 0)
+        rec.advance(1.0)
+        rec.reg_write("calibration_enable", 0x03, 0, 1)
+        rec.advance(1.0)
+        text = render_waveform(rec.trace(), width=10, stop_s=2.0)
+        lane = next(line for line in text.splitlines() if "calibration_enable" in line)
+        assert HIGH in lane and LOW in lane
+
+    def test_bus_lane_labels_values(self):
+        rec = TraceRecorder()
+        rec.reg_write("generator_dac", 0x00, 58, 0)
+        rec.advance(1.0)
+        rec.reg_write("generator_dac", 0x00, 100, 58)
+        rec.advance(1.0)
+        text = render_waveform(rec.trace(), width=20, stop_s=2.0)
+        lane = next(line for line in text.splitlines() if "generator_dac" in line)
+        assert "|58" in lane and "|100" in lane
+
+    def test_flip_lane_appears_only_with_corruption(self):
+        clean = render_waveform(_recorder_with_frame().trace(), width=24)
+        corrupt = render_waveform(_recorder_with_frame(flip_bits=[13]).trace(), width=24)
+        assert "serial.flip" not in clean
+        assert "serial.flip" in corrupt
+        flip_lane = next(
+            line for line in corrupt.splitlines() if line.startswith("serial.flip")
+        )
+        assert "x" in flip_lane
+
+    def test_explicit_channels_select_lanes(self):
+        rec = TraceRecorder()
+        rec.reg_write("generator_dac", 0x00, 58, 0)
+        rec.seq_state("measure")
+        rec.advance(1.0)
+        text = render_waveform(rec.trace(), channels=["seq.state"], width=12)
+        assert "seq.state" in text and "generator_dac" not in text
+
+    def test_deterministic(self):
+        rec = _recorder_with_frame(flip_bits=[7, 13])
+        trace = rec.trace()
+        assert render_waveform(trace, width=40) == render_waveform(trace, width=40)
+
+    def test_tick_on_window_end_edge_is_kept(self):
+        # A tick exactly at t0 + width*dt must clamp into the last cell.
+        lane = _tick_lane([1.0], t0=0.0, dt=0.1, width=10, mark="|")
+        assert lane[-1] == "|"
+
+    def test_bus_lane_idle_gap(self):
+        steps = [(0.0, 5), (0.4, None), (0.8, 5)]
+        lane = _bus_lane(steps, t0=0.0, dt=0.1, width=12)
+        assert " " in lane  # idle gap rendered
+
+
+class TestEventTable:
+    def test_lists_events_with_columns(self):
+        rec = _recorder_with_frame()
+        text = render_events(rec.trace())
+        assert "seq" in text and "kind" in text and "serial.din" in text
+        assert "WRITE_REG" in text
+
+    def test_limit_clips_with_notice(self):
+        rec = TraceRecorder()
+        for i in range(5):
+            rec.seq_state(f"s{i}")
+        text = render_events(rec.trace(), limit=2)
+        assert "... 3 more events" in text
+        assert "s4" not in text
+
+    def test_drop_count_surfaces(self):
+        rec = TraceRecorder(limit=1)
+        rec.seq_state("a")
+        rec.seq_state("b")
+        assert "dropped" in render_events(rec.trace())
+
+
+class TestHtml:
+    def test_escapes_and_structure(self):
+        rec = TraceRecorder()
+        rec.seq_state("a<b")
+        html = render_html(rec.trace())
+        assert "<table" in html and "a&lt;b" in html
+
+    def test_corrupt_frame_highlighted(self):
+        rec = _recorder_with_frame(flip_bits=[13])
+        html = render_html(rec.trace())
+        assert "background:#fdd" in html
+        clean = render_html(_recorder_with_frame().trace())
+        assert "background:#fdd" not in clean
+
+
+class TestFrameBits:
+    def test_localizes_every_flip(self):
+        rec = _recorder_with_frame(flip_bits=[13, 42])
+        event = rec.trace()[0]
+        text = render_frame_bits(event)
+        assert "CORRUPT" in text
+        # Both sides shown, carets under the flipped positions only.
+        assert "sent" in text and "received" in text
+        assert text.count("^") == 2
+        sent = event.data["sent_bits"]
+        received = event.data["received_bits"]
+        assert [i for i, (s, r) in enumerate(zip(sent, received)) if s != r] == [13, 42]
+
+    def test_clean_frame_has_no_marks(self):
+        rec = _recorder_with_frame()
+        text = render_frame_bits(rec.trace()[0])
+        assert "^" not in text and " ok" in text
+
+    def test_rejects_non_frame_events(self):
+        rec = TraceRecorder()
+        event = rec.seq_state("measure")
+        with pytest.raises(ValueError):
+            render_frame_bits(event)
+
+    def test_rejects_bitless_frames(self):
+        rec = TraceRecorder(bit_level=False)
+        event = rec.serial_frame(HOST_TO_CHIP, "WRITE_REG", 0, 1, b"\x00", b"\x00")
+        with pytest.raises(ValueError, match="bit_level"):
+            render_frame_bits(event)
