@@ -27,7 +27,7 @@ scenarios and ``benchmarks/`` for the figure-by-figure reproduction
 harness.
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from . import (
     analysis,

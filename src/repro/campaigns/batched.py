@@ -354,6 +354,7 @@ class BatchedExecutor(Executor):
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory=None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         # Validate eagerly, NOT inside the generator: run_campaign must
         # see bad arguments before any store touches the filesystem.
@@ -364,16 +365,24 @@ class BatchedExecutor(Executor):
             )
         if runner_factory is not None:
             raise ValueError("the batched executor derives Runners from point seeds")
-        return self._iter(plan, backend)
+        return self._iter(plan, backend, capture_errors)
 
-    def _iter(self, plan: Plan, backend: Optional[str]) -> Iterator[PointOutcome]:
+    def _iter(
+        self, plan: Plan, backend: Optional[str], capture_errors: bool = False
+    ) -> Iterator[PointOutcome]:
         fallback: list[PlanPoint] = []
         for (kind, _), group in plan.groups_by_spec().items():
             # One group shares one spec, so the whole group resolves to
             # one backend; only vectorized groups with a compiler batch.
             spec = group[0].spec
             resolved = backend if backend is not None else getattr(spec, "backend", "object")
-            if resolved != "vectorized" or kind not in BATCH_COMPILERS:
+            # Fault injection drives the per-frame serial path, which no
+            # batch compiler models — those points take the serial lane.
+            if (
+                resolved != "vectorized"
+                or kind not in BATCH_COMPILERS
+                or getattr(spec, "faults", ())
+            ):
                 fallback.extend(group)
                 continue
             compiler = BATCH_COMPILERS[kind]
@@ -388,4 +397,4 @@ class BatchedExecutor(Executor):
                 start = time.perf_counter()  # repro: allow-wallclock
         runners: "OrderedDict[int, Runner]" = OrderedDict()
         for point in fallback:
-            yield _run_point(runners, Runner, point, backend, None)
+            yield _run_point(runners, Runner, point, backend, None, capture_errors)

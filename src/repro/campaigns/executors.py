@@ -56,11 +56,33 @@ RunnerFactory = Callable[[int], Runner]
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """One completed plan point: the result plus its wall time."""
+    """One completed plan point: the result plus its wall time.
+
+    With ``capture_errors`` a failed point streams out as an outcome
+    whose ``result`` is ``None`` and whose ``error`` holds the rendered
+    exception (plus any trace-violation summary), so a fault-heavy
+    campaign keeps flowing instead of dying at the first broken point.
+    """
 
     point: PlanPoint
-    result: ResultSet
+    result: Optional[ResultSet]
     wall_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _error_text(exc: BaseException) -> str:
+    """Render a captured per-point failure, surfacing the structured
+    violation list when the exception carries one (TraceAssertionError)."""
+    text = f"{type(exc).__name__}: {exc}"
+    violations = getattr(exc, "violations", None)
+    if violations:
+        rules = sorted({getattr(v, "rule", str(v)) for v in violations})
+        text = f"{type(exc).__name__}: {len(violations)} trace violation(s) [{', '.join(rules)}]"
+    return text
 
 
 def _check_workers(workers: Optional[int]) -> int:
@@ -85,6 +107,7 @@ class Executor:
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory: Optional[RunnerFactory] = None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         raise NotImplementedError
 
@@ -145,12 +168,20 @@ def _run_point(
     point: PlanPoint,
     backend: Optional[str],
     inputs: Optional[dict[str, Any]],
+    capture_errors: bool = False,
 ) -> PointOutcome:
     """Shared inner loop: fetch-or-clone the Runner for the point's
-    seed, execute, time."""
+    seed, execute, time.  ``capture_errors`` turns a per-point exception
+    into a failed outcome instead of killing the whole stream."""
     runner = _cached_runner(runners, factory, point.seed)
     start = time.perf_counter()  # repro: allow-wallclock
-    result = runner.run(point.spec, backend=backend, inputs=inputs)
+    try:
+        result = runner.run(point.spec, backend=backend, inputs=inputs)
+    except Exception as exc:  # noqa: BLE001 — opted into by capture_errors
+        if not capture_errors:
+            raise
+        wall_s = time.perf_counter() - start  # repro: allow-wallclock
+        return PointOutcome(point=point, result=None, wall_s=wall_s, error=_error_text(exc))
     return PointOutcome(point=point, result=result, wall_s=time.perf_counter() - start)  # repro: allow-wallclock
 
 
@@ -171,11 +202,12 @@ class SerialExecutor(Executor):
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory: Optional[RunnerFactory] = None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         factory = runner_factory or Runner
         runners: "OrderedDict[int, Runner]" = OrderedDict()
         for point in plan:
-            yield _run_point(runners, factory, point, backend, inputs)
+            yield _run_point(runners, factory, point, backend, inputs, capture_errors)
 
 
 class ThreadExecutor(Executor):
@@ -193,6 +225,7 @@ class ThreadExecutor(Executor):
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory: Optional[RunnerFactory] = None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         # Validate eagerly, NOT inside the generator: run_campaign must
         # see bad arguments before any store touches the filesystem.
@@ -204,13 +237,14 @@ class ThreadExecutor(Executor):
                 "the thread executor owns per-thread Runners; a shared "
                 "runner_factory is only meaningful with the serial executor"
             )
-        return self._iter(plan, backend, inputs)
+        return self._iter(plan, backend, inputs, capture_errors)
 
     def _iter(
         self,
         plan: Plan,
         backend: Optional[str],
         inputs: Optional[dict[str, Any]],
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         factory: RunnerFactory = Runner
         local = threading.local()
@@ -219,7 +253,7 @@ class ThreadExecutor(Executor):
             runners = getattr(local, "runners", None)
             if runners is None:
                 runners = local.runners = OrderedDict()
-            return _run_point(runners, factory, point, backend, inputs)
+            return _run_point(runners, factory, point, backend, inputs, capture_errors)
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             yield from _stream_pool(
@@ -233,17 +267,23 @@ class ThreadExecutor(Executor):
 _WORKER_RUNNERS: "OrderedDict[int, Runner]" = OrderedDict()
 
 
-def _process_worker(payload: tuple) -> tuple[int, float, ResultSet]:
+def _process_worker(payload: tuple) -> tuple[int, float, Optional[ResultSet], Optional[str]]:
     """Top-level (picklable) task body for :class:`ProcessExecutor`."""
-    index, seed, spec_dict, backend = payload
+    index, seed, spec_dict, backend, capture_errors = payload
     runner = _cached_runner(_WORKER_RUNNERS, Runner, seed)
     spec = spec_from_dict(spec_dict)
     start = time.perf_counter()  # repro: allow-wallclock
-    result = runner.run(spec, backend=backend)
+    try:
+        result = runner.run(spec, backend=backend)
+    except Exception as exc:  # noqa: BLE001 — opted into by capture_errors
+        if not capture_errors:
+            raise
+        wall_s = time.perf_counter() - start  # repro: allow-wallclock
+        return index, wall_s, None, _error_text(exc)
     wall_s = time.perf_counter() - start  # repro: allow-wallclock
     # Artifacts (chips, cultures, ...) stay in the worker: only the
     # columnar result crosses the process boundary.
-    return index, wall_s, result.without_artifacts()
+    return index, wall_s, result.without_artifacts(), None
 
 
 class ProcessExecutor(Executor):
@@ -264,6 +304,7 @@ class ProcessExecutor(Executor):
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory: Optional[RunnerFactory] = None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         # Validate eagerly, NOT inside the generator: run_campaign must
         # see bad arguments before any store touches the filesystem.
@@ -274,20 +315,25 @@ class ProcessExecutor(Executor):
             )
         if runner_factory is not None:
             raise ValueError("the process executor always clones fresh Runners per worker")
-        return self._iter(plan, backend)
+        return self._iter(plan, backend, capture_errors)
 
-    def _iter(self, plan: Plan, backend: Optional[str]) -> Iterator[PointOutcome]:
+    def _iter(
+        self, plan: Plan, backend: Optional[str], capture_errors: bool = False
+    ) -> Iterator[PointOutcome]:
         by_index = {point.index: point for point in plan}
         context = multiprocessing.get_context(self.start_method)
         with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
 
             def submit(point: PlanPoint):
                 return pool.submit(
-                    _process_worker, (point.index, point.seed, point.spec.to_dict(), backend)
+                    _process_worker,
+                    (point.index, point.seed, point.spec.to_dict(), backend, capture_errors),
                 )
 
-            for index, wall_s, result in _stream_pool(pool, submit, plan, self.workers):
-                yield PointOutcome(point=by_index[index], result=result, wall_s=wall_s)
+            for index, wall_s, result, error in _stream_pool(pool, submit, plan, self.workers):
+                yield PointOutcome(
+                    point=by_index[index], result=result, wall_s=wall_s, error=error
+                )
 
 
 def make_executor(

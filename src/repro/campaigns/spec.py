@@ -105,12 +105,41 @@ class CampaignSpec:
         )
         field_names = {f.name for f in dataclasses.fields(self.base)}
         for axis, mapping in (("grid", self.grid), ("zip", self.zip)):
-            unknown = set(mapping) - field_names
+            # Dotted axes ("faults.rate") sweep one sub-field across
+            # every entry of a tuple-of-mappings spec field.
+            unknown = {
+                key for key in mapping if key.split(".", 1)[0] not in field_names
+            }
             if unknown:
                 raise ValueError(
                     f"{axis} axis field(s) {sorted(unknown)} not on "
                     f"{type(self.base).__name__}"
                 )
+            for key in mapping:
+                if "." not in key:
+                    continue
+                parent, sub = key.split(".", 1)
+                entries = getattr(self.base, parent)
+                if not (
+                    isinstance(entries, tuple)
+                    and entries
+                    and all(isinstance(entry, Mapping) for entry in entries)
+                ):
+                    raise ValueError(
+                        f"{axis} axis {key!r} sweeps entries of base.{parent}, "
+                        f"which must be a non-empty tuple of mappings "
+                        f"(e.g. base.faults=[{{'kind': ..., '{sub}': ...}}])"
+                    )
+                missing = [
+                    dict(entry).get("kind", index)
+                    for index, entry in enumerate(entries)
+                    if sub not in entry
+                ]
+                if missing:
+                    raise ValueError(
+                        f"{axis} axis {key!r}: base.{parent} entries "
+                        f"{missing} have no field {sub!r}"
+                    )
             empty = [key for key, values in mapping.items() if not values]
             if empty:
                 raise ValueError(f"{axis} axis {empty[0]!r} has no values")
@@ -178,7 +207,19 @@ class CampaignSpec:
                 key: tuple(value) if isinstance(value, list) else value
                 for key, value in assignment.items()
             }
-            spec = self.base.replace(**assignment) if assignment else self.base
+            direct = {key: v for key, v in assignment.items() if "." not in key}
+            spec = self.base.replace(**direct) if direct else self.base
+            for key, value in assignment.items():
+                # Dotted axes rebuild the parent tuple with the sub-field
+                # replaced in every entry (a "faults.rate" sweep moves
+                # all fault entries' rates together).
+                if "." not in key:
+                    continue
+                parent, sub = key.split(".", 1)
+                entries = tuple(
+                    {**dict(entry), sub: value} for entry in getattr(spec, parent)
+                )
+                spec = spec.replace(**{parent: entries})
             for replicate in range(self.replicates):
                 points.append(
                     PlanPoint(

@@ -34,6 +34,7 @@ from .serial_interface import (
     CHIP_TO_HOST,
     Command,
     Frame,
+    FrameError,
     SerialLink,
     pack_counters,
     unpack_counters,
@@ -283,13 +284,18 @@ class DnaMicroarrayChip:
         self,
         flip_bits: list[int] | None = None,
         flip_frame: int = 0,
+        flip_frames: "dict[int, list[int]] | None" = None,
     ) -> list[int]:
         """Full digital path: pack the latest counts, push them through
         the bit-level link, unpack on the host side.
 
         ``flip_bits`` injects bit corruption into response chunk number
         ``flip_frame`` (the checksum must catch it and raise
-        :class:`~repro.chip.serial_interface.FrameError`)."""
+        :class:`~repro.chip.serial_interface.FrameError`).  For
+        multi-frame corruption pass ``flip_frames``, a mapping of chunk
+        index -> bit positions; it overrides the singular pair.  A
+        decode failure carries the failing chunk index on the raised
+        error as ``frame_index``."""
         if self.recorder is not None:
             self.recorder.seq_state("readout", detail="serial counter shift-out")
         request = Frame(Command.READ_COUNTERS, 0x00)
@@ -310,15 +316,21 @@ class DnaMicroarrayChip:
         payload = pack_counters(self._last_counts.tolist(), self.specs.counter_bits)
         # Large payloads are split into <=255-byte frames.
         chunk = counter_chunk_bytes(self.specs.counter_bits)
+        if flip_frames is None:
+            flip_frames = {flip_frame: flip_bits} if flip_bits else {}
         received = bytearray()
         for index, start in enumerate(range(0, len(payload), chunk)):
             part = payload[start : start + chunk]
             response = self.link.respond(part)
-            roundtrip = self.link.transfer(
-                response,
-                flip_bits=flip_bits if index == flip_frame else None,
-                direction=CHIP_TO_HOST,
-            )
+            try:
+                roundtrip = self.link.transfer(
+                    response,
+                    flip_bits=flip_frames.get(index),
+                    direction=CHIP_TO_HOST,
+                )
+            except FrameError as exc:
+                exc.frame_index = index  # type: ignore[attr-defined]
+                raise
             received.extend(roundtrip.payload)
         return unpack_counters(bytes(received), self.specs.counter_bits)
 

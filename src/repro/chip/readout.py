@@ -1,0 +1,266 @@
+"""Resilient host-side readout controller for the serial counter path.
+
+Real hosts do not crash on a corrupted frame — they detect it (the
+two's-complement checksum catches any flip set that changes the byte
+sum mod 256), retry with bounded backoff, and when a chunk stays
+unreadable they mark its sites dead and keep going.  This module is
+that controller for the DNA chip's READ_COUNTERS path:
+
+* **detect** — frame decode failure (`FrameError`) or register
+  read-back mismatch against the host's shadow of the configuration
+  registers;
+* **retry** — up to ``max_retries`` re-transfers per chunk, waiting
+  ``backoff_s * backoff_factor**attempt`` of *simulated* clock between
+  attempts (the trace recorder's clock, never wall time);
+* **degrade** — a chunk that exhausts its retries is zero-filled and
+  its counter span reported in ``dead_sites`` instead of raising.
+
+Every detect/retry/recover/give-up decision lands in the trace as a
+typed ``readout.*`` event, so a capture replays the controller's exact
+decision sequence.  Fault injection reaches this path only through the
+duck-typed ``injector`` seam on the link — no faults import here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dna_chip import DnaMicroarrayChip, counter_chunk_bytes
+from .serial_interface import (
+    CHIP_TO_HOST,
+    HOST_TO_CHIP,
+    Command,
+    Frame,
+    FrameError,
+    pack_counters,
+    unpack_counters,
+)
+
+
+@dataclass(frozen=True)
+class ReadoutPolicy:
+    """Bounded-retry policy; all waiting is simulated-clock time."""
+
+    max_retries: int = 3
+    backoff_s: float = 1e-4
+    backoff_factor: float = 2.0
+    verify_registers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0.0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+
+@dataclass
+class ReadoutOutcome:
+    """What the host recovered, and the accounting of how."""
+
+    counters: list[int] = field(default_factory=list)
+    dead_sites: tuple[int, ...] = ()
+    frames_total: int = 0
+    frames_corrupted: int = 0
+    frames_recovered: int = 0
+    frames_lost: int = 0
+    retries: int = 0
+    registers_checked: int = 0
+    registers_corrupted: int = 0
+    registers_restored: int = 0
+    stall_s_total: float = 0.0
+
+
+def _verify_registers(
+    chip: DnaMicroarrayChip, expected: dict[str, int], outcome: ReadoutOutcome
+) -> None:
+    """Read back every register against the host shadow; rewrite
+    mismatched host-writable ones (read-only upsets stay detected but
+    unrecoverable)."""
+    recorder = chip.recorder
+    for name in sorted(expected):
+        outcome.registers_checked += 1
+        value = chip.registers.read(name)
+        if value == expected[name]:
+            continue
+        outcome.registers_corrupted += 1
+        if recorder is not None:
+            recorder.readout_detect(
+                f"reg.{name}",
+                error=f"read-back mismatch: got {value:#x}, shadow {expected[name]:#x}",
+            )
+        try:
+            chip.registers.write(name, expected[name])
+        except ValueError:
+            continue
+        outcome.registers_restored += 1
+        if recorder is not None:
+            recorder.readout_recover(f"reg.{name}", attempts=1)
+
+
+def _transfer_with_retry(
+    chip: DnaMicroarrayChip,
+    frame: Frame,
+    direction: str,
+    policy: ReadoutPolicy,
+    outcome: ReadoutOutcome,
+    frame_index: int | None,
+    channel: str,
+) -> tuple[Frame | None, int]:
+    """Push one frame, retrying with deterministic backoff.
+
+    Returns ``(decoded, failures)`` — ``decoded`` is ``None`` after
+    give-up.  Each attempt is a real wire crossing (the injector
+    re-draws), so transient corruption usually clears on retry.
+    """
+    recorder = chip.recorder
+    failures = 0
+    for attempt in range(policy.max_retries + 1):
+        try:
+            received = chip.link.transfer(frame, direction=direction)
+        except FrameError as exc:
+            failures += 1
+            if recorder is not None:
+                recorder.readout_detect(
+                    channel, error=str(exc), frame=frame_index, attempt=attempt
+                )
+            if attempt >= policy.max_retries:
+                return None, failures
+            delay = policy.backoff_s * policy.backoff_factor**attempt
+            outcome.retries += 1
+            if recorder is not None:
+                recorder.readout_retry(
+                    channel, delay_s=delay, frame=frame_index, attempt=attempt + 1
+                )
+                recorder.advance(delay)
+            continue
+        return received, failures
+    return None, failures  # pragma: no cover - loop always returns
+
+
+def read_counters_resilient(
+    chip: DnaMicroarrayChip, policy: ReadoutPolicy | None = None
+) -> ReadoutOutcome:
+    """Run the full READ_COUNTERS sequence under the resilient policy.
+
+    Mirrors :meth:`DnaMicroarrayChip.read_counters_serial` chunk for
+    chunk (identical counters when nothing is injected) but never
+    raises on corruption: unrecoverable chunks are zero-filled with
+    their counter spans reported in ``dead_sites``.
+    """
+    policy = policy or ReadoutPolicy()
+    recorder = chip.recorder
+    injector = getattr(chip.link, "injector", None)
+    outcome = ReadoutOutcome()
+    if recorder is not None:
+        recorder.seq_state("readout", detail="resilient serial counter shift-out")
+
+    # Register integrity: the shadow is what the host believes it wrote.
+    expected = chip.registers.dump()
+    if injector is not None:
+        injector.corrupt_registers(chip.registers)
+    if policy.verify_registers:
+        _verify_registers(chip, expected, outcome)
+
+    counts = chip._last_counts
+    if injector is not None:
+        full_scale = (1 << chip.specs.counter_bits) - 1
+        stuck = injector.stuck_sites(chip.specs.sites, full_scale)
+        if stuck:
+            counts = counts.copy()
+            for site, value in stuck:
+                counts[site] = value
+
+    payload = pack_counters(counts.tolist(), chip.specs.counter_bits)
+    chunk = counter_chunk_bytes(chip.specs.counter_bits)
+    bytes_per_counter = chip.specs.counter_bits // 8
+    spans = [
+        (index, start, payload[start : start + chunk])
+        for index, start in enumerate(range(0, len(payload), chunk))
+    ]
+    outcome.frames_total = len(spans)
+
+    request, _ = _transfer_with_retry(
+        chip,
+        Frame(Command.READ_COUNTERS, 0x00),
+        direction=HOST_TO_CHIP,
+        policy=policy,
+        outcome=outcome,
+        frame_index=None,
+        channel="serial.request",
+    )
+    if request is None:
+        # The chip never saw the command: the whole array is lost.
+        if recorder is not None:
+            recorder.readout_giveup(
+                "serial.request",
+                attempts=policy.max_retries + 1,
+                sites_lost=chip.specs.sites,
+            )
+        outcome.frames_lost = len(spans)
+        outcome.counters = [0] * chip.specs.sites
+        outcome.dead_sites = tuple(range(chip.specs.sites))
+        return outcome
+
+    if recorder is not None:
+        # Same sample-slot schedule as the plain readout.
+        base = recorder.now
+        for row in range(chip.specs.rows):
+            for col in range(chip.specs.cols):
+                recorder.seq_sample(
+                    row,
+                    col,
+                    time_s=base + chip.sequence.site_time_s(row, col),
+                    slot_s=chip.sequence.site_slot_s,
+                    slot=row * chip.specs.cols + col,
+                )
+
+    received = bytearray()
+    dead: list[int] = []
+    for index, start, part in spans:
+        if injector is not None:
+            stall = injector.stall_s(index)
+            if stall > 0.0:
+                outcome.stall_s_total += stall
+                if recorder is not None:
+                    recorder.advance(stall)
+        response = chip.link.respond(part)
+        roundtrip, failures = _transfer_with_retry(
+            chip,
+            response,
+            direction=CHIP_TO_HOST,
+            policy=policy,
+            outcome=outcome,
+            frame_index=index,
+            channel="serial",
+        )
+        if failures:
+            outcome.frames_corrupted += 1
+        if roundtrip is None:
+            outcome.frames_lost += 1
+            first = start // bytes_per_counter
+            n_sites = len(part) // bytes_per_counter
+            dead.extend(range(first, first + n_sites))
+            if recorder is not None:
+                recorder.readout_giveup(
+                    "serial",
+                    attempts=policy.max_retries + 1,
+                    frame=index,
+                    sites_lost=n_sites,
+                )
+            received.extend(b"\x00" * len(part))
+        else:
+            if failures:
+                outcome.frames_recovered += 1
+                if recorder is not None:
+                    recorder.readout_recover(
+                        "serial", attempts=failures + 1, frame=index
+                    )
+            received.extend(roundtrip.payload)
+
+    outcome.counters = unpack_counters(bytes(received), chip.specs.counter_bits)
+    outcome.dead_sites = tuple(dead)
+    return outcome

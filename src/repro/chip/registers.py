@@ -104,6 +104,28 @@ class RegisterFile:
             self.recorder.reg_read(spec.name, spec.address, value)
         return value
 
+    def corrupt(self, name_or_address: str | int, mask: int, source: str = "fault") -> int:
+        """Hardware-level bit upset: XOR ``mask`` into the stored value.
+
+        This is the fault-injection seam — it bypasses host access
+        checks (physics does not honour ``read_only``) but stays inside
+        the register's width and emits an ordinary write event, so
+        corruption is visible in the trace and detectable by read-back
+        verify.  Returns the corrupted value.
+        """
+        spec = self._lookup(name_or_address)
+        old = self._values[spec.name]
+        value = (old ^ mask) & ((1 << spec.bits) - 1)
+        self._values[spec.name] = value
+        if self.recorder is not None:
+            self.recorder.reg_write(spec.name, spec.address, value, old, source=source)
+        return value
+
+    def bits(self, name_or_address: str | int) -> int:
+        """Width in bits of one register (fault injectors bound their
+        flip positions with this)."""
+        return self._lookup(name_or_address).bits
+
     def _lookup(self, key: str | int) -> RegisterSpec:
         if isinstance(key, str):
             if key not in self._by_name:

@@ -130,11 +130,18 @@ class SerialLink:
     duck-typed — this module never imports the trace package) gets one
     serial-frame event per transfer and its simulated clock advanced by
     the frame's wire time.
+
+    An optional ``injector`` (:class:`~repro.faults.FaultInjector`,
+    duck-typed the same way — this module never imports the faults
+    package) is asked for extra flip positions on every transfer; its
+    draws are seeded per run, so attached faults stay a pure function
+    of ``(spec, seed)``.
     """
 
     clock_hz: float = 1e6
     transcript: list[tuple[str, str, bytes]] = field(default_factory=list)
     recorder: Any = None
+    injector: Any = None
 
     def transfer(
         self,
@@ -150,6 +157,10 @@ class SerialLink:
         raw = encode_frame(frame)
         bits = bytes_to_bits(raw)
         flips = tuple(flip_bits or ())
+        if self.injector is not None:
+            injected = self.injector.frame_flips(len(bits), direction)
+            if injected:
+                flips = tuple(sorted(set(flips) | set(injected)))
         for position in flips:
             if not 0 <= position < len(bits):
                 raise IndexError(f"bit position {position} outside stream")

@@ -180,6 +180,13 @@ class DnaAssaySpec(ExperimentSpec):
       ``target_subset`` is ignored.
 
     Concentrations are mol/m^3 (``10 * units.nM`` == 1e-5).
+
+    ``faults`` is an optional tuple of fault entries (see
+    :mod:`repro.faults`) injected into the digital readout; entries are
+    normalized to canonical plain dicts so they sweep as campaign axes
+    (``faults.rate``) and round trip through ``to_dict``.  An empty
+    tuple serializes to *nothing* — zero-fault specs keep their
+    pre-fault ``content_hash`` and results bit-identically.
     """
 
     rows: int = 16
@@ -200,8 +207,12 @@ class DnaAssaySpec(ExperimentSpec):
     calibrate: bool = True
     calibration_frame_s: float = 0.05
     frame_s: float = 1.0
+    faults: tuple = ()
 
     def __post_init__(self) -> None:
+        from ..faults.specs import normalize_faults
+
+        object.__setattr__(self, "faults", normalize_faults(self.faults))
         if self.rows < 1 or self.cols < 1:
             raise ValueError("array dimensions must be positive")
         if self.panel not in ("random", "mismatch"):
@@ -222,6 +233,16 @@ class DnaAssaySpec(ExperimentSpec):
             bad = [i for i in self.target_subset if not 0 <= i < self.probe_count]
             if bad:
                 raise ValueError(f"target_subset indices out of range: {bad}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Like the base, but an empty fault list is omitted entirely:
+        ``content_hash()`` (which seeds streams) and ``spec_hash()``
+        (the cache key) of zero-fault specs stay byte-identical to
+        builds that predate the fault field."""
+        data = super().to_dict()
+        if not data.get("faults"):
+            data.pop("faults", None)
+        return data
 
     def chip_key(self) -> str:
         """The chip-configuration facet of the spec.

@@ -125,12 +125,19 @@ def validate_backend(kind: str, backend: "str | None") -> None:
 # DNA microarray assay
 # ---------------------------------------------------------------------------
 def _dna_streams(spec: DnaAssaySpec) -> dict[str, tuple]:
-    return {
+    streams = {
         "chip": ("dna", "chip", spec.chip_key()),
         "calibration": ("dna", "calibration", spec.chip_key()),
         "layout": ("dna", "layout", spec.layout_key()),
         "measure": ("dna", "measure", spec.content_hash()),
     }
+    # The fault stream exists only when faults do: zero-fault specs keep
+    # their historical stream set (and ResultSet seed provenance)
+    # byte-identical.  Keyed on the full content hash — the fault
+    # schedule is part of the experiment, not of any shared facet.
+    if getattr(spec, "faults", ()):
+        streams["faults"] = ("dna", "faults", spec.content_hash())
+    return streams
 
 
 def _build_dna_chip(spec: DnaAssaySpec, chip_rng, calibration_rng) -> DnaMicroarrayChip:
@@ -199,6 +206,81 @@ def _build_dna_chip_vectorized(
     return chip
 
 
+def _faulted_readout(
+    spec: DnaAssaySpec, chip: DnaMicroarrayChip, counts: np.ndarray, rng
+) -> tuple[np.ndarray, dict[str, Any]]:
+    """Run the serial readout under fault injection + resilient recovery.
+
+    Attaches a :class:`~repro.faults.FaultInjector` to the link's
+    duck-typed seam, drives :func:`~repro.chip.readout
+    .read_counters_resilient`, and detaches again — chips are cached
+    and shared across campaign points, so the injector (and any
+    register corruption that survived recovery) must never outlive this
+    point's readout.
+
+    Returns the host-recovered count matrix plus dead/silent site masks
+    and the readout accounting.
+    """
+    from ..chip.readout import read_counters_resilient
+    from ..faults import FaultInjector
+
+    injector = FaultInjector(
+        spec.faults, rng=rng, recorder=getattr(chip, "recorder", None)
+    )
+    shadow = chip.registers.dump()
+    chip.link.injector = injector
+    try:
+        outcome = read_counters_resilient(chip)
+    finally:
+        chip.link.injector = None
+        # Scrub any register upset the controller could not rewrite
+        # (read-only registers): the shared chip must leave this point
+        # exactly as it entered, or later points would see a state that
+        # depends on execution order.
+        current = chip.registers.dump()
+        for name, value in shadow.items():
+            if current[name] != value:
+                chip.registers.corrupt(name, current[name] ^ value, source="restore")
+    readout = np.asarray(outcome.counters, dtype=np.int64).reshape(counts.shape)
+    dead = np.zeros(counts.size, dtype=bool)
+    if outcome.dead_sites:
+        dead[list(outcome.dead_sites)] = True
+    dead = dead.reshape(counts.shape)
+    # Silent corruption: the host decoded it cleanly, yet it is not what
+    # the pixels counted (checksum-preserving flip sets, stuck pixels).
+    silent = (readout != counts) & ~dead
+    return readout, {"outcome": outcome, "dead": dead, "silent": silent}
+
+
+def _fault_metrics(info: dict[str, Any], n_sites: int) -> dict[str, Any]:
+    """Fold the readout accounting into per-point metrics the
+    ``fault_tolerance`` analysis pools across a campaign."""
+    outcome = info["outcome"]
+    dead = int(info["dead"].sum())
+    silent = int(info["silent"].sum())
+    detected = outcome.frames_corrupted + outcome.registers_corrupted
+    caught = detected + silent
+    return {
+        "fault_frames_total": outcome.frames_total,
+        "fault_frames_corrupted": outcome.frames_corrupted,
+        "fault_frames_recovered": outcome.frames_recovered,
+        "fault_frames_lost": outcome.frames_lost,
+        "fault_retries": outcome.retries,
+        "fault_registers_checked": outcome.registers_checked,
+        "fault_registers_corrupted": outcome.registers_corrupted,
+        "fault_registers_restored": outcome.registers_restored,
+        "fault_sites_total": n_sites,
+        "fault_sites_dead": dead,
+        "fault_sites_silent": silent,
+        # Of all corruption the run produced, what fraction did the
+        # controller *see* (checksum, read-back) vs decode cleanly?
+        "fault_detection_rate": float(detected / caught) if caught else 1.0,
+        "fault_silent_rate": float(silent / max(1, n_sites - dead)),
+        "fault_site_survival": float(1.0 - dead / n_sites) if n_sites else 1.0,
+        "fault_stall_s": float(outcome.stall_s_total),
+    }
+
+
 def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict) -> ResultSet:
     vectorized = runner.backend == "vectorized"
     chip = inputs.get("chip")
@@ -222,6 +304,19 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
     protocol = AssayProtocol(hybridization_s=spec.hybridization_s, wash_s=spec.wash_s)
     assay = MicroarrayAssay(layout).run(sample, protocol)
     counts = chip.measure_assay(assay, frame_s=spec.frame_s, rng=rngs["measure"])
+    fault_info = None
+    if getattr(spec, "faults", ()):
+        if vectorized:
+            raise ValueError(
+                "fault injection drives the serial readout path, which the "
+                "vectorized backend does not model; run faulted dna_assay "
+                "specs on the object backend"
+            )
+        # The host now only knows what the resilient readout recovered:
+        # counts (and everything downstream) switch to the wire values,
+        # with lost frames zero-filled and flagged per site.
+        true_counts = counts
+        counts, fault_info = _faulted_readout(spec, chip, counts, rngs["faults"])
     estimates = chip.current_estimates(counts, frame_s=spec.frame_s)
 
     sites = assay.sites
@@ -237,6 +332,13 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
         "count": np.asarray([counts[s.row, s.col] for s in sites], dtype=int),
         "current_estimate_a": np.asarray([estimates[s.row, s.col] for s in sites]),
     }
+    if fault_info is not None:
+        records["site_dead"] = np.asarray(
+            [fault_info["dead"][s.row, s.col] for s in sites], dtype=bool
+        )
+        records["site_silent"] = np.asarray(
+            [fault_info["silent"][s.row, s.col] for s in sites], dtype=bool
+        )
     metrics: dict[str, Any] = {
         # bias_ok is stamped by the chip builders; an injected chip
         # (inputs={"chip": ...}) was configured by the caller.
@@ -272,19 +374,24 @@ def _execute_dna(runner: "Runner", spec: DnaAssaySpec, rngs: dict, inputs: dict)
     positive = records["current_estimate_a"][records["current_estimate_a"] > 0]
     if len(positive):
         metrics["current_span_decades"] = float(np.log10(positive.max() / positive.min()))
+    artifacts = {
+        "chip": chip,
+        "layout": layout,
+        "assay": assay,
+        "sample": sample,
+        "counts": counts,
+        "current_estimates": estimates,
+    }
+    if fault_info is not None:
+        metrics.update(_fault_metrics(fault_info, counts.size))
+        artifacts["true_counts"] = true_counts
+        artifacts["readout"] = fault_info["outcome"]
     return runner._result(
         spec,
         record_name="site",
         records=records,
         metrics=metrics,
-        artifacts={
-            "chip": chip,
-            "layout": layout,
-            "assay": assay,
-            "sample": sample,
-            "counts": counts,
-            "current_estimates": estimates,
-        },
+        artifacts=artifacts,
         trace=_chip_trace(chip),
     )
 

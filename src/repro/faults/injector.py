@@ -1,0 +1,156 @@
+"""Deterministic fault injection against the chip's digital seams.
+
+A :class:`FaultInjector` is built once per run from the spec's fault
+list, a **named SeedTree stream** (the ``"faults"`` stream the DNA
+workload provisions — never an RNG constructed here; see lint rule
+D108), and the run's trace recorder.  It attaches to the duck-typed
+``injector`` seam on :class:`~repro.chip.serial_interface.SerialLink`
+and is consulted by the resilient readout controller; the chip package
+never imports this module.
+
+Determinism contract: every decision is a draw from the single stream
+in a fixed order (registers → stuck sites → per-chunk stall → per-
+transfer flips, retries re-drawing in sequence), and all control flow
+depends only on prior draws.  Same ``(spec, seed)`` ⇒ byte-identical
+fault schedule under any executor, worker count or cache round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..chip.serial_interface import CHIP_TO_HOST, HOST_TO_CHIP
+from .specs import FaultSpec, as_fault
+
+#: Canonical spec direction -> serial wire tag.
+_WIRES = {"chip_to_host": CHIP_TO_HOST, "host_to_chip": HOST_TO_CHIP}
+
+
+class FaultInjector:
+    """Draws fault occurrences from one stream; emits ``fault.inject``
+    trace events through the recorder it was given (or stays silent
+    when tracing is off)."""
+
+    def __init__(
+        self,
+        faults: Any,
+        rng: np.random.Generator,
+        recorder: Any = None,
+    ) -> None:
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "FaultInjector requires a numpy Generator from a named "
+                f"SeedTree stream, got {type(rng).__name__}"
+            )
+        self.specs: tuple[FaultSpec, ...] = tuple(as_fault(f) for f in faults)
+        self.rng = rng
+        self.recorder = recorder
+        self._serial = tuple(s for s in self.specs if s.kind == "serial_bitflip")
+        self._stalls = tuple(s for s in self.specs if s.kind == "sequencer_stall")
+        self._registers = tuple(s for s in self.specs if s.kind == "register_corrupt")
+        self._stuck_specs = tuple(s for s in self.specs if s.kind == "stuck_pixel")
+        self._stuck: Optional[tuple[tuple[int, int], ...]] = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, fault: str, channel: str, **details: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.fault_inject(fault, channel, **details)
+
+    # ------------------------------------------------------------------
+    # Serial wire corruption (consulted by SerialLink.transfer)
+    # ------------------------------------------------------------------
+    def frame_flips(self, n_bits: int, direction: str) -> tuple[int, ...]:
+        """Bit positions to invert in the next frame crossing ``direction``
+        (a wire tag), or ``()``.  One occurrence draw per matching spec
+        per transfer — retried frames re-draw, so a retry can succeed."""
+        flips: set[int] = set()
+        for spec in self._serial:
+            if spec.rate <= 0.0:
+                continue
+            wire = _WIRES.get(spec.direction)
+            if wire is not None and wire != direction:
+                continue
+            if self.rng.random() >= spec.rate:
+                continue
+            positions = sorted(
+                {int(p) for p in self.rng.integers(0, n_bits, size=spec.n_flips)}
+            )
+            flips.update(positions)
+            self._emit(
+                "serial_bitflip",
+                "serial",
+                direction=direction,
+                positions=positions,
+                n_bits=n_bits,
+            )
+        return tuple(sorted(flips))
+
+    # ------------------------------------------------------------------
+    # Sequencer stalls (consulted per response chunk)
+    # ------------------------------------------------------------------
+    def stall_s(self, frame_index: int) -> float:
+        """Extra simulated dead time before response chunk ``frame_index``."""
+        total = 0.0
+        for spec in self._stalls:
+            if spec.rate <= 0.0:
+                continue
+            if self.rng.random() < spec.rate:
+                total += spec.stall_s
+                self._emit(
+                    "sequencer_stall", "seq", frame=frame_index, stall_s=spec.stall_s
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    # Register upsets (consulted once per readout)
+    # ------------------------------------------------------------------
+    def corrupt_registers(self, registers: Any) -> list[str]:
+        """Flip stored bits in the register file; returns corrupted names.
+
+        Iterates ``registers.names()`` (sorted) per spec, so the draw
+        order is fixed.  Read-only registers can be hit too — physics
+        does not honour access bits; only recovery does.
+        """
+        corrupted: list[str] = []
+        for spec in self._registers:
+            if spec.rate <= 0.0:
+                continue
+            for name in registers.names():
+                if self.rng.random() >= spec.rate:
+                    continue
+                width = registers.bits(name)
+                positions = sorted(
+                    {int(b) for b in self.rng.integers(0, width, size=spec.n_bits)}
+                )
+                mask = 0
+                for bit in positions:
+                    mask |= 1 << bit
+                value = registers.corrupt(name, mask)
+                corrupted.append(name)
+                self._emit(
+                    "register_corrupt", f"reg.{name}", bits=positions, value=value
+                )
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # Stuck pixels (drawn once, stable across repeated readouts)
+    # ------------------------------------------------------------------
+    def stuck_sites(self, n_sites: int, full_scale: int) -> tuple[tuple[int, int], ...]:
+        """``(site_index, latched_count)`` pairs, drawn on first call and
+        cached — a stuck pixel stays stuck for the injector's lifetime."""
+        if self._stuck is None:
+            stuck: dict[int, int] = {}
+            for spec in self._stuck_specs:
+                if spec.rate <= 0.0:
+                    continue
+                mask = self.rng.random(n_sites) < spec.rate
+                value = 0 if spec.mode == "zero" else full_scale
+                sites = [int(i) for i in np.nonzero(mask)[0]]
+                for site in sites:
+                    stuck[site] = value
+                if sites:
+                    self._emit("stuck_pixel", "array", sites=sites, value=value)
+            self._stuck = tuple(sorted(stuck.items()))
+        return self._stuck

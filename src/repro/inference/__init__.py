@@ -65,6 +65,7 @@ from .specs import (
     AnalysisSpec,
     DetectionAnalysis,
     DoseResponseAnalysis,
+    FaultToleranceAnalysis,
     WaferYieldAnalysis,
     YieldAnalysis,
     analysis_from_dict,
@@ -100,6 +101,7 @@ __all__ = [
     "DetectionAnalysis",
     "DoseResponse",
     "DoseResponseAnalysis",
+    "FaultToleranceAnalysis",
     "HillFit",
     "LogLinearFit",
     "LoglinearBootstrap",

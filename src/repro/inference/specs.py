@@ -16,7 +16,11 @@ kinds ship:
   Wilson intervals, metric spread, dead-pixel rates (Fig. 6);
 * ``wafer_yield`` — die binning over stored wafer campaigns: ASCII
   wafer maps, per-wafer yield with Wilson intervals, cross-wafer yield
-  with a seeded bootstrap CI.
+  with a seeded bootstrap CI;
+* ``fault_tolerance`` — resilience accounting over fault-injection
+  campaigns: detection vs silent-corruption rates, frame recovery
+  yield and site survival with Wilson intervals, bootstrap CIs along
+  ``faults.*`` sweep axes.
 
 ``analyze(source, analysis)`` is the front door: it accepts a
 :class:`~repro.campaigns.store.CampaignResult`, any ResultStore, or a
@@ -534,6 +538,230 @@ class YieldAnalysis(AnalysisSpec):
 
 
 # ---------------------------------------------------------------------------
+# fault_tolerance
+# ---------------------------------------------------------------------------
+@register_analysis("fault_tolerance")
+@dataclass(frozen=True)
+class FaultToleranceAnalysis(AnalysisSpec):
+    """Resilience accounting over a fault-injection campaign.
+
+    Each stored point ran the resilient readout under injected faults
+    and recorded the controller's ledger as ``fault_*`` metrics.  The
+    report pools those ledgers: detection rate (corruption the
+    controller caught vs silent corruption that reached the results),
+    frame recovery yield within the retry budget, and site survival —
+    each with Wilson intervals on the pooled counts — plus seeded
+    bootstrap CIs on the per-point means, grouped along a fault axis
+    (``faults.rate`` sweeps) when the campaign has one.
+    """
+
+    #: Axis to group the per-rate table by; "" auto-picks the first
+    #: ``faults.*`` campaign axis (per-point rows when there is none).
+    axis: str = ""
+    confidence: float = 0.95
+    n_resamples: int = 1000
+    seed: int = 0
+
+    #: Pooled-count metrics every analysed point must carry.
+    REQUIRED: ClassVar[tuple[str, ...]] = (
+        "fault_frames_total",
+        "fault_frames_corrupted",
+        "fault_frames_recovered",
+        "fault_frames_lost",
+        "fault_retries",
+        "fault_registers_corrupted",
+        "fault_sites_total",
+        "fault_sites_dead",
+        "fault_sites_silent",
+        "fault_detection_rate",
+        "fault_site_survival",
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if self.n_resamples < 1:
+            raise ValueError("n_resamples must be >= 1")
+
+    def run(self, source: Any) -> AnalysisReport:
+        frame = CampaignFrame.from_store(source)
+        if frame.n_points == 0:
+            raise ValueError("store holds no results to analyse")
+        missing = [name for name in self.REQUIRED if not frame.has_metric(name)]
+        if missing:
+            raise ValueError(
+                f"store carries no fault-injection metrics ({missing[0]} missing); "
+                f"fault_tolerance analyses campaigns whose base spec has faults"
+            )
+        pooled = {
+            name: int(frame.metric(name).sum())
+            for name in self.REQUIRED
+            if name not in ("fault_detection_rate", "fault_site_survival")
+        }
+        detected = pooled["fault_frames_corrupted"] + pooled["fault_registers_corrupted"]
+        silent = pooled["fault_sites_silent"]
+        surviving = pooled["fault_sites_total"] - pooled["fault_sites_dead"]
+        survival_per_point = frame.metric("fault_site_survival")
+        detection_per_point = frame.metric("fault_detection_rate")
+
+        def _proportion(successes: int, n: int) -> tuple[float, float, float]:
+            """(fraction, ci_low, ci_high); degenerate n=0 pins to 1.0
+            (nothing happened, so nothing was missed/lost)."""
+            if n < 1:
+                return 1.0, 1.0, 1.0
+            low, high = _yield.wilson_interval(successes, n, self.confidence)
+            return successes / n, low, high
+
+        detection, detection_low, detection_high = _proportion(detected, detected + silent)
+        recovery, recovery_low, recovery_high = _proportion(
+            pooled["fault_frames_recovered"], pooled["fault_frames_corrupted"]
+        )
+        survival, survival_low, survival_high = _proportion(
+            surviving, pooled["fault_sites_total"]
+        )
+        silent_rate, silent_low, silent_high = (
+            (0.0, 0.0, 0.0)
+            if surviving < 1
+            else (
+                silent / surviving,
+                *_yield.wilson_interval(silent, surviving, self.confidence),
+            )
+        )
+        survival_ci = bootstrap_ci(
+            survival_per_point,
+            "mean",
+            n_resamples=self.n_resamples,
+            confidence=self.confidence,
+            seed=self.seed,
+            label=("fault-survival-mean",),
+        )
+        scalars: dict[str, Any] = {
+            "n_points": frame.n_points,
+            "frames_total": pooled["fault_frames_total"],
+            "frames_corrupted": pooled["fault_frames_corrupted"],
+            "frames_recovered": pooled["fault_frames_recovered"],
+            "frames_lost": pooled["fault_frames_lost"],
+            "retries": pooled["fault_retries"],
+            "registers_corrupted": pooled["fault_registers_corrupted"],
+            "sites_total": pooled["fault_sites_total"],
+            "sites_dead": pooled["fault_sites_dead"],
+            "sites_silent": silent,
+            "detection_rate": _fmt(detection),
+            "detection_ci_low": _fmt(detection_low),
+            "detection_ci_high": _fmt(detection_high),
+            "silent_corruption_rate": _fmt(silent_rate),
+            "silent_ci_low": _fmt(silent_low),
+            "silent_ci_high": _fmt(silent_high),
+            "recovery_yield": _fmt(recovery),
+            "recovery_ci_low": _fmt(recovery_low),
+            "recovery_ci_high": _fmt(recovery_high),
+            "site_survival": _fmt(survival),
+            "site_survival_ci_low": _fmt(survival_low),
+            "site_survival_ci_high": _fmt(survival_high),
+            "site_survival_mean_ci_low": _fmt(survival_ci.low),
+            "site_survival_mean_ci_high": _fmt(survival_ci.high),
+        }
+        notes: list[str] = []
+        if detected + silent == 0:
+            notes.append(
+                "no corruption occurred anywhere in the campaign; detection "
+                "rate degenerates to 1.0 by convention"
+            )
+        if pooled["fault_frames_corrupted"] == 0:
+            notes.append("no frame was ever corrupted; recovery yield is vacuous")
+
+        axis = self.axis or next(
+            (name for name in frame.axis_names if name.startswith("faults.")), ""
+        )
+        count_columns = (
+            "fault_frames_corrupted",
+            "fault_frames_recovered",
+            "fault_frames_lost",
+            "fault_sites_dead",
+            "fault_sites_silent",
+        )
+        rows: list[list[Any]] = []
+        if axis and frame.has_axis(axis):
+            for position, (value, indices) in enumerate(frame.group_indices(axis)):
+                group_survival = survival_per_point[indices]
+                group_ci = bootstrap_ci(
+                    group_survival,
+                    "mean",
+                    n_resamples=self.n_resamples,
+                    confidence=self.confidence,
+                    seed=self.seed,
+                    label=("fault-survival", position),
+                )
+                rows.append(
+                    [
+                        value,
+                        int(len(indices)),
+                        *[int(frame.metric(name)[indices].sum()) for name in count_columns],
+                        _fmt(detection_per_point[indices].mean()),
+                        _fmt(group_ci.estimate),
+                        _fmt(group_ci.low),
+                        _fmt(group_ci.high),
+                    ]
+                )
+            table = ReportTable(
+                title=(
+                    f"fault tolerance vs {axis} "
+                    f"(bootstrap {self.confidence:g} CIs on site survival)"
+                ),
+                headers=[
+                    axis,
+                    "n",
+                    "corrupted",
+                    "recovered",
+                    "lost",
+                    "dead",
+                    "silent",
+                    "detection",
+                    "survival",
+                    "ci_low",
+                    "ci_high",
+                ],
+                rows=rows,
+            )
+        else:
+            if self.axis:
+                notes.append(f"axis {self.axis!r} not found; reporting per point")
+            for row_index, meta in enumerate(frame.metas):
+                rows.append(
+                    [
+                        meta["point"],
+                        int(frame.replicates()[row_index]),
+                        *[int(frame.metric(name)[row_index]) for name in count_columns],
+                        _fmt(detection_per_point[row_index]),
+                        _fmt(survival_per_point[row_index]),
+                    ]
+                )
+            table = ReportTable(
+                title="per-point fault tolerance",
+                headers=[
+                    "point",
+                    "replicate",
+                    "corrupted",
+                    "recovered",
+                    "lost",
+                    "dead",
+                    "silent",
+                    "detection",
+                    "survival",
+                ],
+                rows=rows,
+            )
+        return AnalysisReport(
+            kind=self.kind,
+            analysis=self.to_dict(),
+            source=_source_block(getattr(source, "store", source), frame),
+            scalars=scalars,
+            tables=[table],
+            notes=notes,
+        )
+
+
+# ---------------------------------------------------------------------------
 # wafer_yield
 # ---------------------------------------------------------------------------
 @register_analysis("wafer_yield")
@@ -712,6 +940,12 @@ def default_analysis_for(source: Any) -> AnalysisSpec:
     if frame.n_points == 0:
         raise ValueError("store holds no results to analyse")
     kinds = frame.kinds()
+    # Fault sweeps first: a faulted campaign's dose/detection numbers
+    # are corrupted by construction — resilience is the question.
+    if frame.has_metric("fault_detection_rate") or any(
+        name.startswith("faults.") for name in frame.axis_names
+    ):
+        return FaultToleranceAnalysis()
     if frame.has_axis("concentration"):
         return DoseResponseAnalysis()
     if kinds == ["array_scale"]:

@@ -360,6 +360,48 @@ def check_hash_call(ctx: ModuleContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# D108 — fault injectors must not construct RNGs
+# ---------------------------------------------------------------------------
+#: RNG-construction entry points (seedable plumbing D101 deliberately
+#: allows) that fault-injection modules must still not reach for.
+_RNG_CONSTRUCTORS = frozenset(
+    {f"numpy.random.{name}" for name in _NP_RANDOM_OK}
+    | {"random.Random", "random.SystemRandom"}
+)
+
+
+def _is_faults_module(path: str) -> bool:
+    segments = path.replace("\\", "/").split("/")
+    return "faults" in segments or segments[-1] == "faults.py"
+
+
+@register_rule(
+    "D108",
+    "fault injectors draw only from named SeedTree streams",
+    "a fault schedule must be a pure function of (spec, seed): fault-injection "
+    "modules (any `faults` path segment) may consume a numpy Generator handed "
+    "to them, but constructing one ad hoc (default_rng, SeedSequence, "
+    "random.Random) detaches the schedule from the workload's named streams "
+    "and from result provenance.",
+)
+def check_fault_injector_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    if not _is_faults_module(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = ctx.qualified(node.func)
+        if qualified in _RNG_CONSTRUCTORS:
+            yield ctx.finding(
+                "D108",
+                node,
+                f"RNG construction `{qualified}` inside a fault-injection "
+                f"module — injectors must receive a Generator drawn from a "
+                f"named SeedTree stream (the workload's 'faults' stream)",
+            )
+
+
+# ---------------------------------------------------------------------------
 # D107 — environment reads
 # ---------------------------------------------------------------------------
 @register_rule(

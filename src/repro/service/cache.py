@@ -369,6 +369,7 @@ class CachedDispatch:
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         engine_version: Optional[str] = None,
+        capture_errors: bool = False,
     ) -> None:
         reject_inputs_with_cache(inputs)
         self.plan = plan
@@ -376,6 +377,7 @@ class CachedDispatch:
         self.cache = cache
         self.backend = backend
         self.inputs = inputs
+        self.capture_errors = capture_errors
         self.keys = plan_keys(plan, backend=backend, engine_version=engine_version)
         #: key -> all plan points sharing it, first-seen order.
         self.groups: "OrderedDict[str, list[PlanPoint]]" = OrderedDict()
@@ -384,6 +386,7 @@ class CachedDispatch:
         self.hits = 0
         self.computed = 0
         self.replayed = 0
+        self.failed = 0
 
     @property
     def n_unique(self) -> int:
@@ -414,9 +417,24 @@ class CachedDispatch:
             seed=self.plan.seed,
         )
         for outcome in self.executor.run(
-            sub_plan, backend=self.backend, inputs=self.inputs
+            sub_plan,
+            backend=self.backend,
+            inputs=self.inputs,
+            capture_errors=self.capture_errors,
         ):
             key = self.keys[outcome.point.index]
+            if outcome.result is None:
+                # A captured failure never enters the cache (it carries
+                # no ResultSet); duplicates fail identically — a point's
+                # outcome is a pure function of its key.
+                self.failed += 1
+                yield outcome
+                for duplicate in duplicates[outcome.point.index]:
+                    self.failed += 1
+                    yield PointOutcome(
+                        point=duplicate, result=None, wall_s=0.0, error=outcome.error
+                    )
+                continue
             stored = outcome.result.without_artifacts()
             self.cache.put(
                 key,
@@ -441,4 +459,5 @@ class CachedDispatch:
             "hits": self.hits,
             "computed": self.computed,
             "replayed": self.replayed,
+            "failed": self.failed,
         }

@@ -97,6 +97,7 @@ class AsyncExecutor(Executor):
         backend: Optional[str] = None,
         inputs: Optional[dict[str, Any]] = None,
         runner_factory: Optional[RunnerFactory] = None,
+        capture_errors: bool = False,
     ) -> Iterator[PointOutcome]:
         # Validate eagerly, NOT inside the generator: run_campaign must
         # see bad arguments before any store touches the filesystem.
@@ -105,7 +106,9 @@ class AsyncExecutor(Executor):
                 "the async executor owns its background Runners; a shared "
                 "runner_factory is only meaningful with the serial executor"
             )
-        inner = self._inner.run(plan, backend=backend, inputs=inputs)
+        inner = self._inner.run(
+            plan, backend=backend, inputs=inputs, capture_errors=capture_errors
+        )
         return self._iter(inner)
 
     def _iter(self, inner: Iterator[PointOutcome]) -> Iterator[PointOutcome]:
@@ -178,6 +181,10 @@ class Job:
     status: str = "queued"
     n_done: int = 0
     error: Optional[str] = None
+    #: Per-point failures captured without failing the job: dicts of
+    #: ``{"point", "seed", "error"}`` in completion order.  A fault-heavy
+    #: campaign finishes "done" with its broken points listed here.
+    failed_points: list = field(default_factory=list)
     result: Optional[CampaignResult] = None
     cache_summary: Optional[dict[str, int]] = None
     submitted_s: float = field(default_factory=time.monotonic)  # repro: allow-wallclock
@@ -218,6 +225,8 @@ class Job:
             "backend": self.backend,
             "out": None if self.out is None else str(self.out),
             "error": self.error,
+            "n_failed": len(self.failed_points),
+            "failed_points": [dict(entry) for entry in self.failed_points],
             "cache": self.cache_summary,
             "wall_s": wall,
         }
@@ -418,7 +427,7 @@ class JobManager:
         """``run_campaign`` with the job hooks: shared cache, per-point
         progress, and a cancel check between outcomes."""
         outcomes: Iterator[PointOutcome] = job.executor.run(
-            job.plan, backend=job.backend, inputs=job.inputs
+            job.plan, backend=job.backend, inputs=job.inputs, capture_errors=True
         )
         dispatch = None
         if self.cache is not None:
@@ -426,7 +435,12 @@ class JobManager:
             if close is not None:
                 close()
             dispatch = CachedDispatch(
-                job.plan, job.executor, self.cache, backend=job.backend, inputs=job.inputs
+                job.plan,
+                job.executor,
+                self.cache,
+                backend=job.backend,
+                inputs=job.inputs,
+                capture_errors=True,
             )
             outcomes = dispatch.outcomes()
         sink = make_store(
@@ -450,6 +464,20 @@ class JobManager:
             for outcome in outcomes:
                 if job._cancel.is_set():
                     raise JobCancelled(job.id)
+                if outcome.result is None:
+                    # A captured per-point failure: recorded on the job
+                    # (with the trace-violation summary the executor
+                    # rendered), never written to the store — resume
+                    # sees the point as missing and retries it.
+                    job.failed_points.append(
+                        {
+                            "point": outcome.point.index,
+                            "seed": outcome.point.seed,
+                            "error": outcome.error,
+                        }
+                    )
+                    job.n_done += 1
+                    continue
                 sink.add(outcome)
                 job.n_done += 1
         except JobCancelled:

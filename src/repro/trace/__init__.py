@@ -19,8 +19,13 @@ from .events import (
     CHIP_TO_HOST,
     DIN,
     DOUT,
+    FAULT_INJECT,
     HOST_TO_CHIP,
     KINDS,
+    READOUT_DETECT,
+    READOUT_GIVEUP,
+    READOUT_RECOVER,
+    READOUT_RETRY,
     REG_READ,
     REG_REJECT,
     REG_RESET,
@@ -60,8 +65,13 @@ __all__ = [
     "CHIP_TO_HOST",
     "DIN",
     "DOUT",
+    "FAULT_INJECT",
     "HOST_TO_CHIP",
     "KINDS",
+    "READOUT_DETECT",
+    "READOUT_GIVEUP",
+    "READOUT_RECOVER",
+    "READOUT_RETRY",
     "REG_READ",
     "REG_REJECT",
     "REG_RESET",

@@ -37,6 +37,9 @@ class ReplayResult:
     counters: Optional[list] = None
     #: The FrameError text when injected corruption killed the readout.
     readout_error: Optional[str] = None
+    #: Response-chunk index whose decode failed (None when ok — or when
+    #: the failing frame could not be attributed, e.g. the request).
+    failed_frame: Optional[int] = None
     result: Any = field(default=None, repr=False)
 
     @property
@@ -69,6 +72,7 @@ def replay_readout(
     recorder: Optional[TraceRecorder] = None,
     flip_bits: Optional[list[int]] = None,
     flip_frame: int = 0,
+    flip_frames: Optional[dict[int, list[int]]] = None,
 ) -> ReplayResult:
     """Run ``spec``'s full measurement under a trace recorder and return
     the capture.
@@ -77,9 +81,12 @@ def replay_readout(
     link, a RUN_FRAME trigger, the workload's measurement (through the
     Runner, so records/metrics match a plain run), then the serial
     counter shift-out.  ``flip_bits`` corrupts response chunk
-    ``flip_frame`` of the shift-out; the checksum failure is recorded as
-    a corrupt serial-frame event and reported as ``readout_error``
-    instead of raising.
+    ``flip_frame`` of the shift-out; ``flip_frames`` (a chunk-index →
+    bit-positions mapping, superseding the singular pair) corrupts
+    several chunks at once.  The first checksum failure is recorded as
+    a corrupt serial-frame event and reported as ``readout_error`` —
+    naming the failing chunk, also exposed as ``failed_frame`` — instead
+    of raising.
 
     Supports the DNA-chip kinds (``dna_assay``, ``array_scale`` with
     ``n_chips=1``).
@@ -101,16 +108,22 @@ def replay_readout(
     result = runner.run(spec, backend="object", inputs=inputs)
     counters: Optional[list] = None
     readout_error: Optional[str] = None
+    failed_frame: Optional[int] = None
     try:
-        counters = chip.read_counters_serial(flip_bits=flip_bits, flip_frame=flip_frame)
+        counters = chip.read_counters_serial(
+            flip_bits=flip_bits, flip_frame=flip_frame, flip_frames=flip_frames
+        )
     except FrameError as exc:
         # The corrupt frame is already in the trace; surface the error
         # as data rather than an exception so callers can render it.
-        readout_error = str(exc)
+        failed_frame = getattr(exc, "frame_index", None)
+        prefix = "" if failed_frame is None else f"response chunk {failed_frame}: "
+        readout_error = f"{prefix}{exc}"
     return ReplayResult(
         trace=recorder.trace(),
         counters=counters,
         readout_error=readout_error,
+        failed_frame=failed_frame,
         result=result,
     )
 

@@ -56,9 +56,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         except (KeyError, TypeError, ValueError) as error:
             raise SystemExit(f"repro: {error}")
     flips = _parse_ints(args.flip, "--flip")
+    frames = _parse_ints(args.flip_frame, "--flip-frame") or [0]
+    # One chunk keeps the singular API; several corrupt every listed
+    # chunk with the same bit positions.
+    flip_frames = (
+        {frame: list(flips) for frame in frames}
+        if flips and len(frames) > 1
+        else None
+    )
     try:
         replay = replay_readout(
-            spec, seed=args.seed, flip_bits=flips, flip_frame=args.flip_frame
+            spec,
+            seed=args.seed,
+            flip_bits=flips,
+            flip_frame=frames[0],
+            flip_frames=flip_frames,
         )
     except (IndexError, ValueError) as error:
         raise SystemExit(f"repro: {error}")
@@ -119,10 +131,10 @@ def add_trace_parser(sub: "argparse._SubParsersAction") -> None:
     )
     trace.add_argument(
         "--flip-frame",
-        type=int,
-        default=0,
-        metavar="N",
-        help="which response chunk --flip corrupts (default 0)",
+        default="0",
+        metavar="N1,N2,...",
+        help="which response chunk(s) --flip corrupts (default 0); a "
+        "comma list corrupts every listed chunk",
     )
     trace.add_argument(
         "--render",

@@ -33,6 +33,11 @@ REG_REJECT = "reg.reject"
 SEQ_STATE = "seq.state"
 SEQ_SAMPLE = "seq.sample"
 SERIAL_FRAME = "serial.frame"
+FAULT_INJECT = "fault.inject"
+READOUT_DETECT = "readout.detect"
+READOUT_RETRY = "readout.retry"
+READOUT_RECOVER = "readout.recover"
+READOUT_GIVEUP = "readout.giveup"
 
 KINDS = (
     REG_WRITE,
@@ -42,6 +47,11 @@ KINDS = (
     SEQ_STATE,
     SEQ_SAMPLE,
     SERIAL_FRAME,
+    FAULT_INJECT,
+    READOUT_DETECT,
+    READOUT_RETRY,
+    READOUT_RECOVER,
+    READOUT_GIVEUP,
 )
 
 #: Channel names of the serial wires, as rendered in waveforms.
@@ -128,6 +138,24 @@ class TraceEvent:
             return (
                 f"{d.get('direction')} {d.get('command')} addr {d.get('address'):#04x} "
                 f"len {d.get('length')} [{status}]{flips}"
+            )
+        if self.kind == FAULT_INJECT:
+            detail = {k: v for k, v in d.items() if k != "fault"}
+            return f"INJECT {d.get('fault')} {detail}"
+        if self.kind == READOUT_DETECT:
+            where = f" frame {d['frame']}" if d.get("frame") is not None else ""
+            return f"DETECT{where} attempt {d.get('attempt')}: {d.get('error')}"
+        if self.kind == READOUT_RETRY:
+            where = f" frame {d['frame']}" if d.get("frame") is not None else ""
+            return f"retry{where} attempt {d.get('attempt')} after {d.get('delay_s'):.3e} s"
+        if self.kind == READOUT_RECOVER:
+            where = f" frame {d['frame']}" if d.get("frame") is not None else ""
+            return f"recovered{where} in {d.get('attempts')} attempt(s)"
+        if self.kind == READOUT_GIVEUP:
+            where = f" frame {d['frame']}" if d.get("frame") is not None else ""
+            return (
+                f"GIVE UP{where} after {d.get('attempts')} attempt(s): "
+                f"{d.get('sites_lost')} site(s) lost"
             )
         return str(dict(d))
 

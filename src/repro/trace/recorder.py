@@ -21,6 +21,11 @@ from __future__ import annotations
 from typing import Any, Optional, Protocol
 
 from .events import (
+    FAULT_INJECT,
+    READOUT_DETECT,
+    READOUT_GIVEUP,
+    READOUT_RECOVER,
+    READOUT_RETRY,
     REG_READ,
     REG_REJECT,
     REG_RESET,
@@ -176,6 +181,64 @@ class TraceRecorder:
         if slot is not None:
             data["slot"] = slot
         return self.emit(SEQ_SAMPLE, "seq.sample", data, time_s=time_s)
+
+    def fault_inject(self, fault: str, channel: str, **details: Any) -> TraceEvent:
+        """One injected fault occurrence (kind + injector-chosen detail:
+        flip positions, stall length, corrupted bits...)."""
+        return self.emit(FAULT_INJECT, f"fault.{channel}", {"fault": fault, **details})
+
+    def readout_detect(
+        self,
+        channel: str,
+        error: str,
+        frame: Optional[int] = None,
+        attempt: int = 0,
+    ) -> TraceEvent:
+        """The resilient controller caught corruption (checksum failure,
+        register read-back mismatch)."""
+        return self.emit(
+            READOUT_DETECT,
+            channel,
+            {"frame": frame, "attempt": attempt, "error": error},
+        )
+
+    def readout_retry(
+        self,
+        channel: str,
+        delay_s: float,
+        frame: Optional[int] = None,
+        attempt: int = 0,
+    ) -> TraceEvent:
+        """A bounded-backoff retry decision (the caller advances the
+        simulated clock by ``delay_s`` separately)."""
+        return self.emit(
+            READOUT_RETRY,
+            channel,
+            {"frame": frame, "attempt": attempt, "delay_s": delay_s},
+        )
+
+    def readout_recover(
+        self, channel: str, attempts: int, frame: Optional[int] = None
+    ) -> TraceEvent:
+        """Corruption cleared within the retry budget."""
+        return self.emit(
+            READOUT_RECOVER, channel, {"frame": frame, "attempts": attempts}
+        )
+
+    def readout_giveup(
+        self,
+        channel: str,
+        attempts: int,
+        frame: Optional[int] = None,
+        sites_lost: int = 0,
+    ) -> TraceEvent:
+        """Retry budget exhausted: the affected sites are marked dead
+        instead of raising."""
+        return self.emit(
+            READOUT_GIVEUP,
+            channel,
+            {"frame": frame, "attempts": attempts, "sites_lost": sites_lost},
+        )
 
     def serial_frame(
         self,

@@ -253,7 +253,7 @@ def analyzed_campaign(small_spec_file, tmp_path):
 def test_analyze_lists_kinds(capsys):
     assert main(["analyze", "--list"]) == 0
     out = capsys.readouterr().out.split()
-    assert out == ["detection", "dose_response", "wafer_yield", "yield"]
+    assert out == ["detection", "dose_response", "fault_tolerance", "wafer_yield", "yield"]
 
 
 def test_analyze_infers_dose_response(analyzed_campaign, capsys):

@@ -42,7 +42,9 @@ def fig4_result():
 
 class TestRegistry:
     def test_kinds(self):
-        assert analysis_kinds() == ["detection", "dose_response", "wafer_yield", "yield"]
+        assert analysis_kinds() == [
+            "detection", "dose_response", "fault_tolerance", "wafer_yield", "yield"
+        ]
         assert analysis_type("yield") is YieldAnalysis
 
     def test_unknown_kind(self):

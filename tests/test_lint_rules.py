@@ -377,6 +377,62 @@ def test_d107_negative_plain_os_use():
 
 
 # ----------------------------------------------------------------------
+# D108 — fault modules must not construct RNGs
+# ----------------------------------------------------------------------
+
+D108_POSITIVE = """
+    from numpy.random import default_rng
+
+    def flips(seed):
+        return default_rng(seed).integers(0, 64, size=2)
+"""
+
+D108_PATH = "src/repro/faults/injector.py"
+
+
+def _faults_rule_ids(source, path=D108_PATH):
+    return [f.rule for f in lint_source(textwrap.dedent(source), path)]
+
+
+def test_d108_fires_on_default_rng_in_faults_module():
+    assert "D108" in _faults_rule_ids(D108_POSITIVE)
+
+
+def test_d108_fires_on_attribute_form():
+    src = """
+        import numpy as np
+
+        def flips(seed):
+            return np.random.Generator(np.random.PCG64(seed))
+    """
+    assert "D108" in _faults_rule_ids(src)
+
+
+def test_d108_noqa_pragma():
+    src = """
+        from numpy.random import default_rng
+
+        def flips(seed):
+            return default_rng(seed).integers(0, 64, size=2)  # repro: noqa D108
+    """
+    assert "D108" not in _faults_rule_ids(src)
+
+
+def test_d108_negative_outside_faults_path():
+    assert "D108" not in _faults_rule_ids(
+        D108_POSITIVE, path="src/repro/chip/readout.py"
+    )
+
+
+def test_d108_negative_consuming_a_passed_generator():
+    src = """
+        def flips(rng):
+            return tuple(int(b) for b in rng.integers(0, 64, size=2))
+    """
+    assert "D108" not in _faults_rule_ids(src)
+
+
+# ----------------------------------------------------------------------
 # S201 — registered specs frozen
 # ----------------------------------------------------------------------
 

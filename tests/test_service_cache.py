@@ -98,10 +98,10 @@ def test_identical_resubmission_is_all_hits_and_bit_identical(tmp_path):
     cold = run_campaign(CAMPAIGN, seed=1, cache=cache)
     warm = run_campaign(CAMPAIGN, seed=1, cache=cache)
     assert cold.manifest["cache"] == {
-        "n_points": 4, "n_unique": 4, "hits": 0, "computed": 4, "replayed": 0,
+        "n_points": 4, "n_unique": 4, "hits": 0, "computed": 4, "replayed": 0, "failed": 0,
     }
     assert warm.manifest["cache"] == {
-        "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0,
+        "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0, "failed": 0,
     }
     assert _payloads(warm) == _payloads(cold)
 
@@ -122,7 +122,7 @@ def test_duplicate_points_within_a_campaign_compute_once(tmp_path):
     duplicated = CampaignSpec(base=BASE, zip={"concentration": (1e-6, 1e-6, 1e-6)})
     result = run_campaign(duplicated, seed=1, cache=ResultCache(root=tmp_path / "c"))
     assert result.manifest["cache"] == {
-        "n_points": 3, "n_unique": 1, "hits": 0, "computed": 1, "replayed": 2,
+        "n_points": 3, "n_unique": 1, "hits": 0, "computed": 1, "replayed": 2, "failed": 0,
     }
     payloads = [res.to_dict() for res in result.results()]
     assert payloads[0] == payloads[1] == payloads[2]

@@ -58,6 +58,7 @@ def test_jobs_share_the_cache_across_submissions(manager):
     manager.wait(first.id, timeout=60)
     assert second.cache_summary == {
         "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0,
+        "failed": 0,
     }
     assert _payloads(first.result) == _payloads(second.result)
     assert manager.cache_stats()["puts"] == 4

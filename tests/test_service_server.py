@@ -53,7 +53,7 @@ def test_resubmission_serves_from_cache_byte_identically(service):
     warm_status = service.wait(warm["id"])
     assert cold_status["cache"]["computed"] == 4
     assert warm_status["cache"] == {
-        "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0,
+        "n_points": 4, "n_unique": 4, "hits": 4, "computed": 0, "replayed": 0, "failed": 0,
     }
     cold_results = {l["point"]: l["result"] for l in service.results(cold["id"])["results"]}
     warm_results = {l["point"]: l["result"] for l in service.results(warm["id"])["results"]}

@@ -63,6 +63,11 @@ class TestTraceEvent:
                 "direction": HOST_TO_CHIP, "command": "WRITE_REG", "address": 0,
                 "length": 1, "ok": True, "flipped": [],
             },
+            "fault.inject": {"fault": "serial_bitflip", "bits": [5, 9]},
+            "readout.detect": {"frame": 0, "attempt": 0, "error": "bad checksum"},
+            "readout.retry": {"frame": 0, "attempt": 1, "delay_s": 1e-4},
+            "readout.recover": {"frame": 0, "attempts": 2},
+            "readout.giveup": {"frame": 0, "attempts": 4, "sites_lost": 16},
         }
         for kind in KINDS:
             event = TraceEvent(seq=0, time_s=0.0, kind=kind, channel="c",
